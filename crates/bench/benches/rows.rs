@@ -1,0 +1,285 @@
+//! One Criterion group per row of Table 1.
+//!
+//! Space (locations touched) is asserted inside each run via the helpers in
+//! `cbh-bench`; the measured quantity here is time-to-consensus under a
+//! contended seeded-random schedule, swept over `n` (and `ℓ`) so the growth
+//! *shape* of each protocol is visible: O(1) rounds for max-registers and the
+//! one-location counters, O(log n) rounds for the increment construction,
+//! Θ(n) laps for swap, and so on.
+
+use cbh_bench::{contended_run, solo_run, spread_inputs};
+use cbh_core::bitwise::{increment_log_consensus, tas_reset_consensus, write01_consensus};
+use cbh_core::buffer::buffer_consensus;
+use cbh_core::cas::CasConsensus;
+use cbh_core::counter::{
+    AddCounterFamily, AddFlavor, MultiplyCounterFamily, MultiplyFlavor, SetBitCounterFamily,
+};
+use cbh_core::increment::IncrementFlavor;
+use cbh_core::intro::{DecMulConsensus, FaaTasConsensus};
+use cbh_core::maxreg::MaxRegConsensus;
+use cbh_core::racing::RacingConsensus;
+use cbh_core::registers::register_consensus;
+use cbh_core::swap::SwapConsensus;
+use cbh_core::tracks::track_consensus;
+use cbh_core::util::BitWrite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const NS: [usize; 3] = [3, 5, 8];
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+fn row1_unbounded_tracks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row1_tracks_unbounded");
+    for n in NS {
+        for (label, write) in [("write1", BitWrite::Write1), ("tas", BitWrite::TestAndSet)] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let protocol = track_consensus(n, write);
+                let inputs = spread_inputs(n);
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    contended_run(&protocol, &inputs, seed)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn row2_write01(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row2_write01_bit_by_bit");
+    for n in NS {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let protocol = write01_consensus(n);
+            let inputs = spread_inputs(n);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                contended_run(&protocol, &inputs, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn row3_registers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row3_n_registers");
+    for n in NS {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let protocol = register_consensus(n);
+            let inputs = spread_inputs(n);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let report = contended_run(&protocol, &inputs, seed);
+                assert_eq!(report.locations_touched, n);
+                report
+            });
+        });
+    }
+    g.finish();
+}
+
+fn row4_tas_reset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row4_tas_reset_bit_by_bit");
+    for n in NS {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let protocol = tas_reset_consensus(n);
+            let inputs = spread_inputs(n);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                contended_run(&protocol, &inputs, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn row5_swap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row5_swap_laps");
+    for n in NS {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let protocol = SwapConsensus::new(n);
+            let inputs = spread_inputs(n);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let report = contended_run(&protocol, &inputs, seed);
+                assert_eq!(report.locations_touched, n - 1);
+                report
+            });
+        });
+    }
+    g.finish();
+}
+
+fn row6_buffers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row6_ell_buffers");
+    for ell in [1usize, 2, 4] {
+        let n = 8;
+        g.bench_with_input(BenchmarkId::new("ell", ell), &ell, |b, &ell| {
+            let protocol = buffer_consensus(n, ell);
+            let inputs = spread_inputs(n);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let report = contended_run(&protocol, &inputs, seed);
+                assert_eq!(report.locations_touched, n.div_ceil(ell));
+                report
+            });
+        });
+    }
+    g.finish();
+}
+
+fn row7_increment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row7_increment_log_n");
+    for n in [3usize, 5, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let protocol = increment_log_consensus(n, IncrementFlavor::Increment);
+            let inputs = spread_inputs(n);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                contended_run(&protocol, &inputs, seed)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn row8_max_registers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row8_two_max_registers");
+    for n in [3usize, 5, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let protocol = MaxRegConsensus::new(n);
+            let inputs = spread_inputs(n);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let report = contended_run(&protocol, &inputs, seed);
+                assert_eq!(report.locations_touched, 2);
+                report
+            });
+        });
+    }
+    g.finish();
+}
+
+fn row9_single_location(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row9_single_location");
+    let n = 5;
+    let inputs = spread_inputs(n);
+    g.bench_function("cas", |b| {
+        let protocol = CasConsensus::new(n);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            contended_run(&protocol, &inputs, seed)
+        });
+    });
+    g.bench_function("multiply", |b| {
+        let protocol = RacingConsensus::new(
+            MultiplyCounterFamily::new(n, MultiplyFlavor::ReadMultiply),
+            n,
+        );
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            contended_run(&protocol, &inputs, seed)
+        });
+    });
+    g.bench_function("add", |b| {
+        let protocol = RacingConsensus::new(AddCounterFamily::new(n, n, AddFlavor::ReadAdd), n);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            contended_run(&protocol, &inputs, seed)
+        });
+    });
+    g.bench_function("set_bit", |b| {
+        let protocol = RacingConsensus::new(SetBitCounterFamily::new(n, n), n);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            contended_run(&protocol, &inputs, seed)
+        });
+    });
+    g.bench_function("fetch_and_add", |b| {
+        let protocol =
+            RacingConsensus::new(AddCounterFamily::new(n, n, AddFlavor::FetchAndAdd), n);
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            contended_run(&protocol, &inputs, seed)
+        });
+    });
+    g.bench_function("intro_faa_tas", |b| {
+        let protocol = FaaTasConsensus::new(n);
+        let inputs = [0, 1, 1, 0, 1];
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            contended_run(&protocol, &inputs, seed)
+        });
+    });
+    g.bench_function("intro_dec_mul", |b| {
+        let protocol = DecMulConsensus::new(n);
+        let inputs = [0, 1, 1, 0, 1];
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            contended_run(&protocol, &inputs, seed)
+        });
+    });
+    g.finish();
+}
+
+fn solo_shapes(c: &mut Criterion) {
+    // Complements the contended groups: solo cost growth per protocol —
+    // Lemma 8.7 (≤ 3n−2 scans) makes swap solo Θ(n²) reads; max-registers
+    // stay O(1) rounds.
+    let mut g = c.benchmark_group("solo_shapes");
+    for n in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("swap", n), &n, |b, &n| {
+            let protocol = SwapConsensus::new(n);
+            let inputs = spread_inputs(n);
+            b.iter(|| solo_run(&protocol, &inputs));
+        });
+        g.bench_with_input(BenchmarkId::new("maxreg", n), &n, |b, &n| {
+            let protocol = MaxRegConsensus::new(n);
+            let inputs = spread_inputs(n);
+            b.iter(|| solo_run(&protocol, &inputs));
+        });
+        g.bench_with_input(BenchmarkId::new("increment", n), &n, |b, &n| {
+            let protocol = increment_log_consensus(n, IncrementFlavor::Increment);
+            let inputs = spread_inputs(n);
+            b.iter(|| solo_run(&protocol, &inputs));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = rows;
+    config = configure(&mut Criterion::default());
+    targets =
+        row1_unbounded_tracks,
+        row2_write01,
+        row3_registers,
+        row4_tas_reset,
+        row5_swap,
+        row6_buffers,
+        row7_increment,
+        row8_max_registers,
+        row9_single_location,
+        solo_shapes,
+}
+criterion_main!(rows);

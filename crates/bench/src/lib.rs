@@ -1,0 +1,79 @@
+//! Shared measurement helpers for the Table 1 harness and the Criterion
+//! benches.
+
+use cbh_model::Protocol;
+use cbh_sim::{adversarial_then_solo, ConsensusReport, RandomScheduler};
+
+/// A standard contended workload: `steps` of seeded-random adversarial
+/// scheduling followed by solo finishes, asserting agreement and validity.
+///
+/// # Panics
+///
+/// Panics if the protocol errors or violates consensus — benches must measure
+/// *correct* runs only.
+pub fn contended_run<P: Protocol>(protocol: &P, inputs: &[u64], seed: u64) -> ConsensusReport {
+    let steps = 2_000 * inputs.len() as u64;
+    let report = adversarial_then_solo(
+        protocol,
+        inputs,
+        RandomScheduler::seeded(seed),
+        steps,
+        50_000_000,
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+    report
+        .check(inputs)
+        .unwrap_or_else(|v| panic!("{}: {v}", protocol.name()));
+    report
+}
+
+/// A solo workload: process 0 runs alone from the initial configuration.
+///
+/// # Panics
+///
+/// Panics if the solo run fails to decide (an obstruction-freedom violation).
+pub fn solo_run<P: Protocol>(protocol: &P, inputs: &[u64]) -> ConsensusReport {
+    let mut machine = cbh_sim::Machine::start(protocol, inputs)
+        .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+    machine
+        .run_solo(0, 50_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()))
+        .unwrap_or_else(|| panic!("{}: solo run failed to decide", protocol.name()));
+    machine.report()
+}
+
+/// The mixed input vector used across benches: a contended spread with
+/// duplicates, always containing value 0 and `n−1`.
+pub fn spread_inputs(n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => 0,
+            1 => (n - 1) as u64,
+            _ => (i as u64) % n as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_core::maxreg::MaxRegConsensus;
+
+    #[test]
+    fn helpers_produce_checked_reports() {
+        let protocol = MaxRegConsensus::new(4);
+        let inputs = spread_inputs(4);
+        let contended = contended_run(&protocol, &inputs, 3);
+        assert!(contended.unanimous().is_some());
+        let solo = solo_run(&protocol, &inputs);
+        assert_eq!(solo.decisions[0], Some(inputs[0]));
+    }
+
+    #[test]
+    fn spread_inputs_cover_extremes() {
+        let inputs = spread_inputs(9);
+        assert!(inputs.contains(&0));
+        assert!(inputs.contains(&8));
+        assert!(inputs.iter().all(|&v| v < 9));
+    }
+}

@@ -1,0 +1,509 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+
+use crate::biguint::BigUint;
+use crate::ParseBigIntError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// The sign of a [`BigInt`]. Zero always has sign [`Sign::Zero`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// The `decrement()`/`multiply(x)` consensus protocol from the paper's
+/// introduction distinguishes processes by whether the shared word went
+/// negative, so the model's word type must be signed.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_bigint::BigInt;
+///
+/// let v = BigInt::from(-3i64) * BigInt::from(7i64);
+/// assert!(v.is_negative());
+/// assert_eq!(v.to_string(), "-21");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Builds a value from a sign and magnitude; the sign of a zero magnitude
+    /// is normalised to [`Sign::Zero`].
+    pub fn from_parts(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            let sign = if sign == Sign::Zero { Sign::Plus } else { sign };
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude (absolute value).
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consumes the value and returns its magnitude.
+    pub fn into_magnitude(self) -> BigUint {
+        self.mag
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Converts to `i64`, returning `None` on overflow.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => (m <= i64::MAX as u128).then(|| m as i64),
+            Sign::Minus => (m <= i64::MAX as u128 + 1).then(|| (m as i128).wrapping_neg() as i64),
+        }
+    }
+
+    /// Converts to `u64` if the value is a representable nonnegative integer.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.sign {
+            Sign::Minus => None,
+            _ => self.mag.to_u64(),
+        }
+    }
+
+    /// Converts to `i128`, returning `None` on overflow.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Plus => (m <= i128::MAX as u128).then(|| m as i128),
+            Sign::Minus => {
+                if m <= i128::MAX as u128 {
+                    Some(-(m as i128))
+                } else if m == i128::MAX as u128 + 1 {
+                    Some(i128::MIN)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// `self^exp` by binary exponentiation (sign follows exponent parity).
+    pub fn pow(&self, exp: u64) -> BigInt {
+        let mag = self.mag.pow(exp);
+        let sign = match self.sign {
+            Sign::Zero => {
+                if exp == 0 {
+                    Sign::Plus
+                } else {
+                    Sign::Zero
+                }
+            }
+            Sign::Plus => Sign::Plus,
+            Sign::Minus => {
+                if exp % 2 == 0 {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                }
+            }
+        };
+        BigInt::from_parts(sign, mag)
+    }
+
+    /// Largest `k` such that `p^k` divides `|self|`; see
+    /// [`BigUint::factor_multiplicity`].
+    pub fn factor_multiplicity(&self, p: u64) -> u64 {
+        self.mag.factor_multiplicity(p)
+    }
+
+    /// Divides by a positive machine-word divisor using *Euclidean* semantics:
+    /// the remainder is always in `0..d`, so digit extraction is stable for
+    /// negative values too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_euclid_u64(&self, d: u64) -> (BigInt, u64) {
+        let (q, r) = self.mag.div_rem_u64(d);
+        match self.sign {
+            Sign::Zero => (BigInt::zero(), 0),
+            Sign::Plus => (BigInt::from_parts(Sign::Plus, q), r),
+            Sign::Minus => {
+                if r == 0 {
+                    (BigInt::from_parts(Sign::Minus, q), 0)
+                } else {
+                    // -(q*d + r) = -(q+1)*d + (d - r)
+                    let q1 = q + BigUint::one();
+                    (BigInt::from_parts(Sign::Minus, q1), d - r)
+                }
+            }
+        }
+    }
+
+    /// Returns bit `i` of the magnitude.
+    pub fn bit(&self, i: u64) -> bool {
+        self.mag.bit(i)
+    }
+
+    /// Sets bit `i` of the magnitude to 1 (used by `set-bit(x)`).
+    pub fn set_bit(&mut self, i: u64) {
+        self.mag.set_bit(i);
+        if self.sign == Sign::Zero && !self.mag.is_zero() {
+            self.sign = Sign::Plus;
+        }
+    }
+
+    /// Adds `rhs` into `self`.
+    pub fn add_assign_ref(&mut self, rhs: &BigInt) {
+        match (self.sign, rhs.sign) {
+            (_, Sign::Zero) => {}
+            (Sign::Zero, _) => *self = rhs.clone(),
+            (a, b) if a == b => self.mag.add_assign_ref(&rhs.mag),
+            _ => match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => *self = BigInt::zero(),
+                Ordering::Greater => self.mag.sub_assign_ref(&rhs.mag),
+                Ordering::Less => {
+                    let mag = &rhs.mag - &self.mag;
+                    *self = BigInt::from_parts(rhs.sign, mag);
+                }
+            },
+        }
+    }
+
+    /// Multiplies `self` by `rhs`.
+    pub fn mul_assign_ref(&mut self, rhs: &BigInt) {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        let mag = self.mag.mul_ref(&rhs.mag);
+        *self = BigInt::from_parts(sign, mag);
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_parts(Sign::Plus, BigUint::from(v))
+    }
+}
+
+impl From<u32> for BigInt {
+    fn from(v: u32) -> Self {
+        BigInt::from(v as u64)
+    }
+}
+
+impl From<usize> for BigInt {
+    fn from(v: usize) -> Self {
+        BigInt::from(v as u64)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            BigInt::from_parts(Sign::Minus, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::from_parts(Sign::Plus, BigUint::from(v as u64))
+        }
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        if v < 0 {
+            BigInt::from_parts(Sign::Minus, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::from_parts(Sign::Plus, BigUint::from(v as u128))
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_parts(Sign::Plus, mag)
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (a, b) if a != b => a.cmp(&b),
+            (Sign::Plus, _) => self.mag.cmp(&other.mag),
+            (Sign::Minus, _) => other.mag.cmp(&self.mag),
+            _ => Ordering::Equal,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+        };
+        BigInt {
+            sign,
+            mag: self.mag,
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(mut self, rhs: BigInt) -> BigInt {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(mut self, rhs: BigInt) -> BigInt {
+        self.add_assign_ref(&-rhs);
+        self
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        let mut out = self.clone();
+        out.add_assign_ref(&-rhs);
+        out
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        self.add_assign_ref(&-rhs);
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(mut self, rhs: BigInt) -> BigInt {
+        self.mul_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let mut out = self.clone();
+        out.mul_assign_ref(rhs);
+        out
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        self.mul_assign_ref(rhs);
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.mag.to_string();
+        f.pad_integral(self.sign != Sign::Minus, "", &s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigIntError::empty());
+        }
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Minus, rest),
+            None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mag: BigUint = digits.parse()?;
+        Ok(BigInt::from_parts(sign, mag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn sign_normalisation() {
+        assert_eq!(BigInt::from_parts(Sign::Minus, BigUint::zero()), b(0));
+        assert_eq!(b(0).sign(), Sign::Zero);
+        assert!(b(5).is_positive() && b(-5).is_negative() && b(0).is_zero());
+    }
+
+    #[test]
+    fn signed_addition_all_sign_combinations() {
+        for a in [-7i128, -1, 0, 1, 7] {
+            for c in [-9i128, -1, 0, 1, 9] {
+                assert_eq!((b(a) + b(c)).to_i128(), Some(a + c), "{a} + {c}");
+                assert_eq!((b(a) - b(c)).to_i128(), Some(a - c), "{a} - {c}");
+                assert_eq!((b(a) * b(c)).to_i128(), Some(a * c), "{a} * {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_spans_signs() {
+        assert!(b(-10) < b(-2));
+        assert!(b(-2) < b(0));
+        assert!(b(0) < b(3));
+        assert!(b(3) < b(10));
+    }
+
+    #[test]
+    fn negation_roundtrip() {
+        assert_eq!(-b(42), b(-42));
+        assert_eq!(-b(0), b(0));
+        assert_eq!((-b(-7)).to_i128(), Some(7));
+    }
+
+    #[test]
+    fn pow_sign_parity() {
+        assert_eq!(b(-2).pow(3), b(-8));
+        assert_eq!(b(-2).pow(4), b(16));
+        assert_eq!(b(0).pow(0), b(1));
+        assert_eq!(b(0).pow(5), b(0));
+    }
+
+    #[test]
+    fn euclid_div_rem_negative_values() {
+        // -7 = -3*3 + 2
+        let (q, r) = b(-7).div_rem_euclid_u64(3);
+        assert_eq!((q.to_i128().unwrap(), r), (-3, 2));
+        let (q, r) = b(7).div_rem_euclid_u64(3);
+        assert_eq!((q.to_i128().unwrap(), r), (2, 1));
+        let (q, r) = b(-6).div_rem_euclid_u64(3);
+        assert_eq!((q.to_i128().unwrap(), r), (-2, 0));
+        let (q, r) = b(0).div_rem_euclid_u64(3);
+        assert_eq!((q.to_i128().unwrap(), r), (0, 0));
+    }
+
+    #[test]
+    fn display_and_parse_signed() {
+        assert_eq!(b(-12345).to_string(), "-12345");
+        assert_eq!("-987654321987654321".parse::<BigInt>().unwrap().to_string(), "-987654321987654321");
+        assert_eq!("+17".parse::<BigInt>().unwrap(), b(17));
+        assert!("-".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn to_i64_boundaries() {
+        assert_eq!(BigInt::from(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(BigInt::from(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!((BigInt::from(i64::MAX) + b(1)).to_i64(), None);
+        assert_eq!(b(-1).to_u64(), None);
+    }
+
+    #[test]
+    fn set_bit_fixes_zero_sign() {
+        let mut v = BigInt::zero();
+        v.set_bit(10);
+        assert!(v.is_positive());
+        assert_eq!(v.to_i128(), Some(1024));
+    }
+}

@@ -1,0 +1,577 @@
+//! Unsigned arbitrary-precision magnitude.
+//!
+//! Representation: little-endian `u32` limbs with no trailing zero limbs
+//! (so the empty limb vector is the canonical zero). `u32` limbs keep the
+//! schoolbook multiplication carry inside a `u64`, which is all the model's
+//! workloads need; values in the counter simulations grow to a few thousand
+//! bits at most.
+
+use crate::{ParseBigIntError, ParseErrorKind};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Sub, SubAssign};
+use std::str::FromStr;
+
+const LIMB_BITS: usize = 32;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_bigint::BigUint;
+///
+/// let a = BigUint::from(u64::MAX);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, canonical (no trailing zeros).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Builds a value from little-endian `u32` limbs (trailing zeros allowed).
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// A view of the little-endian limbs (canonical; no trailing zeros).
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Number of significant bits; zero has bit length 0.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * LIMB_BITS + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian position), `false` beyond the bit length.
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        match self.limbs.get(limb) {
+            Some(&w) => (w >> off) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Sets bit `i` to 1, growing the representation as needed.
+    pub fn set_bit(&mut self, i: u64) {
+        let limb = (i / LIMB_BITS as u64) as usize;
+        let off = (i % LIMB_BITS as u64) as u32;
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << off;
+    }
+
+    /// Counts the 1-bits in the binary representation.
+    pub fn count_ones(&self) -> u64 {
+        self.limbs.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for (i, &w) in self.limbs.iter().enumerate() {
+            v |= (w as u128) << (32 * i);
+        }
+        Some(v)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign_ref(&mut self, other: &BigUint) {
+        let mut carry: u64 = 0;
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let s = self.limbs[i] as u64 + b + carry;
+            self.limbs[i] = s as u32;
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (the magnitude cannot go negative).
+    pub fn sub_assign_ref(&mut self, other: &BigUint) {
+        assert!(
+            *self >= *other,
+            "BigUint subtraction underflow: {self} - {other}"
+        );
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = self.limbs[i] as i64 - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            self.limbs[i] = d as u32;
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    /// Schoolbook product `self * other`.
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            let a = a as u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a * b as u64 + out[i + j] as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Multiplies in place by a machine word.
+    pub fn mul_assign_u64(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        *self = self.mul_ref(&BigUint::from(m));
+    }
+
+    /// Divides by a machine-word divisor, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        if d <= u32::MAX as u64 {
+            // Fast path: one limb at a time.
+            let d32 = d as u32;
+            let mut q = vec![0u32; self.limbs.len()];
+            let mut rem: u64 = 0;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d32 as u64) as u32;
+                rem = cur % d32 as u64;
+            }
+            (BigUint::from_limbs(q), rem)
+        } else {
+            // Two limbs at a time using u128 intermediates.
+            let mut q = vec![0u32; self.limbs.len()];
+            let mut rem: u128 = 0;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u128;
+                q[i] = (cur / d as u128) as u32;
+                rem = cur % d as u128;
+            }
+            (BigUint::from_limbs(q), rem as u64)
+        }
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, exp: u64) -> BigUint {
+        let mut base = self.clone();
+        let mut result = BigUint::one();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul_ref(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        result
+    }
+
+    /// Largest `k` such that `p^k` divides `self`; returns 0 for zero input.
+    ///
+    /// Used by the prime-encoded counter of Theorem 3.3 to recover component
+    /// counts from the single memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`.
+    pub fn factor_multiplicity(&self, p: u64) -> u64 {
+        assert!(p >= 2, "factor must be at least 2");
+        if self.is_zero() {
+            return 0;
+        }
+        let mut k = 0;
+        let mut cur = self.clone();
+        loop {
+            let (q, r) = cur.div_rem_u64(p);
+            if r != 0 {
+                return k;
+            }
+            k += 1;
+            cur = q;
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_limbs(vec![v])
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_limbs(vec![v as u32, (v >> 32) as u32])
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ])
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        non_eq => return non_eq,
+                    }
+                }
+                Ordering::Equal
+            }
+            non_eq => non_eq,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: BigUint) -> BigUint {
+        self.sub_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.sub_assign_ref(rhs);
+        out
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / LIMB_BITS;
+        let bit_shift = (bits % LIMB_BITS) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: u32 = 0;
+            for &w in &self.limbs {
+                out.push((w << bit_shift) | carry);
+                carry = w >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel 9 decimal digits at a time.
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:09}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigIntError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or_else(|| ParseBigIntError::invalid(c))?;
+            out.mul_assign_u64(10);
+            out.add_assign_ref(&BigUint::from(d));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_is_canonical_and_default() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::default(), BigUint::zero());
+        assert_eq!(BigUint::from_limbs(vec![0, 0, 0]), BigUint::zero());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = big(u64::MAX as u128);
+        let b = big(1);
+        assert_eq!((&a + &b).to_u128(), Some(u64::MAX as u128 + 1));
+    }
+
+    #[test]
+    fn sub_with_borrow_chain() {
+        let a = big(1u128 << 96);
+        let b = big(1);
+        assert_eq!((&a - &b).to_u128(), Some((1u128 << 96) - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = big(1) - big(2);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = big(0xDEAD_BEEF_CAFE);
+        let b = big(0x1234_5678_9ABC);
+        assert_eq!(a.mul_ref(&b).to_u128(), Some(0xDEAD_BEEF_CAFEu128 * 0x1234_5678_9ABC));
+    }
+
+    #[test]
+    fn div_rem_small_and_large_divisor() {
+        let v = big(123_456_789_012_345_678_901_234_567u128);
+        let (q, r) = v.div_rem_u64(97);
+        assert_eq!(
+            q.to_u128().unwrap() * 97 + r as u128,
+            123_456_789_012_345_678_901_234_567u128
+        );
+        let (q2, r2) = v.div_rem_u64(u64::MAX);
+        assert_eq!(
+            q2.to_u128().unwrap() * u64::MAX as u128 + r2 as u128,
+            123_456_789_012_345_678_901_234_567u128
+        );
+    }
+
+    #[test]
+    fn pow_and_factor_multiplicity_roundtrip() {
+        let v = BigUint::from(7u32).pow(23).mul_ref(&BigUint::from(11u32).pow(5));
+        assert_eq!(v.factor_multiplicity(7), 23);
+        assert_eq!(v.factor_multiplicity(11), 5);
+        assert_eq!(v.factor_multiplicity(13), 0);
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        assert_eq!(BigUint::from(5u32).pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(3), BigUint::zero());
+        assert_eq!(BigUint::one().pow(1000), BigUint::one());
+    }
+
+    #[test]
+    fn bits_set_and_get() {
+        let mut v = BigUint::zero();
+        v.set_bit(0);
+        v.set_bit(33);
+        v.set_bit(100);
+        assert!(v.bit(0) && v.bit(33) && v.bit(100));
+        assert!(!v.bit(1) && !v.bit(99) && !v.bit(1000));
+        assert_eq!(v.count_ones(), 3);
+        assert_eq!(v.bit_len(), 101);
+    }
+
+    #[test]
+    fn shl_matches_mul_by_power_of_two() {
+        let v = big(0xFFFF_FFFF_FFFF);
+        assert_eq!((&v << 45), v.mul_ref(&BigUint::from(2u32).pow(45)));
+        assert_eq!((&BigUint::zero() << 100), BigUint::zero());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let s = "934875938475983475983475987349857394857938475";
+        let v: BigUint = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        assert_eq!("0".parse::<BigUint>().unwrap(), BigUint::zero());
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12x".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_by_magnitude() {
+        assert!(big(100) < big(101));
+        assert!(big(1u128 << 64) > big(u64::MAX as u128));
+        assert_eq!(big(42).cmp(&big(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_pads_and_aligns() {
+        assert_eq!(format!("{:>5}", big(42)), "   42");
+    }
+}

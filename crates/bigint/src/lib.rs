@@ -1,0 +1,76 @@
+//! Arbitrary-precision integers for the unbounded-word shared-memory model.
+//!
+//! The space-hierarchy paper (Ellen, Gelashvili, Shavit, Zhu, PODC 2016) assumes
+//! memory locations hold unbounded integers: the `multiply(x)` counter simulation
+//! of Theorem 3.3 stores a product of primes that grows without bound, and the
+//! `(r, x) ↦ (x+1)·yʳ` max-register encoding of Theorem 4.2 grows with the round
+//! number `r`. Machine words would overflow and silently break the prime
+//! decomposition, so the model is built on this crate.
+//!
+//! Only the operations the model needs are provided: ring arithmetic, comparison,
+//! exponentiation by a machine-word exponent, division by machine-word divisors
+//! (for digit extraction and prime factorisation), and single-bit access (for the
+//! `set-bit(x)` counter). Full big-by-big division is deliberately out of scope.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbh_bigint::BigInt;
+//!
+//! let p = BigInt::from(3u64).pow(100) * BigInt::from(5u64).pow(7);
+//! assert_eq!(p.factor_multiplicity(3), 100);
+//! assert_eq!(p.factor_multiplicity(5), 7);
+//! ```
+
+mod bigint;
+mod biguint;
+
+pub use crate::bigint::{BigInt, Sign};
+pub use crate::biguint::BigUint;
+
+/// Errors produced when parsing a [`BigInt`] or [`BigUint`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl core::fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl ParseBigIntError {
+    pub(crate) fn empty() -> Self {
+        ParseBigIntError {
+            kind: ParseErrorKind::Empty,
+        }
+    }
+    pub(crate) fn invalid(c: char) -> Self {
+        ParseBigIntError {
+            kind: ParseErrorKind::InvalidDigit(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_lowercase_and_nonempty() {
+        assert!(ParseBigIntError::empty().to_string().starts_with("cannot"));
+        assert!(ParseBigIntError::invalid('z').to_string().contains('z'));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for `cbh-bigint` against native-integer oracles.
+
+use cbh_bigint::{BigInt, BigUint};
+use proptest::prelude::*;
+
+fn u(v: u128) -> BigUint {
+    BigUint::from(v)
+}
+
+fn s(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..(1 << 100), b in 0u128..(1 << 24)) {
+        prop_assert_eq!((&u(a) + &u(b)).to_u128(), Some(a + b));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in 0u128..(1 << 100), b in 0u128..(1 << 100)) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!((&u(hi) - &u(lo)).to_u128(), Some(hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u128..(1 << 60), b in 0u128..(1 << 60)) {
+        prop_assert_eq!(u(a).mul_ref(&u(b)).to_u128(), Some(a * b));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in 0u128..u128::MAX / 2, d in 1u64..) {
+        let (q, r) = u(a).div_rem_u64(d);
+        prop_assert!((r as u128) < d as u128);
+        let back = q.mul_ref(&u(d as u128)) + u(r as u128);
+        prop_assert_eq!(back.to_u128(), Some(a));
+    }
+
+    #[test]
+    fn signed_ring_ops_match_i128(a in -(1i128 << 60)..(1i128 << 60), b in -(1i128 << 60)..(1i128 << 60)) {
+        prop_assert_eq!((s(a) + s(b)).to_i128(), Some(a + b));
+        prop_assert_eq!((s(a) - s(b)).to_i128(), Some(a - b));
+        prop_assert_eq!((s(a) * s(b)).to_i128(), Some(a * b));
+    }
+
+    #[test]
+    fn signed_cmp_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(s(a as i128).cmp(&s(b as i128)), a.cmp(&b));
+    }
+
+    #[test]
+    fn display_parse_roundtrip_unsigned(a in any::<u128>()) {
+        let v = u(a);
+        let back: BigUint = v.to_string().parse().unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn display_parse_roundtrip_signed(a in any::<i128>()) {
+        let v = s(a);
+        let back: BigInt = v.to_string().parse().unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn display_matches_native(a in any::<i128>()) {
+        prop_assert_eq!(s(a).to_string(), a.to_string());
+    }
+
+    #[test]
+    fn pow_matches_checked(base in 0u64..32, exp in 0u64..20) {
+        if let Some(expect) = (base as u128).checked_pow(exp as u32) {
+            prop_assert_eq!(u(base as u128).pow(exp).to_u128(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn factor_multiplicity_detects_exponent(p in 2u64..50, k in 0u64..40, co in 1u64..1000) {
+        // Make the cofactor coprime to p so k is exactly the multiplicity.
+        let co = if co % p == 0 { co + 1 } else { co };
+        prop_assume!(co % p != 0);
+        let v = u(p as u128).pow(k).mul_ref(&u(co as u128));
+        prop_assert_eq!(v.factor_multiplicity(p), k);
+    }
+
+    #[test]
+    fn bit_roundtrip(positions in proptest::collection::btree_set(0u64..500, 0..20)) {
+        let mut v = BigUint::zero();
+        for &p in &positions {
+            v.set_bit(p);
+        }
+        prop_assert_eq!(v.count_ones(), positions.len() as u64);
+        for p in 0..500u64 {
+            prop_assert_eq!(v.bit(p), positions.contains(&p));
+        }
+    }
+
+    #[test]
+    fn euclid_rem_in_range(a in any::<i128>(), d in 1u64..) {
+        let (q, r) = s(a).div_rem_euclid_u64(d);
+        prop_assert!((r as u128) < d as u128);
+        // a == q*d + r
+        let back = q * s(d as i128) + s(r as i128);
+        prop_assert_eq!(back, s(a));
+    }
+
+    #[test]
+    fn shl_matches_pow2_mul(a in 0u128..(1 << 80), sh in 0usize..64) {
+        let v = u(a);
+        let shifted = &v << sh;
+        prop_assert_eq!(shifted, v.mul_ref(&u(1u128 << sh)));
+    }
+}

@@ -1,0 +1,567 @@
+//! The bit-by-bit reduction from binary to `n`-valued consensus (Lemma 5.2)
+//! and the protocols built from it (Theorems 5.3 and 9.4).
+//!
+//! Processes agree on the output value one bit per *round*, over
+//! `⌈log₂ n⌉` asynchronous rounds. Round `i` (except the last) owns two
+//! *designated locations* — a 0-location and a 1-location — plus a block of
+//! `c` locations running an embedded obstruction-free **binary** consensus:
+//!
+//! 1. write your current value into the designated location matching bit `i`
+//!    of that value;
+//! 2. run the binary consensus with bit `i` of your value as input;
+//! 3. if the agreed bit `vᵢ` differs from yours, adopt a value recorded in the
+//!    designated `vᵢ`-location (one must exist — otherwise `¬vᵢ` could not
+//!    have been agreed).
+//!
+//! All values entering round `i+1` are inputs that agree on bits `0..i`, so
+//! after all rounds everyone holds the same input value. The last round needs
+//! no designated locations (its agreed bit pins the value directly), saving
+//! two locations: `(c+2)·⌈log₂ n⌉ − 2` in total with one-word designated
+//! locations.
+//!
+//! Two designated-location codecs exist because Theorem 9.4's sets cannot
+//! write arbitrary values: [`DesignatedCodec::Direct`] stores `value+1` in one
+//! word, while [`DesignatedCodec::Unary`] uses `n` single-bit locations and
+//! records `value` by setting the `(value+1)`-st (via `write(1)` or
+//! `test-and-set`), exactly as the paper describes.
+
+use crate::counter::CounterFamily;
+use crate::increment::{increment_binary, IncrementCounterFamily, IncrementFlavor};
+use crate::racing::{RacingConsensus, RacingProc};
+use crate::tracks::{TrackCounterFamily, TrackLayout};
+use crate::util::{ceil_log2, BitWrite, OffsetProc};
+use cbh_model::{
+    Action, Instruction, InstructionSet, MemorySpec, Op, Process, Protocol, Value,
+};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A binary-consensus building block usable inside [`BitByBit`].
+///
+/// Implementations must confine themselves to locations `0..locations()`
+/// with all-zero initial words; [`BitByBit`] relocates them into per-round
+/// blocks.
+pub trait BinaryFamily: Clone + Debug + PartialEq + Eq + Hash {
+    /// The embedded process type.
+    type Proc: Process;
+
+    /// Human-readable name.
+    fn name(&self) -> String;
+
+    /// Number of locations `c` one instance occupies.
+    fn locations(&self) -> usize;
+
+    /// Spawns a process with the given input bit.
+    fn spawn(&self, pid: usize, bit: u64) -> Self::Proc;
+}
+
+/// Racing-counters binary consensus (over any 2-component counter family) as
+/// a [`BinaryFamily`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RacingBinary<F: CounterFamily>(RacingConsensus<F>);
+
+impl<F: CounterFamily> RacingBinary<F> {
+    /// Wraps a racing-counters protocol whose counter has `m = 2` components
+    /// and a bounded memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family is not binary or its memory is unbounded.
+    pub fn new(inner: RacingConsensus<F>) -> Self {
+        assert_eq!(inner.family().m(), 2, "binary consensus needs m = 2");
+        assert!(
+            inner.memory_spec().bounded_len().is_some(),
+            "BitByBit blocks need bounded inner memories"
+        );
+        RacingBinary(inner)
+    }
+}
+
+impl<F: CounterFamily + Debug + PartialEq + Eq + Hash> BinaryFamily for RacingBinary<F> {
+    type Proc = RacingProc<F::Sim>;
+
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn locations(&self) -> usize {
+        self.0.memory_spec().bounded_len().expect("bounded")
+    }
+
+    fn spawn(&self, pid: usize, bit: u64) -> Self::Proc {
+        self.0.spawn(pid, bit)
+    }
+}
+
+/// How a round's designated locations store a recorded value in `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignatedCodec {
+    /// One word per designated location, storing `value + 1` (0 = empty).
+    Direct,
+    /// `n` single-bit locations per designated location; recording `value`
+    /// sets location `value`. Needed when only `write(1)`/`test-and-set` are
+    /// available (Theorem 9.4).
+    Unary {
+        /// The value domain size `n`.
+        n: usize,
+        /// How a bit gets set.
+        write: BitWrite,
+    },
+}
+
+impl DesignatedCodec {
+    /// Locations per designated slot.
+    pub fn slots(&self) -> usize {
+        match self {
+            DesignatedCodec::Direct => 1,
+            DesignatedCodec::Unary { n, .. } => *n,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DesWriter {
+    codec: DesignatedCodec,
+    base: usize,
+    value: u64,
+}
+
+impl DesWriter {
+    fn poised(&self) -> Op {
+        match self.codec {
+            DesignatedCodec::Direct => {
+                Op::single(self.base, Instruction::write(self.value + 1))
+            }
+            DesignatedCodec::Unary { write, .. } => {
+                Op::single(self.base + self.value as usize, write.instruction())
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DesReader {
+    codec: DesignatedCodec,
+    base: usize,
+    pos: usize,
+}
+
+impl DesReader {
+    fn poised(&self) -> Op {
+        match self.codec {
+            DesignatedCodec::Direct => Op::read(self.base),
+            DesignatedCodec::Unary { .. } => Op::read(self.base + self.pos),
+        }
+    }
+
+    /// Consumes a read result; `Some(value)` once a recorded value is found.
+    fn absorb(&mut self, result: Value) -> Option<u64> {
+        match self.codec {
+            DesignatedCodec::Direct => {
+                let w = result.as_u64().expect("designated words hold naturals");
+                (w > 0).then(|| w - 1) // 0 = still empty: re-read
+            }
+            DesignatedCodec::Unary { n, .. } => {
+                let bit = result.as_u64().expect("designated bits");
+                if bit == 1 {
+                    Some(self.pos as u64)
+                } else {
+                    self.pos = (self.pos + 1) % n;
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// The Lemma 5.2 protocol: `n`-valued consensus from `⌈log₂ n⌉` rounds of an
+/// embedded binary consensus.
+///
+/// # Examples
+///
+/// Theorem 5.3 — `n`-consensus on `O(log n)` `{read, write, increment}`
+/// locations:
+///
+/// ```
+/// use cbh_core::bitwise::increment_log_consensus;
+/// use cbh_core::increment::IncrementFlavor;
+/// use cbh_sim::{run_consensus, RandomScheduler};
+///
+/// let protocol = increment_log_consensus(8, IncrementFlavor::Increment);
+/// let inputs = [7, 7, 0, 3, 3, 3, 1, 5];
+/// let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(2), 4_000_000)
+///     .unwrap();
+/// report.check(&inputs).unwrap();
+/// // (c+2)·⌈log₂ 8⌉ − 2 = 4·3 − 2 = 10 locations.
+/// assert_eq!(report.locations_allocated, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitByBit<B: BinaryFamily> {
+    n: usize,
+    rounds: u32,
+    codec: DesignatedCodec,
+    family: B,
+    iset: InstructionSet,
+}
+
+impl<B: BinaryFamily> BitByBit<B> {
+    /// Builds the reduction for `n`-valued consensus among `n` processes.
+    ///
+    /// `iset` is the uniform instruction set of the whole memory; the codec's
+    /// and the family's instructions must all belong to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, codec: DesignatedCodec, family: B, iset: InstructionSet) -> Self {
+        assert!(n >= 2, "consensus needs at least two processes");
+        BitByBit {
+            n,
+            rounds: ceil_log2(n as u64),
+            codec,
+            family,
+            iset,
+        }
+    }
+
+    /// Number of bit-agreement rounds `⌈log₂ n⌉`.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn block(&self) -> usize {
+        2 * self.codec.slots() + self.family.locations()
+    }
+
+    /// Total memory: full blocks for all but the last round, which has no
+    /// designated locations.
+    pub fn total_locations(&self) -> usize {
+        (self.rounds as usize - 1) * self.block() + self.family.locations()
+    }
+
+    fn round_base(&self, round: u32) -> usize {
+        round as usize * self.block()
+    }
+
+    fn inner_base(&self, round: u32) -> usize {
+        if round == self.rounds - 1 {
+            self.round_base(round)
+        } else {
+            self.round_base(round) + 2 * self.codec.slots()
+        }
+    }
+
+    fn designated_base(&self, round: u32, bit: u64) -> usize {
+        debug_assert!(round < self.rounds - 1, "last round has no designated slots");
+        self.round_base(round) + bit as usize * self.codec.slots()
+    }
+}
+
+impl<B: BinaryFamily> Protocol for BitByBit<B> {
+    type Proc = BitByBitProc<B>;
+
+    fn name(&self) -> String {
+        format!("bit-by-bit[{}]", self.family.name())
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn domain(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(self.iset, self.total_locations())
+    }
+
+    fn spawn(&self, pid: usize, input: u64) -> BitByBitProc<B> {
+        assert!(input < self.n as u64, "input out of domain");
+        let mut proc = BitByBitProc {
+            protocol: self.clone(),
+            pid,
+            value: input,
+            round: 0,
+            phase: BitPhase::Done(0), // placeholder, replaced below
+        };
+        proc.enter_round();
+        proc
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum BitPhase<P> {
+    Des(DesWriter),
+    Inner(OffsetProc<P>),
+    Read(DesReader),
+    Done(u64),
+}
+
+/// Per-process state of the bit-by-bit reduction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitByBitProc<B: BinaryFamily> {
+    protocol: BitByBit<B>,
+    pid: usize,
+    value: u64,
+    round: u32,
+    phase: BitPhase<B::Proc>,
+}
+
+impl<B: BinaryFamily> BitByBitProc<B> {
+    fn my_bit(&self) -> u64 {
+        (self.value >> self.round) & 1
+    }
+
+    /// Starts the current round: designated write first (except in the last
+    /// round, which goes straight to the embedded binary consensus).
+    fn enter_round(&mut self) {
+        let p = &self.protocol;
+        if self.round == p.rounds - 1 {
+            self.start_inner();
+        } else {
+            self.phase = BitPhase::Des(DesWriter {
+                codec: p.codec,
+                base: p.designated_base(self.round, self.my_bit()),
+                value: self.value,
+            });
+        }
+    }
+
+    fn start_inner(&mut self) {
+        let p = &self.protocol;
+        let inner = p.family.spawn(self.pid, self.my_bit());
+        self.phase = BitPhase::Inner(OffsetProc::new(inner, p.inner_base(self.round)));
+        self.drain_inner_decision();
+    }
+
+    /// If the embedded instance has (instantly) decided, move on.
+    fn drain_inner_decision(&mut self) {
+        if let BitPhase::Inner(inner) = &self.phase {
+            if let Action::Decide(bit) = inner.action() {
+                self.finish_round(bit);
+            }
+        }
+    }
+
+    fn finish_round(&mut self, agreed: u64) {
+        let p = self.protocol.clone();
+        if self.round == p.rounds - 1 {
+            // Last round: the agreed bit pins the value — everyone already
+            // agrees on all lower bits, so no designated read is needed (this
+            // is the "save two locations" observation).
+            let value = (self.value & !(1 << self.round)) | (agreed << self.round);
+            self.phase = BitPhase::Done(value);
+        } else if self.my_bit() == agreed {
+            self.next_round();
+        } else {
+            self.phase = BitPhase::Read(DesReader {
+                codec: p.codec,
+                base: p.designated_base(self.round, agreed),
+                pos: 0,
+            });
+        }
+    }
+
+    fn next_round(&mut self) {
+        self.round += 1;
+        debug_assert!(self.round < self.protocol.rounds);
+        self.enter_round();
+    }
+}
+
+impl<B: BinaryFamily> Process for BitByBitProc<B> {
+    fn action(&self) -> Action {
+        match &self.phase {
+            BitPhase::Des(w) => Action::Invoke(w.poised()),
+            BitPhase::Inner(p) => p.action(),
+            BitPhase::Read(r) => Action::Invoke(r.poised()),
+            BitPhase::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        match &mut self.phase {
+            BitPhase::Des(_) => self.start_inner(),
+            BitPhase::Inner(p) => {
+                p.absorb(result);
+                self.drain_inner_decision();
+            }
+            BitPhase::Read(r) => {
+                if let Some(adopted) = r.absorb(result) {
+                    debug_assert!(adopted < self.protocol.n as u64, "adopted an input value");
+                    self.value = adopted;
+                    self.next_round();
+                }
+            }
+            BitPhase::Done(_) => unreachable!("decided processes take no steps"),
+        }
+    }
+}
+
+/// Theorem 5.3: `n`-consensus on `(2+2)·⌈log₂ n⌉ − 2 = O(log n)` locations
+/// supporting `{read, write(x), increment}` (or the fetch-and-increment
+/// variant).
+pub fn increment_log_consensus(
+    n: usize,
+    flavor: IncrementFlavor,
+) -> BitByBit<RacingBinary<IncrementCounterFamily>> {
+    BitByBit::new(
+        n,
+        DesignatedCodec::Direct,
+        RacingBinary::new(increment_binary(n, flavor)),
+        flavor.iset(),
+    )
+}
+
+/// Theorem 9.4 (with the \[Bow11\] substitution of `DESIGN.md`): `n`-consensus
+/// on `O(n log n)` locations supporting `{read, write(1), write(0)}`.
+///
+/// `cells_per_track` bounds each embedded racing track (default in
+/// [`write01_consensus`]: `32n`); overflowing a track panics — see
+/// [`crate::tracks`].
+pub fn write01_consensus_with(
+    n: usize,
+    cells_per_track: usize,
+) -> BitByBit<RacingBinary<TrackCounterFamily>> {
+    binary_tracks_bit_by_bit(n, cells_per_track, BitWrite::Write1, InstructionSet::ReadWrite01)
+}
+
+/// [`write01_consensus_with`] with the default `32n` cells per track —
+/// generous enough for heavy adversarial contention while keeping the total
+/// space `O(n log n)`.
+pub fn write01_consensus(n: usize) -> BitByBit<RacingBinary<TrackCounterFamily>> {
+    write01_consensus_with(n, 32 * n)
+}
+
+/// Theorem 9.4, test-and-set flavour: `n`-consensus on `O(n log n)` locations
+/// supporting `{read, test-and-set, reset}` (`test-and-set` plays `write(1)`;
+/// `reset` is available but the construction never needs it — see DESIGN.md).
+pub fn tas_reset_consensus(n: usize) -> BitByBit<RacingBinary<TrackCounterFamily>> {
+    binary_tracks_bit_by_bit(n, 32 * n, BitWrite::TestAndSet, InstructionSet::ReadTasReset)
+}
+
+fn binary_tracks_bit_by_bit(
+    n: usize,
+    cells: usize,
+    write: BitWrite,
+    iset: InstructionSet,
+) -> BitByBit<RacingBinary<TrackCounterFamily>> {
+    let tracks = TrackCounterFamily::new(2, write, TrackLayout::Bounded { cells });
+    BitByBit::new(
+        n,
+        DesignatedCodec::Unary { n, write },
+        RacingBinary::new(RacingConsensus::new(tracks, n)),
+        iset,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::ceil_log2;
+    use cbh_sim::{run_consensus, RandomScheduler, RoundRobinScheduler};
+
+    #[test]
+    fn increment_layout_matches_lemma_5_2_formula() {
+        for n in [2usize, 3, 4, 8, 9, 16, 33] {
+            let p = increment_log_consensus(n, IncrementFlavor::Increment);
+            let rounds = ceil_log2(n as u64) as usize;
+            assert_eq!(p.total_locations(), (2 + 2) * rounds - 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn increment_consensus_agrees_across_seeds() {
+        let protocol = increment_log_consensus(5, IncrementFlavor::Increment);
+        let inputs = [4, 4, 0, 2, 1];
+        for seed in 0..10 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 4_000_000)
+                    .unwrap();
+            report.check(&inputs).unwrap();
+            assert!(report.unanimous().is_some());
+        }
+    }
+
+    #[test]
+    fn fetch_and_increment_flavor_works() {
+        let protocol = increment_log_consensus(4, IncrementFlavor::FetchAndIncrement);
+        let inputs = [3, 0, 0, 2];
+        for seed in 0..6 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 4_000_000)
+                    .unwrap();
+            report.check(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn two_processes_is_plain_binary() {
+        let protocol = increment_log_consensus(2, IncrementFlavor::Increment);
+        assert_eq!(protocol.total_locations(), 2, "one round, no designated");
+        for inputs in [[0u64, 1], [1, 0], [1, 1], [0, 0]] {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(1), 1_000_000).unwrap();
+            report.check(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn write01_consensus_agrees() {
+        let protocol = write01_consensus(4);
+        let inputs = [2, 3, 3, 0];
+        for seed in 0..6 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 4_000_000)
+                    .unwrap();
+            report.check(&inputs).unwrap();
+            assert!(report.unanimous().is_some());
+        }
+    }
+
+    #[test]
+    fn write01_space_is_o_n_log_n() {
+        for n in [4usize, 8, 16] {
+            let p = write01_consensus(n);
+            let rounds = ceil_log2(n as u64) as usize;
+            // Per full round: 2 unary slots of n + two 32n-cell tracks.
+            let expected = (rounds - 1) * (2 * n + 2 * 32 * n) + 2 * 32 * n;
+            assert_eq!(p.total_locations(), expected, "n={n}");
+            assert!(p.total_locations() <= 66 * n * rounds);
+        }
+    }
+
+    #[test]
+    fn tas_reset_consensus_agrees() {
+        let protocol = tas_reset_consensus(4);
+        let inputs = [1, 1, 2, 0];
+        for seed in 0..6 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 4_000_000)
+                    .unwrap();
+            report.check(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn round_robin_full_domain() {
+        let protocol = increment_log_consensus(8, IncrementFlavor::Increment);
+        let inputs = [0, 1, 2, 3, 4, 5, 6, 7];
+        let report =
+            run_consensus(&protocol, &inputs, RoundRobinScheduler::new(), 8_000_000).unwrap();
+        report.check(&inputs).unwrap();
+        assert!(report.unanimous().is_some());
+    }
+
+    #[test]
+    fn unanimity_whole_domain() {
+        let protocol = increment_log_consensus(4, IncrementFlavor::Increment);
+        for v in 0..4u64 {
+            let inputs = [v; 4];
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(7), 4_000_000).unwrap();
+            assert_eq!(report.unanimous(), Some(v), "validity pins unanimous input");
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! `ℓ`-buffers: history objects, single-writer registers and `⌈n/ℓ⌉`-location
+//! consensus (Section 6).
+//!
+//! An `ℓ`-buffer returns the inputs of the `ℓ` most recent writes. Lemma 6.1
+//! simulates a *history object* (supporting `append(x)` / `get-history()`) for
+//! up to `ℓ` writers in a single buffer: each append writes the pair
+//! `(h, x)` where `h` is the history its own `get-history()` returned. The
+//! reconstruction rule ([`reconstruct_history`]) recovers the full linearized
+//! history from the `ℓ` visible pairs. Lemma 6.2 derives `ℓ` single-writer
+//! registers ([`swmr_read`]), and Theorem 6.3 stacks racing counters on `n`
+//! such registers spread over `⌈n/ℓ⌉` buffers ([`buffer_consensus`]).
+
+use crate::counter::{CounterEvent, CounterFamily, CounterRequest, CounterSim};
+use crate::racing::RacingConsensus;
+use crate::util::div_ceil;
+use cbh_bigint::BigInt;
+use cbh_model::{Instruction, InstructionSet, MemorySpec, Op, Value};
+
+/// An appended record: `(writer, seq, payload)`. The writer/seq tag makes
+/// every record unique, as Lemma 6.1 requires.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// The appending process.
+    pub writer: u64,
+    /// The writer's sequence number (strictly increasing per writer).
+    pub seq: u64,
+    /// The appended value.
+    pub payload: Value,
+}
+
+impl Record {
+    /// Encodes the record as a model value.
+    pub fn encode(&self) -> Value {
+        Value::seq([
+            Value::int(self.writer),
+            Value::int(self.seq),
+            self.payload.clone(),
+        ])
+    }
+
+    /// Decodes a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a record encoding.
+    pub fn decode(v: &Value) -> Record {
+        let items = v.as_seq().expect("record is a sequence");
+        Record {
+            writer: items[0].as_u64().expect("writer id"),
+            seq: items[1].as_u64().expect("sequence number"),
+            payload: items[2].clone(),
+        }
+    }
+}
+
+/// Reconstructs the linearized history from an `ℓ-buffer-read` result whose
+/// entries are `(history, record)` pairs (Lemma 6.1's `get-history()`).
+///
+/// `entries` is the raw vector returned by the buffer read: `⊥`-padded,
+/// oldest first. The result is the sequence of record encodings, oldest first.
+///
+/// # Panics
+///
+/// Panics if a non-`⊥` entry is not a `(history, record)` pair.
+pub fn reconstruct_history(entries: &[Value]) -> Vec<Value> {
+    let present: Vec<(&[Value], &Value)> = entries
+        .iter()
+        .filter(|e| !e.is_bot())
+        .map(|e| {
+            let pair = e.as_seq().expect("buffer entries are (history, record) pairs");
+            assert_eq!(pair.len(), 2, "buffer entries are (history, record) pairs");
+            (
+                pair[0].as_seq().expect("history is a sequence"),
+                &pair[1],
+            )
+        })
+        .collect();
+
+    // Fewer than ℓ writes ever: the visible records are the whole history.
+    if present.len() < entries.len() {
+        return present.iter().map(|(_, x)| (*x).clone()).collect();
+    }
+    if present.is_empty() {
+        return Vec::new();
+    }
+
+    // Buffer is full: ℓ pairs (h₁,x₁)…(h_ℓ,x_ℓ), oldest first. Take the
+    // longest attached history h; if it contains x₁ the records in between
+    // duplicate h's suffix, otherwise (ℓ concurrent appends — Figure 1) h is
+    // exactly everything before x₁.
+    let x1 = present[0].1;
+    let h = present
+        .iter()
+        .map(|(h, _)| *h)
+        .max_by_key(|h| h.len())
+        .expect("non-empty");
+    let mut out: Vec<Value> = match h.iter().position(|r| r == x1) {
+        Some(pos) => h[..pos].to_vec(),
+        None => h.to_vec(),
+    };
+    out.extend(present.iter().map(|(_, x)| (*x).clone()));
+    out
+}
+
+/// Lemma 6.2: reads single-writer register `owner` out of a history — the
+/// payload of the owner's most recent append, or `None` if the owner never
+/// wrote.
+pub fn swmr_read(history: &[Value], owner: u64) -> Option<Value> {
+    history
+        .iter()
+        .rev()
+        .map(Record::decode)
+        .find(|r| r.writer == owner)
+        .map(|r| r.payload)
+}
+
+/// An `m`-component counter over `⌈n/ℓ⌉` `ℓ`-buffers (Theorem 6.3).
+///
+/// Process `pid` appends its per-component increment tallies to the history
+/// object simulated in buffer `pid / ℓ`; a scan double-collects the raw buffer
+/// contents (histories grow, so collects that repeat are consistent), rebuilds
+/// each history, extracts every process's latest tally (Lemma 6.2) and sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferCounterFamily {
+    m: usize,
+    n: usize,
+    ell: usize,
+    /// Perform the append's write step as an atomic multiple assignment
+    /// (Section 7's instruction) instead of a plain `ℓ-buffer-write` — an
+    /// ablation knob; the space cost is identical, as Theorem 7.5 predicts.
+    multi_assign: bool,
+}
+
+impl BufferCounterFamily {
+    /// An `m`-component counter for `n` processes over `ℓ`-buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(m: usize, n: usize, ell: usize) -> Self {
+        assert!(m > 0 && n > 0 && ell > 0, "need components, processes, ℓ ≥ 1");
+        BufferCounterFamily {
+            m,
+            n,
+            ell,
+            multi_assign: false,
+        }
+    }
+
+    /// Switches the append's write step to an atomic multiple assignment.
+    pub fn with_multi_assign(mut self, on: bool) -> Self {
+        self.multi_assign = on;
+        self
+    }
+
+    /// Number of buffers `⌈n/ℓ⌉`.
+    pub fn buffers(&self) -> usize {
+        div_ceil(self.n, self.ell)
+    }
+}
+
+impl CounterFamily for BufferCounterFamily {
+    type Sim = BufferCounterSim;
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "{}-buffers-of-capacity-{}{}",
+            self.buffers(),
+            self.ell,
+            if self.multi_assign { "+multi-assign" } else { "" }
+        )
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::Buffer(self.ell), self.buffers())
+    }
+
+    fn spawn(&self, pid: usize) -> BufferCounterSim {
+        assert!(pid < self.n, "pid out of range");
+        BufferCounterSim {
+            family: *self,
+            pid: pid as u64,
+            buf: pid / self.ell,
+            seq: 0,
+            my_counts: vec![0; self.m],
+            pending: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum BufPending {
+    /// Append step 1: `get-history()` on the own buffer.
+    IncrementRead,
+    /// Append step 2: `ℓ-buffer-write((h, record))`.
+    IncrementWrite {
+        history: Vec<Value>,
+    },
+    /// Double-collect of raw buffer contents.
+    Scan {
+        cur: Vec<Value>,
+        prev: Option<Vec<Value>>,
+    },
+}
+
+/// Per-process state of the buffer counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BufferCounterSim {
+    family: BufferCounterFamily,
+    pid: u64,
+    buf: usize,
+    seq: u64,
+    my_counts: Vec<u64>,
+    pending: Option<BufPending>,
+}
+
+impl BufferCounterSim {
+    fn record(&self) -> Record {
+        Record {
+            writer: self.pid,
+            seq: self.seq,
+            payload: Value::seq(self.my_counts.iter().map(|&c| Value::int(c))),
+        }
+    }
+
+    fn entry(&self, history: &[Value]) -> Value {
+        Value::pair(Value::seq(history.iter().cloned()), self.record().encode())
+    }
+
+    fn totals(&self, raw_buffers: &[Value]) -> Vec<BigInt> {
+        let mut totals = vec![BigInt::zero(); self.family.m];
+        for raw in raw_buffers {
+            let entries = raw.as_seq().expect("buffer read returns a sequence");
+            let history = reconstruct_history(entries);
+            // Latest tally per writer in this buffer.
+            let mut seen = std::collections::BTreeSet::new();
+            for rec in history.iter().rev().map(|r| Record::decode(r)) {
+                if !seen.insert(rec.writer) {
+                    continue;
+                }
+                let counts = rec.payload.as_seq().expect("tallies are sequences");
+                for (v, c) in counts.iter().enumerate() {
+                    totals[v] += &BigInt::from(c.as_u64().expect("tally"));
+                }
+            }
+        }
+        totals
+    }
+}
+
+impl CounterSim for BufferCounterSim {
+    fn m(&self) -> usize {
+        self.family.m
+    }
+
+    fn supports_decrement(&self) -> bool {
+        false
+    }
+
+    fn start(&mut self, req: CounterRequest) {
+        assert!(self.pending.is_none(), "counter operation already in flight");
+        self.pending = Some(match req {
+            CounterRequest::Increment(v) => {
+                self.my_counts[v] += 1;
+                BufPending::IncrementRead
+            }
+            CounterRequest::Scan => BufPending::Scan {
+                cur: Vec::new(),
+                prev: None,
+            },
+            CounterRequest::Decrement(_) => panic!("buffer counter has no decrement"),
+        });
+    }
+
+    fn poised(&self) -> Op {
+        match self.pending.as_ref().expect("no counter operation in flight") {
+            BufPending::IncrementRead => Op::single(self.buf, Instruction::BufferRead),
+            BufPending::IncrementWrite { history } => {
+                let entry = self.entry(history);
+                if self.family.multi_assign {
+                    Op::multi_assign([(self.buf, entry)])
+                } else {
+                    Op::single(self.buf, Instruction::BufferWrite(entry))
+                }
+            }
+            BufPending::Scan { cur, .. } => Op::single(cur.len(), Instruction::BufferRead),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent> {
+        let pending = self.pending.as_mut().expect("no counter operation in flight");
+        match pending {
+            BufPending::IncrementRead => {
+                let entries = result.as_seq().expect("buffer read returns a sequence");
+                let history = reconstruct_history(entries);
+                *pending = BufPending::IncrementWrite { history };
+                None
+            }
+            BufPending::IncrementWrite { .. } => {
+                self.seq += 1;
+                self.pending = None;
+                Some(CounterEvent::Done)
+            }
+            BufPending::Scan { cur, prev } => {
+                cur.push(result);
+                if cur.len() < self.family.buffers() {
+                    return None;
+                }
+                let finished = std::mem::take(cur);
+                if prev.as_ref() == Some(&finished) {
+                    let totals = self.totals(&finished);
+                    self.pending = None;
+                    Some(CounterEvent::Counts(totals))
+                } else {
+                    *prev = Some(finished);
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 6.3: `n`-consensus using `⌈n/ℓ⌉` `ℓ`-buffers.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_core::buffer::buffer_consensus;
+/// use cbh_sim::{run_consensus, RandomScheduler};
+///
+/// let protocol = buffer_consensus(6, 3); // two 3-buffers
+/// let inputs = [5, 5, 0, 2, 2, 2];
+/// let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(4), 2_000_000)
+///     .unwrap();
+/// report.check(&inputs).unwrap();
+/// assert_eq!(report.locations_touched, 2, "⌈6/3⌉ buffers");
+/// ```
+pub fn buffer_consensus(n: usize, ell: usize) -> RacingConsensus<BufferCounterFamily> {
+    RacingConsensus::new(BufferCounterFamily::new(n, n, ell), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_model::Memory;
+    use cbh_sim::{run_consensus, RandomScheduler, RoundRobinScheduler};
+
+    fn rec(writer: u64, seq: u64, val: i64) -> Value {
+        Record {
+            writer,
+            seq,
+            payload: Value::int(val),
+        }
+        .encode()
+    }
+
+    fn pair(history: &[Value], record: &Value) -> Value {
+        Value::pair(Value::seq(history.iter().cloned()), record.clone())
+    }
+
+    #[test]
+    fn empty_buffer_reconstructs_empty_history() {
+        assert!(reconstruct_history(&[Value::Bot, Value::Bot, Value::Bot]).is_empty());
+    }
+
+    #[test]
+    fn partial_buffer_is_the_whole_history() {
+        let r1 = rec(0, 0, 10);
+        let r2 = rec(1, 0, 20);
+        let entries = [Value::Bot, pair(&[], &r1), pair(&[r1.clone()], &r2)];
+        assert_eq!(reconstruct_history(&entries), vec![r1, r2]);
+    }
+
+    #[test]
+    fn full_buffer_splices_longest_history() {
+        // ℓ = 2. Records r1 r2 r3; buffer shows (h2, r2), (h3, r3) where
+        // h2 = [r1], h3 = [r1, r2]; h3 contains x1 = r2 at position 1.
+        let r1 = rec(0, 0, 1);
+        let r2 = rec(1, 0, 2);
+        let r3 = rec(0, 1, 3);
+        let entries = [
+            pair(&[r1.clone()], &r2),
+            pair(&[r1.clone(), r2.clone()], &r3),
+        ];
+        assert_eq!(reconstruct_history(&entries), vec![r1, r2, r3]);
+    }
+
+    #[test]
+    fn figure1_concurrent_appends() {
+        // Figure 1: ℓ appends all performed get-history() before any wrote, so
+        // no attached history contains x₁ — the reconstruction takes the
+        // longest h whole and appends all ℓ visible records.
+        let ell = 3;
+        let old1 = rec(9, 0, 100);
+        let old2 = rec(9, 1, 200);
+        // All three writers saw the same old history [old1, old2].
+        let h: Vec<Value> = vec![old1.clone(), old2.clone()];
+        let x1 = rec(0, 0, 1);
+        let x2 = rec(1, 0, 2);
+        let x3 = rec(2, 0, 3);
+        let entries: Vec<Value> = vec![pair(&h, &x1), pair(&h, &x2), pair(&h, &x3)];
+        assert_eq!(entries.len(), ell);
+        assert_eq!(
+            reconstruct_history(&entries),
+            vec![old1, old2, x1, x2, x3],
+            "Lemma 6.1, 'h does not contain x₁' branch"
+        );
+    }
+
+    #[test]
+    fn swmr_read_returns_latest_per_owner() {
+        let history = vec![rec(0, 0, 5), rec(1, 0, 6), rec(0, 1, 7)];
+        assert_eq!(swmr_read(&history, 0), Some(Value::int(7)));
+        assert_eq!(swmr_read(&history, 1), Some(Value::int(6)));
+        assert_eq!(swmr_read(&history, 2), None);
+    }
+
+    #[test]
+    fn history_object_linearizes_under_memory() {
+        // Drive two sims through interleaved appends on one 2-buffer and check
+        // a reader reconstructs all records in order.
+        let family = BufferCounterFamily::new(1, 2, 2);
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut a = family.spawn(0);
+        let mut b = family.spawn(1);
+        for round in 0..4 {
+            for sim in [&mut a, &mut b] {
+                sim.start(CounterRequest::Increment(0));
+                loop {
+                    let r = mem.apply(&sim.poised()).unwrap();
+                    if sim.absorb(r).is_some() {
+                        break;
+                    }
+                }
+            }
+            let _ = round;
+        }
+        // Scan: count total increments = 8.
+        a.start(CounterRequest::Scan);
+        let counts = loop {
+            let r = mem.apply(&a.poised()).unwrap();
+            if let Some(CounterEvent::Counts(c)) = a.absorb(r) {
+                break c;
+            }
+        };
+        assert_eq!(counts[0].to_u64(), Some(8));
+    }
+
+    #[test]
+    fn buffer_consensus_space_matches_ceil_n_over_ell() {
+        for (n, ell) in [(4usize, 1usize), (4, 2), (5, 2), (6, 3), (5, 5)] {
+            let protocol = buffer_consensus(n, ell);
+            let inputs: Vec<u64> = (0..n as u64).rev().collect();
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(9), 4_000_000).unwrap();
+            report.check(&inputs).unwrap();
+            assert_eq!(
+                report.locations_touched,
+                n.div_ceil(ell),
+                "n={n} ℓ={ell}"
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_consensus_many_seeds() {
+        let protocol = buffer_consensus(4, 2);
+        let inputs = [3, 1, 1, 1];
+        for seed in 0..10 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 4_000_000)
+                    .unwrap();
+            report.check(&inputs).unwrap();
+            assert!(report.unanimous().is_some());
+        }
+        run_consensus(&protocol, &inputs, RoundRobinScheduler::new(), 4_000_000)
+            .unwrap()
+            .check(&inputs)
+            .unwrap();
+    }
+
+    #[test]
+    fn multi_assign_variant_behaves_identically() {
+        let family = BufferCounterFamily::new(3, 3, 2).with_multi_assign(true);
+        let protocol = RacingConsensus::new(family, 3);
+        let inputs = [0, 2, 2];
+        for seed in 0..6 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 4_000_000)
+                    .unwrap();
+            report.check(&inputs).unwrap();
+            assert_eq!(report.locations_touched, 2);
+        }
+    }
+}

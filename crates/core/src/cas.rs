@@ -1,0 +1,143 @@
+//! Wait-free `n`-consensus from one `compare-and-swap` location.
+//!
+//! The classic construction behind Table 1's `{compare-and-swap(x,y)}` row:
+//! the location starts at `⊥`; every process tries to install its input with
+//! `compare-and-swap(⊥, input)` and decides whatever the location then holds
+//! (the returned old value if the CAS lost, its own input if it won). This is
+//! wait-free — one step per process — which in particular is obstruction-free.
+
+use cbh_model::{Action, Instruction, InstructionSet, MemorySpec, Op, Process, Protocol, Value};
+
+/// One-location compare-and-swap consensus.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_core::cas::CasConsensus;
+/// use cbh_sim::{run_consensus, RandomScheduler};
+///
+/// let protocol = CasConsensus::new(5);
+/// let inputs = [4, 1, 1, 0, 2];
+/// let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(3), 100).unwrap();
+/// report.check(&inputs).unwrap();
+/// assert_eq!(report.steps, 5, "wait-free: exactly one step each");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasConsensus {
+    n: usize,
+}
+
+impl CasConsensus {
+    /// CAS consensus among `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "consensus needs at least two processes");
+        CasConsensus { n }
+    }
+}
+
+impl Protocol for CasConsensus {
+    type Proc = CasProc;
+
+    fn name(&self) -> String {
+        "cas-one-location".into()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn domain(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::Cas, 1).with_initial(vec![Value::Bot])
+    }
+
+    fn spawn(&self, _pid: usize, input: u64) -> CasProc {
+        assert!(input < self.n as u64, "input out of domain");
+        CasProc {
+            input,
+            decided: None,
+        }
+    }
+}
+
+/// Per-process state of CAS consensus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CasProc {
+    input: u64,
+    decided: Option<u64>,
+}
+
+impl Process for CasProc {
+    fn action(&self) -> Action {
+        match self.decided {
+            Some(v) => Action::Decide(v),
+            None => Action::Invoke(Op::single(
+                0,
+                Instruction::CompareAndSwap {
+                    expected: Value::Bot,
+                    new: Value::int(self.input),
+                },
+            )),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        self.decided = Some(match result {
+            Value::Bot => self.input, // our CAS installed the input
+            other => other.as_u64().expect("locations hold installed inputs"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_sim::{run_consensus, RandomScheduler, ScriptedScheduler};
+
+    #[test]
+    fn first_mover_wins() {
+        let protocol = CasConsensus::new(3);
+        let inputs = [2, 0, 1];
+        let report = run_consensus(
+            &protocol,
+            &inputs,
+            ScriptedScheduler::new([1, 0, 2]),
+            100,
+        )
+        .unwrap();
+        assert_eq!(report.unanimous(), Some(0), "p1 moved first, its input wins");
+    }
+
+    #[test]
+    fn agreement_and_validity_under_random_schedules() {
+        let protocol = CasConsensus::new(6);
+        let inputs = [5, 5, 0, 3, 3, 1];
+        for seed in 0..50 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 100).unwrap();
+            report.check(&inputs).unwrap();
+            assert!(report.unanimous().is_some());
+            assert_eq!(report.locations_touched, 1);
+        }
+    }
+
+    #[test]
+    fn uses_exactly_one_step_per_process() {
+        let protocol = CasConsensus::new(4);
+        let report = run_consensus(
+            &protocol,
+            &[0, 1, 2, 3],
+            RandomScheduler::seeded(9),
+            100,
+        )
+        .unwrap();
+        assert_eq!(report.steps, 4);
+    }
+}

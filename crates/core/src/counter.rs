@@ -1,0 +1,635 @@
+//! `m`-component counter objects simulated inside memory locations.
+//!
+//! Theorem 3.3: a *single* location supporting `read()` plus one of
+//! `multiply(x)`, `add(x)`, `set-bit(x)` can simulate an `m`-component counter
+//! object, which by the racing-counters algorithm (Lemmas 3.1/3.2, module
+//! [`crate::racing`]) suffices for `n`-consensus. The same encodings work when
+//! the only instruction is `fetch-and-add(x)` or `fetch-and-multiply(x)`,
+//! because `fetch-and-add(0)` / `fetch-and-multiply(1)` are reads.
+//!
+//! Each simulation is a [`CounterSim`]: a sub-state-machine that translates
+//! counter operations (`increment`, `decrement`, `scan`) into sequences of
+//! atomic memory steps. A [`CounterFamily`] describes the memory the
+//! simulation runs on and spawns per-process sims.
+
+use crate::primes::first_primes;
+use cbh_bigint::BigInt;
+use cbh_model::{Instruction, InstructionSet, MemorySpec, Op, Value};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A counter operation a process may start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterRequest {
+    /// `increment()` on component `v`.
+    Increment(usize),
+    /// `decrement()` on component `v` (bounded counters only, Lemma 3.2).
+    Decrement(usize),
+    /// `scan()` of all components.
+    Scan,
+}
+
+/// Completion of a counter operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterEvent {
+    /// An increment or decrement finished.
+    Done,
+    /// A scan finished with these component counts.
+    Counts(Vec<BigInt>),
+}
+
+/// A per-process simulation of an `m`-component counter over shared memory.
+///
+/// Protocol code drives it in the poised/absorb style of
+/// [`cbh_model::Process`]: call [`CounterSim::start`], then repeatedly execute
+/// [`CounterSim::poised`] and feed the result to [`CounterSim::absorb`] until
+/// it reports a [`CounterEvent`].
+pub trait CounterSim: Clone + Debug + Eq + Hash {
+    /// Number of components `m`.
+    fn m(&self) -> usize;
+
+    /// Whether [`CounterRequest::Decrement`] is available (bounded counters).
+    fn supports_decrement(&self) -> bool;
+
+    /// Begins a counter operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight, or on
+    /// [`CounterRequest::Decrement`] when unsupported.
+    fn start(&mut self, req: CounterRequest);
+
+    /// The memory step the in-flight operation is poised to perform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operation is in flight.
+    fn poised(&self) -> Op;
+
+    /// Absorbs the result of the poised step; `Some` when the operation
+    /// completes.
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent>;
+}
+
+/// A family of counter simulations: memory recipe plus per-process spawner.
+pub trait CounterFamily: Clone {
+    /// The per-process simulation type.
+    type Sim: CounterSim;
+
+    /// Number of components.
+    fn m(&self) -> usize;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// The memory the family needs.
+    fn memory_spec(&self) -> MemorySpec;
+
+    /// Spawns the simulation state for process `pid`.
+    fn spawn(&self, pid: usize) -> Self::Sim;
+}
+
+// ---------------------------------------------------------------------------
+// multiply(x): product of primes (Theorem 3.3, first construction)
+// ---------------------------------------------------------------------------
+
+/// Whether the multiply counter uses `{read, multiply}` or the read-free
+/// `{fetch-and-multiply}` set (both are Table 1 `SP = 1` rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MultiplyFlavor {
+    /// `{read(), multiply(x)}`.
+    ReadMultiply,
+    /// `{fetch-and-multiply(x)}` — reads are `fetch-and-multiply(1)`.
+    FetchAndMultiply,
+}
+
+/// The prime-product counter: one location initialised to 1; incrementing
+/// component `cᵥ` multiplies by the `(v+1)`-st prime `p_v`; a read recovers
+/// every count as the exponent of `p_v` in the factorisation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MultiplyCounterFamily {
+    m: usize,
+    flavor: MultiplyFlavor,
+}
+
+impl MultiplyCounterFamily {
+    /// An `m`-component prime-product counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize, flavor: MultiplyFlavor) -> Self {
+        assert!(m > 0, "need at least one component");
+        MultiplyCounterFamily { m, flavor }
+    }
+}
+
+impl CounterFamily for MultiplyCounterFamily {
+    type Sim = MultiplyCounterSim;
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        match self.flavor {
+            MultiplyFlavor::ReadMultiply => "multiply-prime-counter".into(),
+            MultiplyFlavor::FetchAndMultiply => "fetch-and-multiply-prime-counter".into(),
+        }
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        let iset = match self.flavor {
+            MultiplyFlavor::ReadMultiply => InstructionSet::ReadMultiply,
+            MultiplyFlavor::FetchAndMultiply => InstructionSet::FetchAndMultiply,
+        };
+        MemorySpec::bounded(iset, 1).with_initial(vec![Value::one()])
+    }
+
+    fn spawn(&self, _pid: usize) -> MultiplyCounterSim {
+        MultiplyCounterSim {
+            primes: first_primes(self.m),
+            flavor: self.flavor,
+            pending: None,
+        }
+    }
+}
+
+/// Per-process state of the prime-product counter simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MultiplyCounterSim {
+    primes: Vec<u64>,
+    flavor: MultiplyFlavor,
+    pending: Option<CounterRequest>,
+}
+
+impl CounterSim for MultiplyCounterSim {
+    fn m(&self) -> usize {
+        self.primes.len()
+    }
+
+    fn supports_decrement(&self) -> bool {
+        false
+    }
+
+    fn start(&mut self, req: CounterRequest) {
+        assert!(self.pending.is_none(), "counter operation already in flight");
+        assert!(
+            !matches!(req, CounterRequest::Decrement(_)),
+            "prime-product counter has no decrement"
+        );
+        self.pending = Some(req);
+    }
+
+    fn poised(&self) -> Op {
+        let instr = match self.pending.expect("no counter operation in flight") {
+            CounterRequest::Increment(v) => match self.flavor {
+                MultiplyFlavor::ReadMultiply => Instruction::multiply(self.primes[v]),
+                MultiplyFlavor::FetchAndMultiply => {
+                    Instruction::FetchAndMultiply(self.primes[v].into())
+                }
+            },
+            CounterRequest::Scan => match self.flavor {
+                MultiplyFlavor::ReadMultiply => Instruction::Read,
+                MultiplyFlavor::FetchAndMultiply => Instruction::FetchAndMultiply(1u64.into()),
+            },
+            CounterRequest::Decrement(_) => unreachable!("rejected by start"),
+        };
+        Op::single(0, instr)
+    }
+
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent> {
+        match self.pending.take().expect("no counter operation in flight") {
+            CounterRequest::Increment(_) => Some(CounterEvent::Done),
+            CounterRequest::Scan => {
+                let word = result.as_int().expect("counter word is an integer");
+                let counts = self
+                    .primes
+                    .iter()
+                    .map(|&p| BigInt::from(word.factor_multiplicity(p)))
+                    .collect();
+                Some(CounterEvent::Counts(counts))
+            }
+            CounterRequest::Decrement(_) => unreachable!("rejected by start"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// add(x): base-3n digits, bounded (Theorem 3.3, second construction)
+// ---------------------------------------------------------------------------
+
+/// Whether the add counter uses `{read, add}` or `{fetch-and-add}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddFlavor {
+    /// `{read(), add(x)}`.
+    ReadAdd,
+    /// `{fetch-and-add(x)}` — reads are `fetch-and-add(0)`.
+    FetchAndAdd,
+}
+
+/// The positional counter: the word is a number in base `3n`; digit `v` is the
+/// count of component `cᵥ`. Increment adds `(3n)ᵛ`, decrement subtracts it.
+///
+/// This is the *bounded* counter of Lemma 3.2: digits must stay in
+/// `0..=3n−1`, which the bounded racing-counters algorithm guarantees.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AddCounterFamily {
+    m: usize,
+    n: usize,
+    flavor: AddFlavor,
+}
+
+impl AddCounterFamily {
+    /// An `m`-component base-`3n` counter for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `n == 0`.
+    pub fn new(m: usize, n: usize, flavor: AddFlavor) -> Self {
+        assert!(m > 0 && n > 0, "need components and processes");
+        AddCounterFamily { m, n, flavor }
+    }
+
+    /// The digit base `3n`.
+    pub fn base(&self) -> u64 {
+        3 * self.n as u64
+    }
+}
+
+impl CounterFamily for AddCounterFamily {
+    type Sim = AddCounterSim;
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        match self.flavor {
+            AddFlavor::ReadAdd => "add-base3n-counter".into(),
+            AddFlavor::FetchAndAdd => "fetch-and-add-base3n-counter".into(),
+        }
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        let iset = match self.flavor {
+            AddFlavor::ReadAdd => InstructionSet::ReadAdd,
+            AddFlavor::FetchAndAdd => InstructionSet::FetchAndAdd,
+        };
+        MemorySpec::bounded(iset, 1)
+    }
+
+    fn spawn(&self, _pid: usize) -> AddCounterSim {
+        AddCounterSim {
+            m: self.m,
+            base: self.base(),
+            flavor: self.flavor,
+            pending: None,
+        }
+    }
+}
+
+/// Per-process state of the base-`3n` counter simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AddCounterSim {
+    m: usize,
+    base: u64,
+    flavor: AddFlavor,
+    pending: Option<CounterRequest>,
+}
+
+impl AddCounterSim {
+    fn place(&self, v: usize) -> BigInt {
+        BigInt::from(self.base).pow(v as u64)
+    }
+
+    fn decode(&self, word: &BigInt) -> Vec<BigInt> {
+        let mut digits = Vec::with_capacity(self.m);
+        let mut cur = word.clone();
+        for _ in 0..self.m {
+            let (q, r) = cur.div_rem_euclid_u64(self.base);
+            digits.push(BigInt::from(r));
+            cur = q;
+        }
+        digits
+    }
+}
+
+impl CounterSim for AddCounterSim {
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn supports_decrement(&self) -> bool {
+        true
+    }
+
+    fn start(&mut self, req: CounterRequest) {
+        assert!(self.pending.is_none(), "counter operation already in flight");
+        self.pending = Some(req);
+    }
+
+    fn poised(&self) -> Op {
+        let delta = match self.pending.expect("no counter operation in flight") {
+            CounterRequest::Increment(v) => self.place(v),
+            CounterRequest::Decrement(v) => -self.place(v),
+            CounterRequest::Scan => {
+                let instr = match self.flavor {
+                    AddFlavor::ReadAdd => Instruction::Read,
+                    AddFlavor::FetchAndAdd => Instruction::fetch_and_add(0),
+                };
+                return Op::single(0, instr);
+            }
+        };
+        let instr = match self.flavor {
+            AddFlavor::ReadAdd => Instruction::Add(delta),
+            AddFlavor::FetchAndAdd => Instruction::FetchAndAdd(delta),
+        };
+        Op::single(0, instr)
+    }
+
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent> {
+        match self.pending.take().expect("no counter operation in flight") {
+            CounterRequest::Increment(_) | CounterRequest::Decrement(_) => {
+                Some(CounterEvent::Done)
+            }
+            CounterRequest::Scan => {
+                let word = result.as_int().expect("counter word is an integer");
+                Some(CounterEvent::Counts(self.decode(word)))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// set-bit(x): per-process unary blocks (Theorem 3.3, third construction)
+// ---------------------------------------------------------------------------
+
+/// The set-bit counter: the word is partitioned into blocks of `m·n` bits.
+/// The `b`-th increment of component `cᵥ` by process `i` sets bit
+/// `v·n + i` of block `b` (block `b+1` in the paper's 1-indexed prose). The
+/// count of `cᵥ` is the number of set bits in the `v`-th stripe, i.e. the sum
+/// over processes of how many times each has incremented `cᵥ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SetBitCounterFamily {
+    m: usize,
+    n: usize,
+}
+
+impl SetBitCounterFamily {
+    /// An `m`-component set-bit counter for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `n == 0`.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m > 0 && n > 0, "need components and processes");
+        SetBitCounterFamily { m, n }
+    }
+}
+
+impl CounterFamily for SetBitCounterFamily {
+    type Sim = SetBitCounterSim;
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        "set-bit-block-counter".into()
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::ReadSetBit, 1)
+    }
+
+    fn spawn(&self, pid: usize) -> SetBitCounterSim {
+        assert!(pid < self.n, "pid out of range");
+        SetBitCounterSim {
+            m: self.m,
+            n: self.n,
+            pid,
+            my_incs: vec![0; self.m],
+            pending: None,
+        }
+    }
+}
+
+/// Per-process state of the set-bit counter simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SetBitCounterSim {
+    m: usize,
+    n: usize,
+    pid: usize,
+    /// How many times *this process* has incremented each component — the
+    /// paper's locally-stored block index.
+    my_incs: Vec<u64>,
+    pending: Option<CounterRequest>,
+}
+
+impl CounterSim for SetBitCounterSim {
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn supports_decrement(&self) -> bool {
+        false
+    }
+
+    fn start(&mut self, req: CounterRequest) {
+        assert!(self.pending.is_none(), "counter operation already in flight");
+        assert!(
+            !matches!(req, CounterRequest::Decrement(_)),
+            "set-bit counter has no decrement"
+        );
+        self.pending = Some(req);
+    }
+
+    fn poised(&self) -> Op {
+        let instr = match self.pending.expect("no counter operation in flight") {
+            CounterRequest::Increment(v) => {
+                let block = self.my_incs[v];
+                let stride = (self.m * self.n) as u64;
+                Instruction::SetBit(block * stride + (v * self.n + self.pid) as u64)
+            }
+            CounterRequest::Scan => Instruction::Read,
+            CounterRequest::Decrement(_) => unreachable!("rejected by start"),
+        };
+        Op::single(0, instr)
+    }
+
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent> {
+        match self.pending.take().expect("no counter operation in flight") {
+            CounterRequest::Increment(v) => {
+                self.my_incs[v] += 1;
+                Some(CounterEvent::Done)
+            }
+            CounterRequest::Scan => {
+                let word = result.as_int().expect("counter word is an integer");
+                let stride = (self.m * self.n) as u64;
+                let mut counts = vec![0u64; self.m];
+                let bits = word.magnitude().bit_len() as u64;
+                for pos in 0..bits {
+                    if word.bit(pos) {
+                        let v = ((pos % stride) / self.n as u64) as usize;
+                        counts[v] += 1;
+                    }
+                }
+                Some(CounterEvent::Counts(
+                    counts.into_iter().map(BigInt::from).collect(),
+                ))
+            }
+            CounterRequest::Decrement(_) => unreachable!("rejected by start"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_model::Memory;
+
+    /// Drives `sim` through one complete counter operation against `mem`.
+    fn run_op<S: CounterSim>(sim: &mut S, mem: &mut Memory, req: CounterRequest) -> CounterEvent {
+        sim.start(req);
+        loop {
+            let op = sim.poised();
+            let result = mem.apply(&op).expect("memory accepts counter steps");
+            if let Some(event) = sim.absorb(result) {
+                return event;
+            }
+        }
+    }
+
+    fn counts_of(event: CounterEvent) -> Vec<u64> {
+        match event {
+            CounterEvent::Counts(c) => c.iter().map(|v| v.to_u64().unwrap()).collect(),
+            CounterEvent::Done => panic!("expected counts"),
+        }
+    }
+
+    fn exercise_family<F: CounterFamily>(family: &F, n: usize, use_dec: bool) {
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut sims: Vec<F::Sim> = (0..n).map(|pid| family.spawn(pid)).collect();
+        // Interleave increments from all processes across components.
+        for round in 0..3 {
+            for pid in 0..n {
+                let v = (pid + round) % family.m();
+                run_op(&mut sims[pid], &mut mem, CounterRequest::Increment(v));
+            }
+        }
+        // Each component receives the same number of increments overall when
+        // m divides n·rounds; here simply recompute expectations directly.
+        let mut expect = vec![0u64; family.m()];
+        for round in 0..3 {
+            for pid in 0..n {
+                expect[(pid + round) % family.m()] += 1;
+            }
+        }
+        let got = counts_of(run_op(&mut sims[0], &mut mem, CounterRequest::Scan));
+        assert_eq!(got, expect, "{}", family.name());
+
+        if use_dec {
+            run_op(&mut sims[1], &mut mem, CounterRequest::Decrement(0));
+            let got = counts_of(run_op(&mut sims[2], &mut mem, CounterRequest::Scan));
+            assert_eq!(got[0], expect[0] - 1, "decrement took effect");
+        }
+    }
+
+    #[test]
+    fn multiply_counter_both_flavors() {
+        exercise_family(
+            &MultiplyCounterFamily::new(3, MultiplyFlavor::ReadMultiply),
+            4,
+            false,
+        );
+        exercise_family(
+            &MultiplyCounterFamily::new(3, MultiplyFlavor::FetchAndMultiply),
+            4,
+            false,
+        );
+    }
+
+    #[test]
+    fn add_counter_both_flavors_with_decrement() {
+        exercise_family(&AddCounterFamily::new(3, 4, AddFlavor::ReadAdd), 4, true);
+        exercise_family(&AddCounterFamily::new(3, 4, AddFlavor::FetchAndAdd), 4, true);
+    }
+
+    #[test]
+    fn set_bit_counter() {
+        exercise_family(&SetBitCounterFamily::new(3, 4), 4, false);
+    }
+
+    #[test]
+    fn multiply_counts_are_prime_exponents() {
+        let family = MultiplyCounterFamily::new(2, MultiplyFlavor::ReadMultiply);
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut sim = family.spawn(0);
+        for _ in 0..5 {
+            run_op(&mut sim, &mut mem, CounterRequest::Increment(0));
+        }
+        for _ in 0..2 {
+            run_op(&mut sim, &mut mem, CounterRequest::Increment(1));
+        }
+        // Word is 2^5 · 3^2 = 288.
+        assert_eq!(
+            mem.cell(0).unwrap().as_word().unwrap(),
+            &Value::int(288)
+        );
+        let got = counts_of(run_op(&mut sim, &mut mem, CounterRequest::Scan));
+        assert_eq!(got, vec![5, 2]);
+    }
+
+    #[test]
+    fn add_counter_aliasing_avoided_by_positional_encoding() {
+        // The paper's caution: with plain add(a)/add(b), b increments of a and
+        // a of b alias. Base-3n positions cannot alias while digits < 3n.
+        let family = AddCounterFamily::new(2, 2, AddFlavor::ReadAdd);
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut sim = family.spawn(0);
+        for _ in 0..5 {
+            run_op(&mut sim, &mut mem, CounterRequest::Increment(0));
+        }
+        let got = counts_of(run_op(&mut sim, &mut mem, CounterRequest::Scan));
+        assert_eq!(got, vec![5, 0], "5 < 3n = 6 stays in digit 0");
+    }
+
+    #[test]
+    fn set_bit_distinct_processes_never_collide() {
+        let family = SetBitCounterFamily::new(2, 3);
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut a = family.spawn(0);
+        let mut b = family.spawn(2);
+        // Both increment component 1 twice; 4 distinct bits must be set.
+        for _ in 0..2 {
+            run_op(&mut a, &mut mem, CounterRequest::Increment(1));
+            run_op(&mut b, &mut mem, CounterRequest::Increment(1));
+        }
+        let word = mem.cell(0).unwrap().as_word().unwrap().clone();
+        let ones = match word {
+            Value::Int(v) => v.magnitude().count_ones(),
+            _ => panic!(),
+        };
+        assert_eq!(ones, 4);
+        let got = counts_of(run_op(&mut a, &mut mem, CounterRequest::Scan));
+        assert_eq!(got, vec![0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no decrement")]
+    fn multiply_decrement_rejected() {
+        let family = MultiplyCounterFamily::new(2, MultiplyFlavor::ReadMultiply);
+        let mut sim = family.spawn(0);
+        sim.start(CounterRequest::Decrement(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_start_rejected() {
+        let family = AddCounterFamily::new(2, 2, AddFlavor::ReadAdd);
+        let mut sim = family.spawn(0);
+        sim.start(CounterRequest::Scan);
+        sim.start(CounterRequest::Scan);
+    }
+}

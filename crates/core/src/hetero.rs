@@ -1,0 +1,297 @@
+//! Heterogeneous buffers: capacities that differ per location (§6.2, end).
+//!
+//! The paper extends the `ℓ`-buffer lower bound to memories whose locations
+//! have *different* capacities: for any obstruction-free `n`-process
+//! consensus algorithm, the capacities must sum to at least `n−1`. The
+//! matching upper bound generalizes Theorem 6.3: give each buffer of capacity
+//! `cᵢ` its own history object shared by `cᵢ` processes; any capacity vector
+//! with `Σ cᵢ ≥ n` supports `n`-consensus.
+//!
+//! [`HeteroBufferCounterFamily`] implements the counter; [`hetero_consensus`]
+//! wraps it in racing counters.
+
+use crate::buffer::{reconstruct_history, Record};
+use crate::counter::{CounterEvent, CounterFamily, CounterRequest, CounterSim};
+use crate::racing::RacingConsensus;
+use cbh_bigint::BigInt;
+use cbh_model::{Instruction, InstructionSet, MemorySpec, Op, Value};
+
+/// An `m`-component counter over buffers with per-location capacities.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HeteroBufferCounterFamily {
+    m: usize,
+    n: usize,
+    caps: Vec<usize>,
+}
+
+impl HeteroBufferCounterFamily {
+    /// An `m`-component counter for `n` processes over buffers of the given
+    /// capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero, any capacity is zero, or the
+    /// capacities sum to less than `n` (the generalized Theorem 6.3
+    /// requirement; compare the `Σ cᵢ ≥ n−1` lower bound).
+    pub fn new(m: usize, n: usize, caps: Vec<usize>) -> Self {
+        assert!(m > 0 && n > 0, "need components and processes");
+        assert!(caps.iter().all(|&c| c > 0), "capacities must be positive");
+        assert!(
+            caps.iter().sum::<usize>() >= n,
+            "capacities must sum to at least n = {n}"
+        );
+        HeteroBufferCounterFamily { m, n, caps }
+    }
+
+    /// The capacity vector.
+    pub fn capacities(&self) -> &[usize] {
+        &self.caps
+    }
+
+    /// The buffer hosting process `pid`: processes fill buffers in order,
+    /// `caps[0]` processes into buffer 0, the next `caps[1]` into buffer 1, …
+    pub fn buffer_of(&self, pid: usize) -> usize {
+        let mut remaining = pid;
+        for (b, &c) in self.caps.iter().enumerate() {
+            if remaining < c {
+                return b;
+            }
+            remaining -= c;
+        }
+        unreachable!("Σ caps ≥ n > pid");
+    }
+}
+
+impl CounterFamily for HeteroBufferCounterFamily {
+    type Sim = HeteroBufferCounterSim;
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        format!("hetero-buffers{:?}", self.caps)
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        let max = *self.caps.iter().max().expect("non-empty");
+        MemorySpec::bounded(InstructionSet::Buffer(max), self.caps.len())
+            .with_buffer_capacities(self.caps.clone())
+    }
+
+    fn spawn(&self, pid: usize) -> HeteroBufferCounterSim {
+        assert!(pid < self.n, "pid out of range");
+        HeteroBufferCounterSim {
+            family: self.clone(),
+            pid: pid as u64,
+            buf: self.buffer_of(pid),
+            seq: 0,
+            my_counts: vec![0; self.m],
+            pending: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum HPending {
+    IncrementRead,
+    IncrementWrite { history: Vec<Value> },
+    Scan { cur: Vec<Value>, prev: Option<Vec<Value>> },
+}
+
+/// Per-process state of the heterogeneous buffer counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HeteroBufferCounterSim {
+    family: HeteroBufferCounterFamily,
+    pid: u64,
+    buf: usize,
+    seq: u64,
+    my_counts: Vec<u64>,
+    pending: Option<HPending>,
+}
+
+impl HeteroBufferCounterSim {
+    fn record(&self) -> Record {
+        Record {
+            writer: self.pid,
+            seq: self.seq,
+            payload: Value::seq(self.my_counts.iter().map(|&c| Value::int(c))),
+        }
+    }
+
+    fn totals(&self, raw_buffers: &[Value]) -> Vec<BigInt> {
+        let mut totals = vec![BigInt::zero(); self.family.m];
+        for raw in raw_buffers {
+            let entries = raw.as_seq().expect("buffer read returns a sequence");
+            let history = reconstruct_history(entries);
+            let mut seen = std::collections::BTreeSet::new();
+            for rec in history.iter().rev().map(|r| Record::decode(r)) {
+                if !seen.insert(rec.writer) {
+                    continue;
+                }
+                let counts = rec.payload.as_seq().expect("tallies are sequences");
+                for (v, c) in counts.iter().enumerate() {
+                    totals[v] += &BigInt::from(c.as_u64().expect("tally"));
+                }
+            }
+        }
+        totals
+    }
+}
+
+impl CounterSim for HeteroBufferCounterSim {
+    fn m(&self) -> usize {
+        self.family.m
+    }
+
+    fn supports_decrement(&self) -> bool {
+        false
+    }
+
+    fn start(&mut self, req: CounterRequest) {
+        assert!(self.pending.is_none(), "counter operation already in flight");
+        self.pending = Some(match req {
+            CounterRequest::Increment(v) => {
+                self.my_counts[v] += 1;
+                HPending::IncrementRead
+            }
+            CounterRequest::Scan => HPending::Scan {
+                cur: Vec::new(),
+                prev: None,
+            },
+            CounterRequest::Decrement(_) => panic!("buffer counter has no decrement"),
+        });
+    }
+
+    fn poised(&self) -> Op {
+        match self.pending.as_ref().expect("no counter operation in flight") {
+            HPending::IncrementRead => Op::single(self.buf, Instruction::BufferRead),
+            HPending::IncrementWrite { history } => Op::single(
+                self.buf,
+                Instruction::BufferWrite(Value::pair(
+                    Value::seq(history.iter().cloned()),
+                    self.record().encode(),
+                )),
+            ),
+            HPending::Scan { cur, .. } => Op::single(cur.len(), Instruction::BufferRead),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent> {
+        let pending = self.pending.as_mut().expect("no counter operation in flight");
+        match pending {
+            HPending::IncrementRead => {
+                let entries = result.as_seq().expect("buffer read returns a sequence");
+                let history = reconstruct_history(entries);
+                *pending = HPending::IncrementWrite { history };
+                None
+            }
+            HPending::IncrementWrite { .. } => {
+                self.seq += 1;
+                self.pending = None;
+                Some(CounterEvent::Done)
+            }
+            HPending::Scan { cur, prev } => {
+                cur.push(result);
+                if cur.len() < self.family.caps.len() {
+                    return None;
+                }
+                let finished = std::mem::take(cur);
+                if prev.as_ref() == Some(&finished) {
+                    let totals = self.totals(&finished);
+                    self.pending = None;
+                    Some(CounterEvent::Counts(totals))
+                } else {
+                    *prev = Some(finished);
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// `n`-consensus over buffers with the given capacity vector (`Σ caps ≥ n`):
+/// the heterogeneous generalization of Theorem 6.3.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_core::hetero::hetero_consensus;
+/// use cbh_sim::{run_consensus, RandomScheduler};
+///
+/// // 5 processes over one 3-buffer and one 2-buffer: 3 + 2 = 5 = n.
+/// let protocol = hetero_consensus(5, vec![3, 2]);
+/// let inputs = [4, 0, 2, 2, 4];
+/// let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(6), 4_000_000)
+///     .unwrap();
+/// report.check(&inputs).unwrap();
+/// assert_eq!(report.locations_touched, 2);
+/// ```
+pub fn hetero_consensus(n: usize, caps: Vec<usize>) -> RacingConsensus<HeteroBufferCounterFamily> {
+    RacingConsensus::new(HeteroBufferCounterFamily::new(n, n, caps), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_sim::{run_consensus, RandomScheduler, RoundRobinScheduler};
+
+    #[test]
+    fn buffer_assignment_fills_in_order() {
+        let f = HeteroBufferCounterFamily::new(2, 6, vec![3, 1, 2]);
+        assert_eq!(
+            (0..6).map(|p| f.buffer_of(p)).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1, 2, 2]
+        );
+    }
+
+    #[test]
+    fn memory_has_per_location_capacities() {
+        let f = HeteroBufferCounterFamily::new(2, 4, vec![3, 1]);
+        let spec = f.memory_spec();
+        assert_eq!(spec.buffer_capacity_at(0), Some(3));
+        assert_eq!(spec.buffer_capacity_at(1), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at least")]
+    fn undersized_capacities_rejected() {
+        let _ = HeteroBufferCounterFamily::new(2, 5, vec![2, 2]);
+    }
+
+    #[test]
+    fn consensus_over_mixed_capacities() {
+        for caps in [vec![3, 2], vec![1, 1, 1, 1, 1], vec![4, 1], vec![5]] {
+            let protocol = hetero_consensus(5, caps.clone());
+            let inputs = [4, 0, 2, 2, 4];
+            for seed in 0..5 {
+                let report =
+                    run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 8_000_000)
+                        .unwrap();
+                report.check(&inputs).unwrap();
+                assert_eq!(report.locations_touched, caps.len(), "caps {caps:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_mixed() {
+        let protocol = hetero_consensus(4, vec![2, 1, 1]);
+        let inputs = [3, 3, 0, 1];
+        let report = run_consensus(&protocol, &inputs, RoundRobinScheduler::new(), 8_000_000)
+            .unwrap();
+        report.check(&inputs).unwrap();
+    }
+
+    #[test]
+    fn exact_sum_matches_lower_bound_frontier() {
+        // Σ caps = n exactly — one fewer total capacity would cross the
+        // paper's Σ ≥ n−1 lower bound's comfort zone.
+        let protocol = hetero_consensus(6, vec![2, 2, 2]);
+        let inputs = [5, 1, 1, 3, 0, 5];
+        let report =
+            run_consensus(&protocol, &inputs, RandomScheduler::seeded(12), 8_000_000).unwrap();
+        report.check(&inputs).unwrap();
+        assert_eq!(report.locations_touched, 3);
+    }
+}

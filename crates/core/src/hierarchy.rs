@@ -1,0 +1,304 @@
+//! Table 1 as data: the space hierarchy itself.
+//!
+//! Each [`TableRow`] records an instruction-set group, its lower and upper
+//! bounds on `SP(I, n)` (as printable formulas plus evaluable closures where
+//! the bound is exact), and where in this repository the witnessing algorithm
+//! and lower-bound artifact live. The `table1` binary in `cbh-bench` walks
+//! this table, runs every protocol, and reprints the paper's Table 1 with
+//! measured space next to the claimed bounds.
+
+use crate::util::ceil_log2;
+use cbh_model::InstructionSet;
+use std::fmt;
+
+/// A space bound as a function of `n` (and `ℓ` for the buffer row).
+#[derive(Clone, Copy)]
+pub enum Bound {
+    /// An exact formula, evaluable.
+    Exact {
+        /// Printable form, e.g. `"⌈n/ℓ⌉"`.
+        formula: &'static str,
+        /// Evaluator; `ell` is ignored by non-buffer rows.
+        eval: fn(n: u64, ell: u64) -> u64,
+    },
+    /// An asymptotic bound that the paper does not pin down exactly.
+    Asymptotic(&'static str),
+    /// No bounded number of locations suffices.
+    Unbounded,
+}
+
+impl Bound {
+    /// Evaluates the bound if it is exact.
+    pub fn eval(&self, n: u64, ell: u64) -> Option<u64> {
+        match self {
+            Bound::Exact { eval, .. } => Some(eval(n, ell)),
+            _ => None,
+        }
+    }
+
+    /// The printable formula.
+    pub fn formula(&self) -> &'static str {
+        match self {
+            Bound::Exact { formula, .. } => formula,
+            Bound::Asymptotic(s) => s,
+            Bound::Unbounded => "∞",
+        }
+    }
+}
+
+impl fmt::Debug for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.formula())
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.formula())
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// The instruction sets this row groups together.
+    pub sets: Vec<InstructionSet>,
+    /// Lower bound on `SP(I, n)`.
+    pub lower: Bound,
+    /// Upper bound on `SP(I, n)`.
+    pub upper: Bound,
+    /// Which paper result proves the upper bound.
+    pub upper_source: &'static str,
+    /// Which paper result proves the lower bound.
+    pub lower_source: &'static str,
+    /// Module in this repository witnessing the upper bound (if bounded).
+    pub witness: &'static str,
+}
+
+/// The full Table 1, top row (weakest) to bottom (strongest).
+pub fn table() -> Vec<TableRow> {
+    use InstructionSet as S;
+    vec![
+        TableRow {
+            sets: vec![S::ReadTas, S::ReadWrite1],
+            lower: Bound::Unbounded,
+            upper: Bound::Unbounded,
+            lower_source: "Theorem 9.2 (Lemma 9.1)",
+            upper_source: "Theorem 9.3 (unbounded tracks)",
+            witness: "cbh_core::tracks::track_consensus",
+        },
+        TableRow {
+            sets: vec![S::ReadWrite01],
+            lower: Bound::Exact {
+                formula: "n",
+                eval: |n, _| n,
+            },
+            upper: Bound::Asymptotic("O(n log n)"),
+            lower_source: "[EGZ18] via binary registers",
+            upper_source: "Theorem 9.4",
+            witness: "cbh_core::bitwise::write01_consensus",
+        },
+        TableRow {
+            sets: vec![S::ReadWrite],
+            lower: Bound::Exact {
+                formula: "n",
+                eval: |n, _| n,
+            },
+            upper: Bound::Exact {
+                formula: "n",
+                eval: |n, _| n,
+            },
+            lower_source: "[EGZ18]",
+            upper_source: "[AH90, BRS15, Zhu15]",
+            witness: "cbh_core::registers::register_consensus",
+        },
+        TableRow {
+            sets: vec![S::ReadTasReset],
+            lower: Bound::Asymptotic("Ω(√n)"),
+            upper: Bound::Asymptotic("O(n log n)"),
+            lower_source: "[FHS98]",
+            upper_source: "Theorem 9.4",
+            witness: "cbh_core::bitwise::tas_reset_consensus",
+        },
+        TableRow {
+            sets: vec![S::ReadSwap],
+            lower: Bound::Asymptotic("Ω(√n)"),
+            upper: Bound::Exact {
+                formula: "n−1",
+                eval: |n, _| n - 1,
+            },
+            lower_source: "[FHS98]",
+            upper_source: "Theorem 8.8 (Algorithm 1)",
+            witness: "cbh_core::swap::SwapConsensus",
+        },
+        TableRow {
+            sets: vec![S::Buffer(2)],
+            lower: Bound::Exact {
+                formula: "⌈(n−1)/ℓ⌉",
+                eval: |n, ell| (n - 1).div_ceil(ell),
+            },
+            upper: Bound::Exact {
+                formula: "⌈n/ℓ⌉",
+                eval: |n, ell| n.div_ceil(ell),
+            },
+            lower_source: "Theorem 6.8 (and 7.5 with multi-assignment)",
+            upper_source: "Theorem 6.3",
+            witness: "cbh_core::buffer::buffer_consensus",
+        },
+        TableRow {
+            sets: vec![S::ReadWriteIncrement, S::ReadWriteFetchIncrement],
+            lower: Bound::Exact {
+                formula: "2",
+                eval: |_, _| 2,
+            },
+            upper: Bound::Asymptotic("O(log n)"),
+            lower_source: "Theorem 5.1",
+            upper_source: "Theorem 5.3",
+            witness: "cbh_core::bitwise::increment_log_consensus",
+        },
+        TableRow {
+            sets: vec![S::MaxRegister],
+            lower: Bound::Exact {
+                formula: "2",
+                eval: |_, _| 2,
+            },
+            upper: Bound::Exact {
+                formula: "2",
+                eval: |_, _| 2,
+            },
+            lower_source: "Theorem 4.1",
+            upper_source: "Theorem 4.2",
+            witness: "cbh_core::maxreg::MaxRegConsensus",
+        },
+        TableRow {
+            sets: vec![
+                S::Cas,
+                S::ReadSetBit,
+                S::ReadAdd,
+                S::ReadMultiply,
+                S::FetchAndAdd,
+                S::FetchAndMultiply,
+            ],
+            lower: Bound::Exact {
+                formula: "1",
+                eval: |_, _| 1,
+            },
+            upper: Bound::Exact {
+                formula: "1",
+                eval: |_, _| 1,
+            },
+            lower_source: "trivial",
+            upper_source: "Theorem 3.3 / CAS folklore",
+            witness: "cbh_core::{counter, cas}",
+        },
+    ]
+}
+
+/// The `O(log n)` location count our Theorem 5.3 implementation actually
+/// uses: `(2+2)·⌈log₂ n⌉ − 2`.
+pub fn increment_locations(n: u64) -> u64 {
+    4 * ceil_log2(n) as u64 - 2
+}
+
+/// Renders the table like the paper's Table 1 (plus provenance columns).
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<52} {:>12} {:>12}   {}\n",
+        "Instruction set(s) I", "lower", "upper", "witness"
+    ));
+    for row in table() {
+        let sets = row
+            .sets
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "{:<52} {:>12} {:>12}   {}\n",
+            sets,
+            row.lower.formula(),
+            row.upper.formula(),
+            row.witness
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_nine_rows_covering_every_set() {
+        let t = table();
+        assert_eq!(t.len(), 9);
+        let mut covered: Vec<InstructionSet> = t.iter().flat_map(|r| r.sets.clone()).collect();
+        covered.sort_by_key(|s| format!("{s:?}"));
+        // Every Table 1 set appears exactly once (intro sets are extras).
+        for s in [
+            InstructionSet::ReadTas,
+            InstructionSet::ReadWrite,
+            InstructionSet::MaxRegister,
+            InstructionSet::Cas,
+            InstructionSet::ReadSwap,
+        ] {
+            assert_eq!(covered.iter().filter(|&&c| c == s).count(), 1, "{s}");
+        }
+    }
+
+    #[test]
+    fn exact_bounds_evaluate() {
+        let t = table();
+        // Buffer row: ⌈(n−1)/ℓ⌉ vs ⌈n/ℓ⌉.
+        let buffers = t
+            .iter()
+            .find(|r| matches!(r.sets[0], InstructionSet::Buffer(_)))
+            .unwrap();
+        assert_eq!(buffers.lower.eval(9, 2), Some(4));
+        assert_eq!(buffers.upper.eval(9, 2), Some(5));
+        assert_eq!(buffers.lower.eval(9, 4), Some(2));
+        // Swap row: n−1.
+        let swap = t
+            .iter()
+            .find(|r| r.sets.contains(&InstructionSet::ReadSwap))
+            .unwrap();
+        assert_eq!(swap.upper.eval(10, 1), Some(9));
+        // Asymptotic rows evaluate to None.
+        let tasreset = t
+            .iter()
+            .find(|r| r.sets.contains(&InstructionSet::ReadTasReset))
+            .unwrap();
+        assert_eq!(tasreset.lower.eval(10, 1), None);
+    }
+
+    #[test]
+    fn lower_never_exceeds_upper_when_both_exact() {
+        for row in table() {
+            for n in 2..40u64 {
+                for ell in 1..6u64 {
+                    if let (Some(lo), Some(hi)) = (row.lower.eval(n, ell), row.upper.eval(n, ell))
+                    {
+                        assert!(lo <= hi, "row {:?} at n={n}, ℓ={ell}", row.sets);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_mentions_every_row() {
+        let s = render_table();
+        assert!(s.contains("max"));
+        assert!(s.contains("⌈n/ℓ⌉"));
+        assert!(s.contains("∞"));
+        assert!(s.lines().count() == 10);
+    }
+
+    #[test]
+    fn increment_formula() {
+        assert_eq!(increment_locations(2), 2);
+        assert_eq!(increment_locations(8), 10);
+        assert_eq!(increment_locations(16), 14);
+    }
+}

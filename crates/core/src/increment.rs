@@ -1,0 +1,215 @@
+//! Counters from `increment()` locations (Theorem 5.3 building block).
+//!
+//! A 2-component unbounded counter lives in two `{read, write, increment}`
+//! locations — location `v` *is* component `v`, and since counts never
+//! decrease, the double-collect algorithm yields a linearizable `scan()`.
+//! Racing counters (Lemma 3.1) then give binary consensus on 2 locations,
+//! and the bit-by-bit construction (Lemma 5.2, module [`crate::bitwise`])
+//! lifts it to `n`-consensus on `O(log n)` locations.
+//!
+//! `fetch-and-increment()` simulates `increment()` by discarding the return
+//! value, which covers the `{read, write(x), fetch-and-increment}` row too.
+//! (Theorem 5.1 — also in `cbh-verify` as an executable adversary — shows a
+//! *single* such location is not enough.)
+
+use crate::counter::{CounterEvent, CounterFamily, CounterRequest, CounterSim};
+use crate::racing::RacingConsensus;
+use crate::util::{DoubleCollect, ReadKind};
+use cbh_bigint::BigInt;
+use cbh_model::{Instruction, InstructionSet, MemorySpec, Op, Value};
+
+/// Which increment instruction the location set provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncrementFlavor {
+    /// `{read(), write(x), increment()}`.
+    Increment,
+    /// `{read(), write(x), fetch-and-increment()}` (result ignored).
+    FetchAndIncrement,
+}
+
+impl IncrementFlavor {
+    /// The memory's uniform instruction set.
+    pub fn iset(self) -> InstructionSet {
+        match self {
+            IncrementFlavor::Increment => InstructionSet::ReadWriteIncrement,
+            IncrementFlavor::FetchAndIncrement => InstructionSet::ReadWriteFetchIncrement,
+        }
+    }
+
+    fn instruction(self) -> Instruction {
+        match self {
+            IncrementFlavor::Increment => Instruction::Increment,
+            IncrementFlavor::FetchAndIncrement => Instruction::FetchAndIncrement,
+        }
+    }
+}
+
+/// An `m`-component counter on `m` increment locations (component `v` lives in
+/// location `v`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IncrementCounterFamily {
+    m: usize,
+    flavor: IncrementFlavor,
+}
+
+impl IncrementCounterFamily {
+    /// An `m`-component counter over `m` locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize, flavor: IncrementFlavor) -> Self {
+        assert!(m > 0, "need at least one component");
+        IncrementCounterFamily { m, flavor }
+    }
+}
+
+impl CounterFamily for IncrementCounterFamily {
+    type Sim = IncrementCounterSim;
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        match self.flavor {
+            IncrementFlavor::Increment => "increment-locations".into(),
+            IncrementFlavor::FetchAndIncrement => "fetch-and-increment-locations".into(),
+        }
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(self.flavor.iset(), self.m)
+    }
+
+    fn spawn(&self, _pid: usize) -> IncrementCounterSim {
+        IncrementCounterSim {
+            m: self.m,
+            flavor: self.flavor,
+            pending: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum IncPending {
+    Increment(usize),
+    Scan(DoubleCollect),
+}
+
+/// Per-process state of the increment-locations counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IncrementCounterSim {
+    m: usize,
+    flavor: IncrementFlavor,
+    pending: Option<IncPending>,
+}
+
+impl CounterSim for IncrementCounterSim {
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn supports_decrement(&self) -> bool {
+        false
+    }
+
+    fn start(&mut self, req: CounterRequest) {
+        assert!(self.pending.is_none(), "counter operation already in flight");
+        self.pending = Some(match req {
+            CounterRequest::Increment(v) => IncPending::Increment(v),
+            CounterRequest::Scan => {
+                IncPending::Scan(DoubleCollect::new((0..self.m).collect(), ReadKind::Read))
+            }
+            CounterRequest::Decrement(_) => panic!("increment counter has no decrement"),
+        });
+    }
+
+    fn poised(&self) -> Op {
+        match self.pending.as_ref().expect("no counter operation in flight") {
+            IncPending::Increment(v) => Op::single(*v, self.flavor.instruction()),
+            IncPending::Scan(dc) => dc.poised(),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent> {
+        match self.pending.as_mut().expect("no counter operation in flight") {
+            IncPending::Increment(_) => {
+                self.pending = None;
+                Some(CounterEvent::Done)
+            }
+            IncPending::Scan(dc) => {
+                let snap = dc.absorb(result)?;
+                self.pending = None;
+                let counts = snap
+                    .iter()
+                    .map(|v| v.as_int().expect("counters are integers").clone())
+                    .collect::<Vec<BigInt>>();
+                Some(CounterEvent::Counts(counts))
+            }
+        }
+    }
+}
+
+/// Binary consensus on 2 increment locations: racing counters with `m = 2`
+/// (the inner protocol of Theorem 5.3).
+pub fn increment_binary(n: usize, flavor: IncrementFlavor) -> RacingConsensus<IncrementCounterFamily> {
+    RacingConsensus::new(IncrementCounterFamily::new(2, flavor), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_sim::{run_consensus, RandomScheduler, RoundRobinScheduler};
+
+    #[test]
+    fn binary_consensus_on_two_locations() {
+        for flavor in [IncrementFlavor::Increment, IncrementFlavor::FetchAndIncrement] {
+            let protocol = increment_binary(4, flavor);
+            let inputs = [1, 0, 0, 1];
+            for seed in 0..10 {
+                let report =
+                    run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 1_000_000)
+                        .unwrap();
+                report.check(&inputs).unwrap();
+                assert!(report.unanimous().is_some());
+                assert_eq!(report.locations_touched, 2, "c = 2 locations");
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_win() {
+        let protocol = increment_binary(3, IncrementFlavor::Increment);
+        let report = run_consensus(&protocol, &[1, 1, 1], RoundRobinScheduler::new(), 1_000_000)
+            .unwrap();
+        assert_eq!(report.unanimous(), Some(1));
+        let report = run_consensus(&protocol, &[0, 0, 0], RoundRobinScheduler::new(), 1_000_000)
+            .unwrap();
+        assert_eq!(report.unanimous(), Some(0));
+    }
+
+    #[test]
+    fn counter_scan_reads_location_values() {
+        use cbh_model::Memory;
+        let family = IncrementCounterFamily::new(3, IncrementFlavor::Increment);
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut sim = family.spawn(0);
+        for (v, times) in [(0usize, 2u32), (2, 5)] {
+            for _ in 0..times {
+                sim.start(CounterRequest::Increment(v));
+                let r = mem.apply(&sim.poised()).unwrap();
+                assert_eq!(sim.absorb(r), Some(CounterEvent::Done));
+            }
+        }
+        sim.start(CounterRequest::Scan);
+        let counts = loop {
+            let r = mem.apply(&sim.poised()).unwrap();
+            if let Some(CounterEvent::Counts(c)) = sim.absorb(r) {
+                break c;
+            }
+        };
+        let got: Vec<u64> = counts.iter().map(|c| c.to_u64().unwrap()).collect();
+        assert_eq!(got, vec![2, 0, 5]);
+    }
+}

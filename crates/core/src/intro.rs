@@ -1,0 +1,320 @@
+//! The introduction's "combination beats the parts" examples.
+//!
+//! Herlihy's hierarchy assigns consensus number 2 to objects supporting only
+//! `fetch-and-add` or only `test-and-set`, yet a single location supporting
+//! *both* solves wait-free binary consensus for any `n` ([`FaaTasConsensus`]).
+//! Likewise `read`/`decrement`/`multiply` each have consensus number 1 in
+//! pairs, but all three together solve it too ([`DecMulConsensus`]). These
+//! examples are the paper's motivation for abandoning the object-based
+//! hierarchy, and they sit in Table 1's `SP = 1` row.
+
+use cbh_model::{Action, Instruction, InstructionSet, MemorySpec, Op, Process, Protocol, Value};
+
+/// Wait-free binary consensus from `{fetch-and-add(2), test-and-set()}`.
+///
+/// One location initialised to 0. Input-0 processes perform
+/// `fetch-and-add(2)`; input-1 processes perform `test-and-set()`. A process
+/// decides 1 if the value it got back is odd, or if it got 0 back from
+/// `test-and-set()`; otherwise it decides 0.
+///
+/// Why it works: the location's parity records whether a `test-and-set()`
+/// arrived *first* (setting the low bit that `fetch-and-add(2)` can never
+/// clear). Everyone therefore agrees on who won the race.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_core::intro::FaaTasConsensus;
+/// use cbh_sim::{run_consensus, RandomScheduler};
+///
+/// let protocol = FaaTasConsensus::new(6);
+/// let inputs = [0, 1, 0, 1, 1, 0];
+/// let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(1), 100).unwrap();
+/// report.check(&inputs).unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaaTasConsensus {
+    n: usize,
+}
+
+impl FaaTasConsensus {
+    /// Binary consensus among `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "consensus needs at least two processes");
+        FaaTasConsensus { n }
+    }
+}
+
+impl Protocol for FaaTasConsensus {
+    type Proc = FaaTasProc;
+
+    fn name(&self) -> String {
+        "intro-faa-tas".into()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn domain(&self) -> u64 {
+        2
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::FaaTas, 1)
+    }
+
+    fn spawn(&self, _pid: usize, input: u64) -> FaaTasProc {
+        assert!(input < 2, "binary consensus takes inputs 0 and 1");
+        FaaTasProc {
+            input,
+            decided: None,
+        }
+    }
+}
+
+/// Per-process state of the fetch-and-add/test-and-set protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FaaTasProc {
+    input: u64,
+    decided: Option<u64>,
+}
+
+impl Process for FaaTasProc {
+    fn action(&self) -> Action {
+        match self.decided {
+            Some(v) => Action::Decide(v),
+            None if self.input == 0 => {
+                Action::Invoke(Op::single(0, Instruction::fetch_and_add(2)))
+            }
+            None => Action::Invoke(Op::single(0, Instruction::TestAndSet)),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        let got = result.as_u64().expect("location holds small integers");
+        let one = got % 2 == 1 || (self.input == 1 && got == 0);
+        self.decided = Some(u64::from(one));
+    }
+}
+
+/// Binary consensus from `{read(), decrement(), multiply(x)}`.
+///
+/// One location initialised to 1. Input-0 processes perform `decrement()`;
+/// input-1 processes perform `multiply(n)`; every process then performs
+/// `read()` and decides 1 if the value is positive, 0 otherwise.
+///
+/// Why it works: if the *first* modifying step is a decrement, the value
+/// becomes ≤ 0 and stays ≤ 0 (multiplying a non-positive number by `n` and
+/// decrementing both preserve non-positivity); if it is a multiply, the value
+/// jumps to `n` and the at most `n−1` decrements can never drag it below 1.
+/// Every read happens after the reader's own modification, so all reads agree
+/// on the sign. (The paper says "negative"; reads of exactly 0 — e.g. one
+/// decrement from 1 — belong with the decrement-first case.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecMulConsensus {
+    n: usize,
+}
+
+impl DecMulConsensus {
+    /// Binary consensus among `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "consensus needs at least two processes");
+        DecMulConsensus { n }
+    }
+}
+
+impl Protocol for DecMulConsensus {
+    type Proc = DecMulProc;
+
+    fn name(&self) -> String {
+        "intro-dec-mul".into()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn domain(&self) -> u64 {
+        2
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::ReadDecMul, 1).with_initial(vec![Value::one()])
+    }
+
+    fn spawn(&self, _pid: usize, input: u64) -> DecMulProc {
+        assert!(input < 2, "binary consensus takes inputs 0 and 1");
+        DecMulProc {
+            input,
+            n: self.n as u64,
+            stage: DecMulStage::Modify,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum DecMulStage {
+    Modify,
+    Read,
+    Done(u64),
+}
+
+/// Per-process state of the decrement/multiply protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DecMulProc {
+    input: u64,
+    n: u64,
+    stage: DecMulStage,
+}
+
+impl Process for DecMulProc {
+    fn action(&self) -> Action {
+        match &self.stage {
+            DecMulStage::Modify if self.input == 0 => {
+                Action::Invoke(Op::single(0, Instruction::Decrement))
+            }
+            DecMulStage::Modify => Action::Invoke(Op::single(0, Instruction::multiply(self.n))),
+            DecMulStage::Read => Action::Invoke(Op::read(0)),
+            DecMulStage::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        match self.stage {
+            DecMulStage::Modify => self.stage = DecMulStage::Read,
+            DecMulStage::Read => {
+                let value = result.as_int().expect("location holds integers");
+                self.stage = DecMulStage::Done(u64::from(value.is_positive()));
+            }
+            DecMulStage::Done(_) => unreachable!("decided processes take no steps"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_sim::{run_consensus, RandomScheduler, ScriptedScheduler};
+
+    #[test]
+    fn faa_tas_all_mixes_all_seeds() {
+        for n in [2, 3, 5, 8] {
+            let protocol = FaaTasConsensus::new(n);
+            for mask in 0..(1u64 << n) {
+                let inputs: Vec<u64> = (0..n).map(|i| (mask >> i) & 1).collect();
+                for seed in 0..4 {
+                    let report =
+                        run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 1000)
+                            .unwrap();
+                    report.check(&inputs).unwrap();
+                    assert!(report.unanimous().is_some(), "wait-free: all decide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faa_tas_tas_first_forces_one() {
+        // p0 has input 1 and moves first: its test-and-set() returns 0 → 1 wins.
+        let protocol = FaaTasConsensus::new(3);
+        let inputs = [1, 0, 0];
+        let report = run_consensus(
+            &protocol,
+            &inputs,
+            ScriptedScheduler::new([0, 1, 2]),
+            100,
+        )
+        .unwrap();
+        assert_eq!(report.unanimous(), Some(1));
+    }
+
+    #[test]
+    fn faa_tas_faa_first_forces_zero() {
+        let protocol = FaaTasConsensus::new(3);
+        let inputs = [1, 0, 0];
+        let report = run_consensus(
+            &protocol,
+            &inputs,
+            ScriptedScheduler::new([1, 0, 2]),
+            100,
+        )
+        .unwrap();
+        assert_eq!(report.unanimous(), Some(0), "even value, TAS lost the race");
+    }
+
+    #[test]
+    fn dec_mul_all_mixes_all_seeds() {
+        for n in [2, 3, 5] {
+            let protocol = DecMulConsensus::new(n);
+            for mask in 0..(1u64 << n) {
+                let inputs: Vec<u64> = (0..n).map(|i| (mask >> i) & 1).collect();
+                for seed in 0..4 {
+                    let report =
+                        run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 1000)
+                            .unwrap();
+                    report.check(&inputs).unwrap();
+                    assert!(report.unanimous().is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dec_mul_zero_value_counts_as_zero_decision() {
+        // One decrement from the initial 1 leaves 0: the decrement-first case.
+        let protocol = DecMulConsensus::new(2);
+        let inputs = [0, 1];
+        let report = run_consensus(
+            &protocol,
+            &inputs,
+            ScriptedScheduler::new([0, 0, 1, 1]),
+            100,
+        )
+        .unwrap();
+        assert_eq!(report.unanimous(), Some(0));
+    }
+
+    #[test]
+    fn dec_mul_multiply_first_forces_one() {
+        let protocol = DecMulConsensus::new(4);
+        let inputs = [0, 1, 0, 0];
+        // p1 multiplies first; the three decrements cannot reach 0 from 4.
+        let report = run_consensus(
+            &protocol,
+            &inputs,
+            ScriptedScheduler::new([1, 0, 2, 3, 0, 1, 2, 3]),
+            100,
+        )
+        .unwrap();
+        assert_eq!(report.unanimous(), Some(1));
+    }
+
+    #[test]
+    fn both_use_a_single_location() {
+        let report = run_consensus(
+            &FaaTasConsensus::new(4),
+            &[0, 1, 1, 0],
+            RandomScheduler::seeded(5),
+            100,
+        )
+        .unwrap();
+        assert_eq!(report.locations_touched, 1);
+        let report = run_consensus(
+            &DecMulConsensus::new(4),
+            &[0, 1, 1, 0],
+            RandomScheduler::seeded(5),
+            100,
+        )
+        .unwrap();
+        assert_eq!(report.locations_touched, 1);
+    }
+}

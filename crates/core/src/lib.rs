@@ -1,0 +1,54 @@
+//! Every upper-bound protocol of the space hierarchy.
+//!
+//! This crate implements the algorithmic content of *"A Complexity-Based
+//! Hierarchy for Multiprocessor Synchronization"* (PODC 2016): for each row of
+//! Table 1, the obstruction-free consensus protocol witnessing the row's
+//! *upper* bound, plus the object simulations those protocols are built from.
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §1 intro examples (faa+tas, dec+mul) | [`intro`] |
+//! | Lemmas 3.1/3.2 racing counters | [`racing`] |
+//! | Theorem 3.3 one-location counters (multiply/add/set-bit) | [`counter`] |
+//! | Theorem 4.2 two max-registers | [`maxreg`] |
+//! | Lemma 5.2 bit-by-bit reduction, Theorems 5.3/9.4 | [`bitwise`] |
+//! | Theorem 5.3 increment-based binary consensus | [`increment`] |
+//! | Lemmas 6.1/6.2 + Theorem 6.3 `ℓ`-buffers | [`buffer`] |
+//! | §8 Algorithm 1 (swap/read, anonymous, `n−1` locations) | [`swap`] |
+//! | Theorem 9.3 unbounded binary tracks | [`tracks`] |
+//! | compare-and-swap row | [`cas`] |
+//! | `{read, write(x)}` row (`n` registers) | [`registers`] |
+//! | Table 1 as data | [`hierarchy`] |
+//!
+//! All protocols implement [`cbh_model::Protocol`] and run on `cbh-sim`'s
+//! machine — or on real threads via `cbh-sync`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbh_core::maxreg::MaxRegConsensus;
+//! use cbh_sim::{run_consensus, RandomScheduler};
+//!
+//! let protocol = MaxRegConsensus::new(4);
+//! let report = run_consensus(&protocol, &[2, 0, 3, 2], RandomScheduler::seeded(7), 100_000)
+//!     .unwrap();
+//! report.check(&[2, 0, 3, 2]).unwrap();
+//! assert!(report.unanimous().is_some());
+//! assert_eq!(report.locations_touched, 2, "Theorem 4.2: two max-registers");
+//! ```
+
+pub mod bitwise;
+pub mod buffer;
+pub mod cas;
+pub mod counter;
+pub mod hetero;
+pub mod hierarchy;
+pub mod increment;
+pub mod intro;
+pub mod maxreg;
+pub mod primes;
+pub mod racing;
+pub mod registers;
+pub mod swap;
+pub mod tracks;
+pub mod util;

@@ -1,0 +1,298 @@
+//! `n`-consensus from exactly two max-registers (Theorem 4.2).
+//!
+//! A max-register supports `read-max()` and `write-max(x)` (which only ever
+//! raises the value). Theorem 4.1 shows one max-register cannot solve even
+//! 2-process binary consensus (see `cbh-verify` for that adversary as code);
+//! this module implements the matching upper bound: *two* suffice for any `n`.
+//!
+//! Values are pairs `(r, x)` — round and value — ordered lexicographically and
+//! encoded into a single integer as `(x+1)·yʳ` for a fixed prime `y > n`, so
+//! the integer order of encodings is exactly the lexicographic order of pairs.
+
+use crate::primes::next_prime;
+use crate::util::{DoubleCollect, ReadKind};
+use cbh_bigint::BigInt;
+use cbh_model::{Action, Instruction, InstructionSet, MemorySpec, Op, Process, Protocol, Value};
+
+/// Lexicographically-ordered `(round, value)` pairs and their integer encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoundValue {
+    /// The round `r ≥ 0`.
+    pub round: u64,
+    /// The consensus value `x ∈ 0..n`.
+    pub value: u64,
+}
+
+impl RoundValue {
+    /// Encodes `(r, x)` as `(x+1)·yʳ`.
+    pub fn encode(self, y: u64) -> BigInt {
+        BigInt::from(self.value + 1) * BigInt::from(y).pow(self.round)
+    }
+
+    /// Decodes an encoded pair; `y` must be the prime used by
+    /// [`RoundValue::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enc` is not a valid encoding (zero, or the cofactor is 0).
+    pub fn decode(enc: &BigInt, y: u64) -> Self {
+        assert!(enc.is_positive(), "encodings are positive");
+        let round = enc.factor_multiplicity(y);
+        let mut rest = enc.clone();
+        for _ in 0..round {
+            let (q, r) = rest.div_rem_euclid_u64(y);
+            debug_assert_eq!(r, 0);
+            rest = q;
+        }
+        let xp1 = rest.to_u64().expect("value fits a machine word");
+        assert!(xp1 >= 1, "invalid encoding");
+        RoundValue {
+            round,
+            value: xp1 - 1,
+        }
+    }
+}
+
+/// Two-max-register `n`-consensus (Theorem 4.2).
+///
+/// Both registers start at the encoding of `(0, 0)`. Each process alternates
+/// `write-max` with a double-collect scan of both registers:
+///
+/// - scan shows `m₁ = (r+1, x)`, `m₂ = (r, x)` → decide `x`;
+/// - scan shows `m₁ = m₂ = (r, x)` → `write-max(m₁, (r+1, x))`;
+/// - otherwise → `write-max(m₂, value of m₁ in the scan)`.
+///
+/// Its first step writes `(0, input)` to `m₁`.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_core::maxreg::MaxRegConsensus;
+/// use cbh_sim::{run_consensus, ObstructionScheduler};
+///
+/// let protocol = MaxRegConsensus::new(6);
+/// let inputs = [5, 0, 2, 2, 4, 1];
+/// let report = run_consensus(&protocol, &inputs, ObstructionScheduler::seeded(9, 8), 500_000)
+///     .unwrap();
+/// report.check(&inputs).unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxRegConsensus {
+    n: usize,
+    y: u64,
+}
+
+impl MaxRegConsensus {
+    /// Max-register consensus among `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "consensus needs at least two processes");
+        MaxRegConsensus {
+            n,
+            y: next_prime(n as u64),
+        }
+    }
+
+    /// The prime `y > n` used by the pair encoding.
+    pub fn prime(&self) -> u64 {
+        self.y
+    }
+}
+
+impl Protocol for MaxRegConsensus {
+    type Proc = MaxRegProc;
+
+    fn name(&self) -> String {
+        "two-max-registers".into()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn domain(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        let zero = RoundValue { round: 0, value: 0 }.encode(self.y);
+        MemorySpec::bounded(InstructionSet::MaxRegister, 2)
+            .with_initial(vec![Value::Int(zero.clone()), Value::Int(zero)])
+    }
+
+    fn spawn(&self, _pid: usize, input: u64) -> MaxRegProc {
+        assert!(input < self.n as u64, "input out of domain");
+        MaxRegProc {
+            y: self.y,
+            phase: MaxRegPhase::Write {
+                loc: 0,
+                value: RoundValue {
+                    round: 0,
+                    value: input,
+                },
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MaxRegPhase {
+    /// Poised to `write-max(value)` on register `loc`.
+    Write { loc: usize, value: RoundValue },
+    /// Scanning both registers.
+    Scan(DoubleCollect),
+    /// Decided.
+    Done(u64),
+}
+
+/// Per-process state of the two-max-register protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MaxRegProc {
+    y: u64,
+    phase: MaxRegPhase,
+}
+
+impl MaxRegProc {
+    fn fresh_scan() -> MaxRegPhase {
+        MaxRegPhase::Scan(DoubleCollect::new(vec![0, 1], ReadKind::ReadMax))
+    }
+
+    fn handle_snapshot(&mut self, snap: Vec<Value>) {
+        let m1 = RoundValue::decode(snap[0].as_int().expect("register holds int"), self.y);
+        let m2 = RoundValue::decode(snap[1].as_int().expect("register holds int"), self.y);
+        self.phase = if m1.round == m2.round + 1 && m1.value == m2.value {
+            MaxRegPhase::Done(m1.value)
+        } else if m1 == m2 {
+            MaxRegPhase::Write {
+                loc: 0,
+                value: RoundValue {
+                    round: m1.round + 1,
+                    value: m1.value,
+                },
+            }
+        } else {
+            MaxRegPhase::Write { loc: 1, value: m1 }
+        };
+    }
+}
+
+impl Process for MaxRegProc {
+    fn action(&self) -> Action {
+        match &self.phase {
+            MaxRegPhase::Write { loc, value } => Action::Invoke(Op::single(
+                *loc,
+                Instruction::WriteMax(Value::Int(value.encode(self.y))),
+            )),
+            MaxRegPhase::Scan(dc) => Action::Invoke(dc.poised()),
+            MaxRegPhase::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        match &mut self.phase {
+            MaxRegPhase::Write { .. } => self.phase = Self::fresh_scan(),
+            MaxRegPhase::Scan(dc) => {
+                if let Some(snap) = dc.absorb(result) {
+                    self.handle_snapshot(snap);
+                }
+            }
+            MaxRegPhase::Done(_) => unreachable!("decided processes take no steps"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_sim::{run_consensus, Machine, ObstructionScheduler, RandomScheduler};
+
+    #[test]
+    fn encoding_is_order_isomorphic() {
+        let y = 11;
+        let mut encs = Vec::new();
+        for round in 0..4 {
+            for value in 0..10 {
+                encs.push((RoundValue { round, value }, RoundValue { round, value }.encode(y)));
+            }
+        }
+        for (a, ea) in &encs {
+            for (b, eb) in &encs {
+                assert_eq!(a.cmp(b), ea.cmp(eb), "lex order == integer order");
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        let y = 13;
+        for round in 0..6 {
+            for value in 0..12 {
+                let rv = RoundValue { round, value };
+                assert_eq!(RoundValue::decode(&rv.encode(y), y), rv);
+            }
+        }
+    }
+
+    #[test]
+    fn two_processes_agree() {
+        let protocol = MaxRegConsensus::new(2);
+        for seed in 0..30 {
+            for inputs in [[0, 1], [1, 0], [0, 0], [1, 1]] {
+                let report =
+                    run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 100_000)
+                        .unwrap();
+                report.check(&inputs).unwrap();
+                assert!(report.unanimous().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn many_processes_many_seeds() {
+        let protocol = MaxRegConsensus::new(6);
+        let inputs = [3, 3, 0, 5, 1, 3];
+        for seed in 0..20 {
+            let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 500_000)
+                .unwrap();
+            report.check(&inputs).unwrap();
+            assert!(report.unanimous().is_some());
+            assert_eq!(report.locations_touched, 2, "exactly two max-registers");
+        }
+    }
+
+    #[test]
+    fn burst_adversary() {
+        let protocol = MaxRegConsensus::new(5);
+        let inputs = [4, 4, 2, 0, 1];
+        for seed in 0..10 {
+            let report = run_consensus(
+                &protocol,
+                &inputs,
+                ObstructionScheduler::seeded(seed, 12),
+                500_000,
+            )
+            .unwrap();
+            report.check(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn unanimous_input_is_decided() {
+        let protocol = MaxRegConsensus::new(4);
+        let inputs = [2, 2, 2, 2];
+        let report =
+            run_consensus(&protocol, &inputs, RandomScheduler::seeded(0), 100_000).unwrap();
+        assert_eq!(report.unanimous(), Some(2));
+    }
+
+    #[test]
+    fn solo_run_decides_in_a_few_rounds() {
+        let protocol = MaxRegConsensus::new(8);
+        let mut machine = Machine::start(&protocol, &[7, 0, 1, 2, 3, 4, 5, 6]).unwrap();
+        let decided = machine.run_solo(0, 200).unwrap();
+        assert_eq!(decided, Some(7));
+    }
+}

@@ -1,0 +1,84 @@
+//! Small prime utilities.
+//!
+//! Theorem 3.3 encodes an `n`-component counter as a product of the first `n`
+//! primes; Theorem 4.2 needs a fixed prime `y > n` for its `(r, x) ↦ (x+1)·yʳ`
+//! max-register encoding. Both only ever need machine-word-sized primes.
+
+/// Returns `true` if `v` is prime (trial division; fine for the model's sizes).
+pub fn is_prime(v: u64) -> bool {
+    if v < 2 {
+        return false;
+    }
+    if v % 2 == 0 {
+        return v == 2;
+    }
+    let mut d: u64 = 3;
+    while d.saturating_mul(d) <= v {
+        if v % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime strictly greater than `v`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cbh_core::primes::next_prime(10), 11);
+/// assert_eq!(cbh_core::primes::next_prime(11), 13);
+/// ```
+pub fn next_prime(v: u64) -> u64 {
+    let mut c = v + 1;
+    while !is_prime(c) {
+        c += 1;
+    }
+    c
+}
+
+/// The first `count` primes: `p₀ = 2, p₁ = 3, …` — Theorem 3.3 associates
+/// component `cᵥ` with the `(v+1)`-st prime `p_v`.
+pub fn first_primes(count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut c = 2;
+    while out.len() < count {
+        if is_prime(c) {
+            out.push(c);
+        }
+        c += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small_cases() {
+        let primes: Vec<u64> = (0..30).filter(|&v| is_prime(v)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn first_primes_matches_known_list() {
+        assert_eq!(first_primes(8), vec![2, 3, 5, 7, 11, 13, 17, 19]);
+        assert!(first_primes(0).is_empty());
+    }
+
+    #[test]
+    fn next_prime_is_strict() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 3);
+        assert_eq!(next_prime(13), 17);
+        assert_eq!(next_prime(89), 97);
+    }
+
+    #[test]
+    fn large_square_free_boundary() {
+        assert!(is_prime(7919));
+        assert!(!is_prime(7919 * 7919));
+    }
+}

@@ -1,0 +1,319 @@
+//! The racing-counters consensus algorithm (Lemmas 3.1 and 3.2).
+//!
+//! `m`-valued consensus from an `m`-component counter: associate component
+//! `cᵥ` with input value `v`; every process alternates *promoting* a value
+//! (incrementing its component) with *scanning* all components, and returns
+//! `v` once `cᵥ` leads every other component by at least `n`.
+//!
+//! Two variants, chosen automatically from the counter's capabilities:
+//!
+//! - **Unbounded** (Lemma 3.1): promotion always increments.
+//! - **Bounded** (Lemma 3.2): if some *other* component `c_u` has count
+//!   `≥ n` in the promoter's latest scan, the promoter decrements `c_u`
+//!   instead of incrementing; counts then provably stay in `0..=3n−1`, so the
+//!   encoding of [`crate::counter::AddCounterFamily`] never overflows a digit.
+//!
+//! The generic [`RacingConsensus`] turns *any* [`CounterFamily`] into a
+//! consensus [`Protocol`]; Theorems 3.3, 5.3, 6.3 and 9.3 all instantiate it.
+
+use crate::counter::{CounterEvent, CounterFamily, CounterRequest, CounterSim};
+use cbh_bigint::BigInt;
+use cbh_model::{Action, MemorySpec, Process, Protocol, Value};
+
+/// Racing-counters consensus over any counter family.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_core::counter::{MultiplyCounterFamily, MultiplyFlavor};
+/// use cbh_core::racing::RacingConsensus;
+/// use cbh_sim::{run_consensus, RoundRobinScheduler};
+///
+/// // Theorem 3.3: n-consensus from ONE {read, multiply} location.
+/// let family = MultiplyCounterFamily::new(4, MultiplyFlavor::ReadMultiply);
+/// let protocol = RacingConsensus::new(family, 4);
+/// let report = run_consensus(&protocol, &[1, 3, 3, 0], RoundRobinScheduler::new(), 100_000)
+///     .unwrap();
+/// report.check(&[1, 3, 3, 0]).unwrap();
+/// assert_eq!(report.locations_touched, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RacingConsensus<F: CounterFamily> {
+    family: F,
+    n: usize,
+}
+
+impl<F: CounterFamily> RacingConsensus<F> {
+    /// Racing consensus among `n` processes over `family`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(family: F, n: usize) -> Self {
+        assert!(n >= 2, "consensus needs at least two processes");
+        RacingConsensus { family, n }
+    }
+
+    /// The underlying counter family.
+    pub fn family(&self) -> &F {
+        &self.family
+    }
+}
+
+impl<F: CounterFamily> Protocol for RacingConsensus<F> {
+    type Proc = RacingProc<F::Sim>;
+
+    fn name(&self) -> String {
+        format!("racing-counters[{}]", self.family.name())
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn domain(&self) -> u64 {
+        self.family.m() as u64
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        self.family.memory_spec()
+    }
+
+    fn spawn(&self, pid: usize, input: u64) -> Self::Proc {
+        assert!((input as usize) < self.family.m(), "input out of domain");
+        RacingProc::new(self.family.spawn(pid), self.n, input)
+    }
+}
+
+/// Which step of the promote/scan loop the process is in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Driving the counter through a promotion (inc or dec).
+    Promoting,
+    /// Driving the counter through a scan.
+    Scanning,
+    /// Decided.
+    Done(u64),
+}
+
+/// The per-process racing-counters state machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RacingProc<S: CounterSim> {
+    sim: S,
+    n: u64,
+    input: u64,
+    phase: Phase,
+}
+
+impl<S: CounterSim> RacingProc<S> {
+    fn new(mut sim: S, n: usize, input: u64) -> Self {
+        let phase = if sim.supports_decrement() {
+            // The bounded variant (Lemma 3.2) consults scan counts before each
+            // promotion, so it must scan first; the unbounded variant promotes
+            // its input immediately, as in Lemma 3.1.
+            sim.start(CounterRequest::Scan);
+            Phase::Scanning
+        } else {
+            sim.start(CounterRequest::Increment(input as usize));
+            Phase::Promoting
+        };
+        RacingProc {
+            sim,
+            n: n as u64,
+            input,
+            phase,
+        }
+    }
+
+    /// The value whose component leads all others by ≥ n, if any.
+    fn winner(&self, counts: &[BigInt]) -> Option<usize> {
+        let lead = BigInt::from(self.n);
+        'outer: for (v, cv) in counts.iter().enumerate() {
+            for (u, cu) in counts.iter().enumerate() {
+                if u != v && *cv < cu + &lead {
+                    continue 'outer;
+                }
+            }
+            return Some(v);
+        }
+        None
+    }
+
+    /// The component with the largest count, ties broken towards the smallest
+    /// index — except that from all-zero counts the process promotes its own
+    /// input (validity: a component is only ever incremented once some
+    /// process has promoted it, inductively an input value).
+    ///
+    /// Breaking ties *identically across processes* (smallest index) matters
+    /// for liveness under symmetric schedulers like round-robin: if tied
+    /// processes each favoured their own value, two components would grow in
+    /// lockstep forever.
+    fn promotion_target(&self, counts: &[BigInt]) -> usize {
+        let max = counts.iter().max().expect("m ≥ 1 components");
+        if max.is_zero() {
+            return self.input as usize;
+        }
+        counts
+            .iter()
+            .position(|c| c == max)
+            .expect("max exists")
+    }
+
+    /// Starts the next promotion per Lemma 3.1/3.2 using fresh scan counts.
+    fn promote(&mut self, counts: &[BigInt]) {
+        let target = self.promotion_target(counts);
+        if self.sim.supports_decrement() {
+            // Lemma 3.2: among the OTHER components let c_u be a largest one;
+            // if c_u ≥ n, decrement c_u instead of incrementing the target.
+            let other = counts
+                .iter()
+                .enumerate()
+                .filter(|(w, _)| *w != target)
+                .max_by(|(_, a), (_, b)| a.cmp(b));
+            if let Some((u, cu)) = other {
+                if *cu >= BigInt::from(self.n) {
+                    self.sim.start(CounterRequest::Decrement(u));
+                    self.phase = Phase::Promoting;
+                    return;
+                }
+            }
+        }
+        self.sim.start(CounterRequest::Increment(target));
+        self.phase = Phase::Promoting;
+    }
+}
+
+impl<S: CounterSim> Process for RacingProc<S> {
+    fn action(&self) -> Action {
+        match &self.phase {
+            Phase::Done(v) => Action::Decide(*v),
+            _ => Action::Invoke(self.sim.poised()),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        let Some(event) = self.sim.absorb(result) else {
+            return; // counter operation still in progress
+        };
+        match (&self.phase, event) {
+            (Phase::Promoting, CounterEvent::Done) => {
+                self.sim.start(CounterRequest::Scan);
+                self.phase = Phase::Scanning;
+            }
+            (Phase::Scanning, CounterEvent::Counts(counts)) => {
+                if let Some(v) = self.winner(&counts) {
+                    self.phase = Phase::Done(v as u64);
+                } else {
+                    self.promote(&counts);
+                }
+            }
+            (phase, event) => {
+                unreachable!("counter event {event:?} does not match phase {phase:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{
+        AddCounterFamily, AddFlavor, MultiplyCounterFamily, MultiplyFlavor, SetBitCounterFamily,
+    };
+    use cbh_sim::{run_consensus, ObstructionScheduler, RandomScheduler, RoundRobinScheduler};
+
+    fn check_all_schedulers<F: CounterFamily>(family: F, n: usize, inputs: &[u64]) {
+        let protocol = RacingConsensus::new(family, n);
+        for seed in 0..5 {
+            let report =
+                run_consensus(&protocol, inputs, RandomScheduler::seeded(seed), 2_000_000)
+                    .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+            report.check(inputs).unwrap();
+            assert!(report.unanimous().is_some());
+            assert_eq!(report.locations_touched, 1, "one location suffices");
+        }
+        let report = run_consensus(&protocol, inputs, RoundRobinScheduler::new(), 2_000_000)
+            .unwrap();
+        report.check(inputs).unwrap();
+        let report =
+            run_consensus(&protocol, inputs, ObstructionScheduler::seeded(3, 16), 2_000_000)
+                .unwrap();
+        report.check(inputs).unwrap();
+    }
+
+    #[test]
+    fn multiply_counter_solves_n_consensus() {
+        check_all_schedulers(
+            MultiplyCounterFamily::new(4, MultiplyFlavor::ReadMultiply),
+            4,
+            &[2, 0, 1, 2],
+        );
+    }
+
+    #[test]
+    fn fetch_and_multiply_alone_solves_n_consensus() {
+        check_all_schedulers(
+            MultiplyCounterFamily::new(3, MultiplyFlavor::FetchAndMultiply),
+            3,
+            &[1, 1, 2],
+        );
+    }
+
+    #[test]
+    fn bounded_add_counter_solves_n_consensus() {
+        check_all_schedulers(AddCounterFamily::new(4, 4, AddFlavor::ReadAdd), 4, &[3, 3, 0, 1]);
+    }
+
+    #[test]
+    fn fetch_and_add_alone_solves_n_consensus() {
+        check_all_schedulers(
+            AddCounterFamily::new(3, 3, AddFlavor::FetchAndAdd),
+            3,
+            &[0, 2, 2],
+        );
+    }
+
+    #[test]
+    fn set_bit_counter_solves_n_consensus() {
+        check_all_schedulers(SetBitCounterFamily::new(4, 4), 4, &[1, 0, 3, 1]);
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_that_input() {
+        let protocol = RacingConsensus::new(
+            MultiplyCounterFamily::new(3, MultiplyFlavor::ReadMultiply),
+            3,
+        );
+        let report =
+            run_consensus(&protocol, &[2, 2, 2], RandomScheduler::seeded(11), 2_000_000).unwrap();
+        assert_eq!(report.unanimous(), Some(2), "validity pins the decision");
+    }
+
+    #[test]
+    fn solo_process_decides_quickly() {
+        // Obstruction-freedom: a solo run promotes its own component until the
+        // lead reaches n, i.e. about n promote+scan pairs.
+        let protocol = RacingConsensus::new(
+            MultiplyCounterFamily::new(4, MultiplyFlavor::ReadMultiply),
+            4,
+        );
+        let mut machine = cbh_sim::Machine::start(&protocol, &[3, 0, 1, 2]).unwrap();
+        let decided = machine.run_solo(0, 100).unwrap();
+        assert_eq!(decided, Some(3));
+        assert!(machine.steps() <= 3 * 4 + 6, "solo decision is fast");
+    }
+
+    #[test]
+    fn bounded_counts_stay_in_range_under_adversary() {
+        // Exercise the Lemma 3.2 redistribution: many processes, small m.
+        let family = AddCounterFamily::new(2, 6, AddFlavor::ReadAdd);
+        let protocol = RacingConsensus::new(family, 6);
+        let inputs = [0, 1, 0, 1, 0, 1];
+        for seed in 0..10 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 4_000_000)
+                    .unwrap();
+            report.check(&inputs).unwrap();
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! `n`-consensus from `n` read/write registers (Table 1 row `{read, write(x)}`).
+//!
+//! The paper cites \[AH90, BRS15, Zhu15\] for `n`-register algorithms and
+//! \[EGZ18\] for the matching lower bound of `n`. This module implements the
+//! single-writer flavour: register `i` is owned by process `i` and holds the
+//! vector of increments process `i` has performed on each of the `m`
+//! racing-counter components (tagged with a sequence number so the
+//! double-collect scan is sound). The component counts are the per-register
+//! sums, and the racing-counters algorithm (Lemma 3.1) does the rest.
+
+use crate::counter::{CounterEvent, CounterFamily, CounterRequest, CounterSim};
+use crate::racing::RacingConsensus;
+use crate::util::{DoubleCollect, ReadKind};
+use cbh_bigint::BigInt;
+use cbh_model::{Instruction, InstructionSet, MemorySpec, Op, Value};
+
+/// An `m`-component counter over `n` single-writer registers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegisterCounterFamily {
+    m: usize,
+    n: usize,
+}
+
+impl RegisterCounterFamily {
+    /// An `m`-component counter shared by `n` processes, one register each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `n == 0`.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m > 0 && n > 0, "need components and processes");
+        RegisterCounterFamily { m, n }
+    }
+}
+
+impl CounterFamily for RegisterCounterFamily {
+    type Sim = RegisterCounterSim;
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        "n-single-writer-registers".into()
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::ReadWrite, self.n)
+    }
+
+    fn spawn(&self, pid: usize) -> RegisterCounterSim {
+        assert!(pid < self.n, "pid out of range");
+        RegisterCounterSim {
+            pid,
+            n: self.n,
+            my_counts: vec![0; self.m],
+            seq: 0,
+            pending: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RegPending {
+    Write,
+    Scan(DoubleCollect),
+}
+
+/// Per-process state of the single-writer-register counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegisterCounterSim {
+    pid: usize,
+    n: usize,
+    /// This process's contribution to each component.
+    my_counts: Vec<u64>,
+    seq: u64,
+    pending: Option<RegPending>,
+}
+
+impl RegisterCounterSim {
+    /// Register contents: `(seq, counts…)` — the tag makes values unique so
+    /// double collect linearizes.
+    fn encode(&self) -> Value {
+        let mut items = Vec::with_capacity(self.my_counts.len() + 1);
+        items.push(Value::int(self.seq));
+        items.extend(self.my_counts.iter().map(|&c| Value::int(c)));
+        Value::Seq(items)
+    }
+
+    fn decode_counts(m: usize, reg: &Value) -> Vec<u64> {
+        match reg {
+            // Unwritten registers hold the initial integer 0: no increments.
+            Value::Int(_) | Value::Bot => vec![0; m],
+            Value::Seq(items) => items[1..]
+                .iter()
+                .map(|v| v.as_u64().expect("counts are small naturals"))
+                .collect(),
+        }
+    }
+}
+
+impl CounterSim for RegisterCounterSim {
+    fn m(&self) -> usize {
+        self.my_counts.len()
+    }
+
+    fn supports_decrement(&self) -> bool {
+        false
+    }
+
+    fn start(&mut self, req: CounterRequest) {
+        assert!(self.pending.is_none(), "counter operation already in flight");
+        match req {
+            CounterRequest::Increment(v) => {
+                self.my_counts[v] += 1;
+                self.seq += 1;
+                self.pending = Some(RegPending::Write);
+            }
+            CounterRequest::Scan => {
+                self.pending = Some(RegPending::Scan(DoubleCollect::new(
+                    (0..self.n).collect(),
+                    ReadKind::Read,
+                )));
+            }
+            CounterRequest::Decrement(_) => {
+                panic!("single-writer-register counter has no decrement")
+            }
+        }
+    }
+
+    fn poised(&self) -> Op {
+        match self.pending.as_ref().expect("no counter operation in flight") {
+            RegPending::Write => Op::single(self.pid, Instruction::Write(self.encode())),
+            RegPending::Scan(dc) => dc.poised(),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent> {
+        match self.pending.as_mut().expect("no counter operation in flight") {
+            RegPending::Write => {
+                self.pending = None;
+                Some(CounterEvent::Done)
+            }
+            RegPending::Scan(dc) => {
+                let snap = dc.absorb(result)?;
+                self.pending = None;
+                let m = self.m();
+                let mut totals = vec![BigInt::zero(); m];
+                for reg in &snap {
+                    for (v, c) in Self::decode_counts(m, reg).into_iter().enumerate() {
+                        totals[v] += &BigInt::from(c);
+                    }
+                }
+                Some(CounterEvent::Counts(totals))
+            }
+        }
+    }
+}
+
+/// `n`-consensus from `n` read/write registers: racing counters over
+/// [`RegisterCounterFamily`].
+///
+/// # Examples
+///
+/// ```
+/// use cbh_core::registers::register_consensus;
+/// use cbh_sim::{run_consensus, RandomScheduler};
+///
+/// let protocol = register_consensus(4);
+/// let inputs = [0, 2, 2, 1];
+/// let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(5), 1_000_000)
+///     .unwrap();
+/// report.check(&inputs).unwrap();
+/// assert_eq!(report.locations_touched, 4, "n registers");
+/// ```
+pub fn register_consensus(n: usize) -> RacingConsensus<RegisterCounterFamily> {
+    RacingConsensus::new(RegisterCounterFamily::new(n, n), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_sim::{run_consensus, ObstructionScheduler, RandomScheduler, RoundRobinScheduler};
+
+    #[test]
+    fn counter_totals_sum_over_owners() {
+        use cbh_model::Memory;
+        let family = RegisterCounterFamily::new(2, 3);
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut sims: Vec<_> = (0..3).map(|p| family.spawn(p)).collect();
+        let drive = |sim: &mut RegisterCounterSim, mem: &mut Memory, req| loop {
+            sim.start(req);
+            loop {
+                let r = mem.apply(&sim.poised()).unwrap();
+                if let Some(ev) = sim.absorb(r) {
+                    return ev;
+                }
+            }
+        };
+        drive(&mut sims[0], &mut mem, CounterRequest::Increment(0));
+        drive(&mut sims[1], &mut mem, CounterRequest::Increment(0));
+        drive(&mut sims[2], &mut mem, CounterRequest::Increment(1));
+        let ev = drive(&mut sims[0], &mut mem, CounterRequest::Scan);
+        match ev {
+            CounterEvent::Counts(c) => {
+                assert_eq!(c[0].to_u64(), Some(2));
+                assert_eq!(c[1].to_u64(), Some(1));
+            }
+            CounterEvent::Done => panic!("expected counts"),
+        }
+    }
+
+    #[test]
+    fn consensus_under_many_schedulers() {
+        let protocol = register_consensus(4);
+        let inputs = [3, 1, 1, 0];
+        for seed in 0..10 {
+            let report =
+                run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 2_000_000)
+                    .unwrap();
+            report.check(&inputs).unwrap();
+            assert_eq!(report.locations_touched, 4);
+        }
+        run_consensus(&protocol, &inputs, RoundRobinScheduler::new(), 2_000_000)
+            .unwrap()
+            .check(&inputs)
+            .unwrap();
+        run_consensus(&protocol, &inputs, ObstructionScheduler::seeded(1, 20), 2_000_000)
+            .unwrap()
+            .check(&inputs)
+            .unwrap();
+    }
+
+    #[test]
+    fn unanimity_is_preserved() {
+        let protocol = register_consensus(3);
+        let report =
+            run_consensus(&protocol, &[1, 1, 1], RandomScheduler::seeded(3), 2_000_000).unwrap();
+        assert_eq!(report.unanimous(), Some(1));
+    }
+}

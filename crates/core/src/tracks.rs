@@ -1,0 +1,388 @@
+//! Racing tracks of binary locations (§9, Theorem 9.3 and the \[GR05\] idea).
+//!
+//! With only `read()` and `write(1)` (or `test-and-set()`, which simulates
+//! `write(1)` by ignoring its result), a counter component becomes a *track*:
+//! an unbounded sequence of single-bit locations set to 1 left to right. The
+//! count of a track is the length of its all-ones prefix; counts only grow, so
+//! a double-collect over track counts is a linearizable scan, and the racing
+//! counters algorithm (Lemma 3.1) gives `n`-consensus — using unboundedly many
+//! locations, which Theorem 9.2 (see `cbh-verify`) proves unavoidable.
+//!
+//! Concurrent "increments" of one track may set the same cell and merge; that
+//! only slows non-leaders down and never breaks the racing argument (a solo
+//! process's increments never merge).
+//!
+//! [`TrackCounterFamily`] also supports a *bounded* layout (fixed cells per
+//! track). Bounded tracks are the substitute for Bowman's 2n-single-bit
+//! binary consensus \[Bow11\] in Theorem 9.4's `O(n log n)` construction (see
+//! `DESIGN.md`: the original technical report is not reproducible from the
+//! paper; truncated tracks preserve the space shape but are obstruction-free
+//! only while a track has free cells — overflowing one panics loudly).
+
+use crate::counter::{CounterEvent, CounterFamily, CounterRequest, CounterSim};
+use crate::racing::RacingConsensus;
+use crate::util::BitWrite;
+use cbh_bigint::BigInt;
+use cbh_model::{Instruction, InstructionSet, MemorySpec, Op, Value};
+
+/// Track layout: unbounded (interleaved) or bounded (contiguous per track).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackLayout {
+    /// Tracks grow forever; cell `k` of track `v` is location `k·m + v`.
+    Unbounded,
+    /// Each track has exactly `cells` locations; cell `k` of track `v` is
+    /// location `v·cells + k`.
+    Bounded {
+        /// Cells per track.
+        cells: usize,
+    },
+}
+
+/// An `m`-component counter made of `m` tracks of binary locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackCounterFamily {
+    m: usize,
+    write: BitWrite,
+    layout: TrackLayout,
+}
+
+impl TrackCounterFamily {
+    /// An `m`-track counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, or if the layout is bounded with zero cells.
+    pub fn new(m: usize, write: BitWrite, layout: TrackLayout) -> Self {
+        assert!(m > 0, "need at least one track");
+        if let TrackLayout::Bounded { cells } = layout {
+            assert!(cells > 0, "bounded tracks need at least one cell");
+        }
+        TrackCounterFamily { m, write, layout }
+    }
+
+    fn cell_location(&self, track: usize, cell: usize) -> usize {
+        match self.layout {
+            TrackLayout::Unbounded => cell * self.m + track,
+            TrackLayout::Bounded { cells } => {
+                assert!(
+                    cell < cells,
+                    "track {track} overflowed its {cells} cells: the bounded-track \
+                     substitute for [Bow11] ran past its capacity (see DESIGN.md)"
+                );
+                track * cells + cell
+            }
+        }
+    }
+}
+
+impl CounterFamily for TrackCounterFamily {
+    type Sim = TrackCounterSim;
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        let w = match self.write {
+            BitWrite::Write1 => "write1",
+            BitWrite::TestAndSet => "test-and-set",
+        };
+        match self.layout {
+            TrackLayout::Unbounded => format!("unbounded-tracks[{w}]"),
+            TrackLayout::Bounded { cells } => format!("bounded-tracks[{w}; {cells}]"),
+        }
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        let iset = match self.write {
+            BitWrite::Write1 => InstructionSet::ReadWrite1,
+            BitWrite::TestAndSet => InstructionSet::ReadTas,
+        };
+        match self.layout {
+            TrackLayout::Unbounded => MemorySpec::unbounded(iset),
+            TrackLayout::Bounded { cells } => MemorySpec::bounded(iset, self.m * cells),
+        }
+    }
+
+    fn spawn(&self, _pid: usize) -> TrackCounterSim {
+        TrackCounterSim {
+            family: *self,
+            frontier: vec![0; self.m],
+            pending: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TrackPending {
+    /// Probing for the first 0 cell of `track`, then writing it.
+    Increment { track: usize, writing: bool },
+    /// Collecting all track counts, twice, until stable.
+    Scan {
+        counts: Vec<u64>,
+        track: usize,
+        prev: Option<Vec<u64>>,
+    },
+}
+
+/// Per-process state of the track counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TrackCounterSim {
+    family: TrackCounterFamily,
+    /// Per-track index of the first cell not known (to this process) to be 1.
+    /// Monotone: cells are only ever set, never cleared.
+    frontier: Vec<usize>,
+    pending: Option<TrackPending>,
+}
+
+impl CounterSim for TrackCounterSim {
+    fn m(&self) -> usize {
+        self.family.m
+    }
+
+    fn supports_decrement(&self) -> bool {
+        false
+    }
+
+    fn start(&mut self, req: CounterRequest) {
+        assert!(self.pending.is_none(), "counter operation already in flight");
+        self.pending = Some(match req {
+            CounterRequest::Increment(v) => TrackPending::Increment {
+                track: v,
+                writing: false,
+            },
+            CounterRequest::Scan => TrackPending::Scan {
+                counts: Vec::with_capacity(self.family.m),
+                track: 0,
+                prev: None,
+            },
+            CounterRequest::Decrement(_) => panic!("tracks have no decrement"),
+        });
+    }
+
+    fn poised(&self) -> Op {
+        match self.pending.as_ref().expect("no counter operation in flight") {
+            TrackPending::Increment { track, writing } => {
+                let loc = self.family.cell_location(*track, self.frontier[*track]);
+                if *writing {
+                    Op::single(loc, self.family.write.instruction())
+                } else {
+                    Op::single(loc, Instruction::Read)
+                }
+            }
+            TrackPending::Scan { track, .. } => Op::single(
+                self.family.cell_location(*track, self.frontier[*track]),
+                Instruction::Read,
+            ),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) -> Option<CounterEvent> {
+        let pending = self.pending.as_mut().expect("no counter operation in flight");
+        match pending {
+            TrackPending::Increment { track, writing } => {
+                if *writing {
+                    // The cell is now 1 whether we or a concurrent process set
+                    // it; either way the track advanced past our frontier.
+                    self.frontier[*track] += 1;
+                    self.pending = None;
+                    return Some(CounterEvent::Done);
+                }
+                let bit = result.as_u64().expect("track cells hold bits");
+                if bit == 1 {
+                    self.frontier[*track] += 1; // keep probing rightward
+                } else {
+                    *writing = true;
+                }
+                None
+            }
+            TrackPending::Scan { counts, track, prev } => {
+                let bit = result.as_u64().expect("track cells hold bits");
+                if bit == 1 {
+                    self.frontier[*track] += 1;
+                    return None; // same track, next cell
+                }
+                // First 0: this track's count is the frontier.
+                counts.push(self.frontier[*track] as u64);
+                *track += 1;
+                if *track < self.family.m {
+                    return None;
+                }
+                // Collect finished; double-collect over the count vectors.
+                let finished = std::mem::take(counts);
+                *track = 0;
+                if prev.as_ref() == Some(&finished) {
+                    self.pending = None;
+                    Some(CounterEvent::Counts(
+                        finished.into_iter().map(BigInt::from).collect(),
+                    ))
+                } else {
+                    *prev = Some(finished);
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 9.3: `n`-consensus from unboundedly many `{read, write(1)}` or
+/// `{read, test-and-set}` locations — racing counters over unbounded tracks.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_core::tracks::track_consensus;
+/// use cbh_core::util::BitWrite;
+/// use cbh_sim::{run_consensus, RandomScheduler};
+///
+/// let protocol = track_consensus(3, BitWrite::TestAndSet);
+/// let inputs = [1, 2, 1];
+/// let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(2), 1_000_000)
+///     .unwrap();
+/// report.check(&inputs).unwrap();
+/// ```
+pub fn track_consensus(n: usize, write: BitWrite) -> RacingConsensus<TrackCounterFamily> {
+    RacingConsensus::new(
+        TrackCounterFamily::new(n, write, TrackLayout::Unbounded),
+        n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_model::Memory;
+    use cbh_sim::{run_consensus, Machine, RandomScheduler, RoundRobinScheduler};
+
+    fn drive(
+        sim: &mut TrackCounterSim,
+        mem: &mut Memory,
+        req: CounterRequest,
+    ) -> CounterEvent {
+        sim.start(req);
+        loop {
+            let r = mem.apply(&sim.poised()).unwrap();
+            if let Some(ev) = sim.absorb(r) {
+                return ev;
+            }
+        }
+    }
+
+    #[test]
+    fn increments_extend_the_ones_prefix() {
+        let family = TrackCounterFamily::new(2, BitWrite::Write1, TrackLayout::Unbounded);
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut sim = family.spawn(0);
+        for _ in 0..3 {
+            drive(&mut sim, &mut mem, CounterRequest::Increment(1));
+        }
+        drive(&mut sim, &mut mem, CounterRequest::Increment(0));
+        let ev = drive(&mut sim, &mut mem, CounterRequest::Scan);
+        match ev {
+            CounterEvent::Counts(c) => {
+                assert_eq!(c[0].to_u64(), Some(1));
+                assert_eq!(c[1].to_u64(), Some(3));
+            }
+            CounterEvent::Done => panic!("expected counts"),
+        }
+    }
+
+    #[test]
+    fn merged_increments_advance_at_least_once() {
+        // Two processes race to increment the same track: the count grows by
+        // at least 1 and at most 2.
+        let family = TrackCounterFamily::new(1, BitWrite::Write1, TrackLayout::Unbounded);
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut a = family.spawn(0);
+        let mut b = family.spawn(1);
+        a.start(CounterRequest::Increment(0));
+        b.start(CounterRequest::Increment(0));
+        // Interleave: both probe cell 0 (read 0), then both write it.
+        loop {
+            let mut progressed = false;
+            for sim in [&mut a, &mut b] {
+                if sim.pending.is_some() {
+                    let r = mem.apply(&sim.poised()).unwrap();
+                    sim.absorb(r);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let ev = drive(&mut a, &mut mem, CounterRequest::Scan);
+        match ev {
+            CounterEvent::Counts(c) => {
+                let count = c[0].to_u64().unwrap();
+                assert!((1..=2).contains(&count), "merged count {count}");
+            }
+            CounterEvent::Done => panic!("expected counts"),
+        }
+    }
+
+    #[test]
+    fn consensus_with_write1_and_tas() {
+        for write in [BitWrite::Write1, BitWrite::TestAndSet] {
+            let protocol = track_consensus(3, write);
+            let inputs = [2, 0, 2];
+            for seed in 0..8 {
+                let report =
+                    run_consensus(&protocol, &inputs, RandomScheduler::seeded(seed), 2_000_000)
+                        .unwrap();
+                report.check(&inputs).unwrap();
+                assert!(report.unanimous().is_some());
+            }
+            let report = run_consensus(&protocol, &inputs, RoundRobinScheduler::new(), 2_000_000)
+                .unwrap();
+            report.check(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn space_grows_with_contention_budget() {
+        // The ∞ row made concrete: let the adversary interleave longer and
+        // longer before the solo finish; touched locations keep growing.
+        let protocol = track_consensus(2, BitWrite::Write1);
+        let mut last = 0;
+        for steps in [50u64, 400, 3000] {
+            let report = cbh_sim::adversarial_then_solo(
+                &protocol,
+                &[0, 1],
+                RandomScheduler::seeded(1),
+                steps,
+                1_000_000,
+            )
+            .unwrap();
+            assert!(report.locations_touched >= last);
+            last = report.locations_touched;
+        }
+        assert!(last > 4, "contended tracks consumed many locations, got {last}");
+    }
+
+    #[test]
+    fn bounded_layout_is_contiguous_and_checked() {
+        let family = TrackCounterFamily::new(2, BitWrite::Write1, TrackLayout::Bounded { cells: 4 });
+        assert_eq!(family.cell_location(0, 3), 3);
+        assert_eq!(family.cell_location(1, 0), 4);
+        assert_eq!(family.memory_spec().bounded_len(), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn bounded_overflow_panics_loudly() {
+        let family = TrackCounterFamily::new(1, BitWrite::Write1, TrackLayout::Bounded { cells: 2 });
+        let mut mem = Memory::new(&family.memory_spec());
+        let mut sim = family.spawn(0);
+        for _ in 0..3 {
+            drive(&mut sim, &mut mem, CounterRequest::Increment(0));
+        }
+    }
+
+    #[test]
+    fn solo_decides() {
+        let protocol = track_consensus(4, BitWrite::Write1);
+        let mut machine = Machine::start(&protocol, &[1, 0, 2, 3]).unwrap();
+        assert_eq!(machine.run_solo(2, 100_000).unwrap(), Some(2));
+    }
+}

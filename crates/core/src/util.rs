@@ -1,0 +1,234 @@
+//! Shared protocol building blocks.
+
+use cbh_model::{Action, Instruction, Op, Process, Value};
+
+/// Which read instruction a [`DoubleCollect`] issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadKind {
+    /// `read()` — plain words.
+    Read,
+    /// `read-max()` — max-registers.
+    ReadMax,
+    /// `ℓ-buffer-read()` — buffers.
+    BufferRead,
+}
+
+impl ReadKind {
+    fn instruction(self) -> Instruction {
+        match self {
+            ReadKind::Read => Instruction::Read,
+            ReadKind::ReadMax => Instruction::ReadMax,
+            ReadKind::BufferRead => Instruction::BufferRead,
+        }
+    }
+}
+
+/// The double-collect scan of Afek et al. [AAD+93], as a sub-state-machine.
+///
+/// A process repeatedly *collects* (reads every location once, in order) until
+/// two consecutive collects return identical values; the repeated collect is
+/// then a linearizable snapshot provided the locations' contents never repeat
+/// (monotone counters, max-registers, tagged swap values, growing histories —
+/// every use in the paper satisfies this).
+///
+/// Drive it with [`DoubleCollect::poised`] / [`DoubleCollect::absorb`]: each
+/// `absorb` consumes the result of the poised read, and returns the snapshot
+/// once one is obtained.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DoubleCollect {
+    locs: Vec<usize>,
+    kind: ReadKind,
+    prev: Option<Vec<Value>>,
+    cur: Vec<Value>,
+}
+
+impl DoubleCollect {
+    /// A new scan over `locs` (read in order) using `kind` reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locs` is empty.
+    pub fn new(locs: Vec<usize>, kind: ReadKind) -> Self {
+        assert!(!locs.is_empty(), "cannot scan zero locations");
+        DoubleCollect {
+            locs,
+            kind,
+            prev: None,
+            cur: Vec::new(),
+        }
+    }
+
+    /// The read this scan is poised to perform.
+    pub fn poised(&self) -> Op {
+        Op::single(self.locs[self.cur.len()], self.kind.instruction())
+    }
+
+    /// Consumes the result of the poised read; returns the snapshot when two
+    /// consecutive collects agree.
+    pub fn absorb(&mut self, result: Value) -> Option<Vec<Value>> {
+        self.cur.push(result);
+        if self.cur.len() < self.locs.len() {
+            return None;
+        }
+        let finished = std::mem::take(&mut self.cur);
+        match &self.prev {
+            Some(prev) if *prev == finished => Some(finished),
+            _ => {
+                self.prev = Some(finished);
+                None
+            }
+        }
+    }
+}
+
+/// How a protocol writes a 1 into a binary location: `write(1)` or
+/// `test-and-set()` (whose return value is simply ignored — the observation
+/// behind Theorem 9.3's "test-and-set can simulate write(1)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitWrite {
+    /// `write(1)`.
+    Write1,
+    /// `test-and-set()`, return value ignored.
+    TestAndSet,
+}
+
+impl BitWrite {
+    /// The instruction that sets the location to 1.
+    pub fn instruction(self) -> Instruction {
+        match self {
+            BitWrite::Write1 => Instruction::write(1),
+            BitWrite::TestAndSet => Instruction::TestAndSet,
+        }
+    }
+}
+
+/// Shifts every location an op touches by `base` — used to embed a
+/// sub-protocol into a block of a larger protocol's memory (Lemma 5.2).
+pub fn offset_op(op: Op, base: usize) -> Op {
+    match op {
+        Op::Single { loc, instr } => Op::Single {
+            loc: loc + base,
+            instr,
+        },
+        Op::MultiAssign(ws) => {
+            Op::MultiAssign(ws.into_iter().map(|(loc, v)| (loc + base, v)).collect())
+        }
+    }
+}
+
+/// A process wrapper that relocates the wrapped process's memory accesses by a
+/// fixed base offset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OffsetProc<P> {
+    inner: P,
+    base: usize,
+}
+
+impl<P: Process> OffsetProc<P> {
+    /// Wraps `inner`, shifting all its locations by `base`.
+    pub fn new(inner: P, base: usize) -> Self {
+        OffsetProc { inner, base }
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Process> Process for OffsetProc<P> {
+    fn action(&self) -> Action {
+        match self.inner.action() {
+            Action::Invoke(op) => Action::Invoke(offset_op(op, self.base)),
+            decide => decide,
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        self.inner.absorb(result);
+    }
+}
+
+/// Ceiling division `⌈a / b⌉` for the `⌈n/ℓ⌉`-style bounds of Table 1.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    assert!(b != 0, "division by zero");
+    a.div_ceil(b)
+}
+
+/// `⌈log₂ m⌉` — the number of bit-agreement rounds in Lemma 5.2; 1 for `m ≤ 2`.
+pub fn ceil_log2(m: u64) -> u32 {
+    if m <= 2 {
+        1
+    } else {
+        64 - (m - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_model::Value;
+
+    #[test]
+    fn double_collect_stabilises_after_two_equal_collects() {
+        let mut dc = DoubleCollect::new(vec![0, 1], ReadKind::Read);
+        assert_eq!(dc.poised(), Op::read(0));
+        assert_eq!(dc.absorb(Value::int(1)), None);
+        assert_eq!(dc.poised(), Op::read(1));
+        assert_eq!(dc.absorb(Value::int(2)), None, "first collect done");
+        // Second collect differs (location 0 moved): keeps going.
+        assert_eq!(dc.absorb(Value::int(9)), None);
+        assert_eq!(dc.absorb(Value::int(2)), None);
+        // Third collect equals the second: snapshot.
+        assert_eq!(dc.absorb(Value::int(9)), None);
+        let snap = dc.absorb(Value::int(2)).expect("stable");
+        assert_eq!(snap, vec![Value::int(9), Value::int(2)]);
+    }
+
+    #[test]
+    fn double_collect_single_location() {
+        let mut dc = DoubleCollect::new(vec![4], ReadKind::ReadMax);
+        assert_eq!(dc.poised(), Op::single(4, Instruction::ReadMax));
+        assert_eq!(dc.absorb(Value::int(3)), None);
+        assert_eq!(dc.absorb(Value::int(3)), Some(vec![Value::int(3)]));
+    }
+
+    #[test]
+    fn offset_op_relocates_all_targets() {
+        assert_eq!(offset_op(Op::read(2), 10), Op::read(12));
+        let ma = Op::multi_assign([(0, Value::int(1)), (3, Value::int(2))]);
+        assert_eq!(
+            offset_op(ma, 5),
+            Op::multi_assign([(5, Value::int(1)), (8, Value::int(2))])
+        );
+    }
+
+    #[test]
+    fn bit_write_instructions() {
+        assert_eq!(BitWrite::Write1.instruction(), Instruction::write(1));
+        assert_eq!(BitWrite::TestAndSet.instruction(), Instruction::TestAndSet);
+    }
+
+    #[test]
+    fn ceil_helpers() {
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(16), 4);
+        assert_eq!(ceil_log2(17), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero locations")]
+    fn empty_scan_rejected() {
+        let _ = DoubleCollect::new(vec![], ReadKind::Read);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the counter simulations: under *arbitrary
+//! instruction-level interleavings*, a quiescent scan returns exactly the
+//! number of increments issued per component (for the non-merging counters —
+//! racing tracks may merge concurrent increments and are tested separately).
+
+use cbh_core::buffer::BufferCounterFamily;
+use cbh_core::counter::{
+    AddCounterFamily, AddFlavor, CounterEvent, CounterFamily, CounterRequest, CounterSim,
+    MultiplyCounterFamily, MultiplyFlavor, SetBitCounterFamily,
+};
+use cbh_core::hetero::HeteroBufferCounterFamily;
+use cbh_core::increment::{IncrementCounterFamily, IncrementFlavor};
+use cbh_core::registers::RegisterCounterFamily;
+use cbh_core::tracks::{TrackCounterFamily, TrackLayout};
+use cbh_core::util::BitWrite;
+use cbh_model::Memory;
+use proptest::prelude::*;
+
+/// Drives `ops[i] = (pid, component)` increments to completion under the
+/// interleaving dictated by `schedule` (indices into the set of unfinished
+/// sims), then scans from pid 0 and returns the per-component totals.
+fn interleaved_totals<F: CounterFamily>(
+    family: &F,
+    n: usize,
+    ops: &[(usize, usize)],
+    schedule: &[usize],
+) -> (Vec<u64>, Vec<u64>) {
+    let mut mem = Memory::new(&family.memory_spec());
+    let mut sims: Vec<F::Sim> = (0..n).map(|p| family.spawn(p)).collect();
+    // Queue of increments per pid, in order.
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut expect = vec![0u64; family.m()];
+    for &(pid, v) in ops {
+        let v = v % family.m();
+        queues[pid % n].push(v);
+        expect[v] += 1;
+    }
+    for q in queues.iter_mut() {
+        q.reverse(); // pop from the back
+    }
+    let mut in_flight: Vec<bool> = vec![false; n];
+    let mut sched = schedule.iter().copied().cycle();
+    loop {
+        let busy: Vec<usize> = (0..n)
+            .filter(|&p| in_flight[p] || !queues[p].is_empty())
+            .collect();
+        if busy.is_empty() {
+            break;
+        }
+        let pick = busy[sched.next().unwrap_or(0) % busy.len()];
+        if !in_flight[pick] {
+            let v = queues[pick].pop().expect("busy implies work");
+            sims[pick].start(CounterRequest::Increment(v));
+            in_flight[pick] = true;
+        }
+        let r = mem.apply(&sims[pick].poised()).expect("in-model");
+        if sims[pick].absorb(r).is_some() {
+            in_flight[pick] = false;
+        }
+    }
+    // Quiescent scan.
+    sims[0].start(CounterRequest::Scan);
+    let counts = loop {
+        let r = mem.apply(&sims[0].poised()).expect("in-model");
+        if let Some(CounterEvent::Counts(c)) = sims[0].absorb(r) {
+            break c;
+        }
+    };
+    (
+        counts.iter().map(|c| c.to_u64().expect("small")).collect(),
+        expect,
+    )
+}
+
+fn ops_strategy(n: usize, m: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..m), 0..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn multiply_counter_exact(ops in ops_strategy(3, 3),
+                              sched in proptest::collection::vec(0usize..3, 1..40)) {
+        let family = MultiplyCounterFamily::new(3, MultiplyFlavor::ReadMultiply);
+        let (got, expect) = interleaved_totals(&family, 3, &ops, &sched);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn add_counter_exact(ops in ops_strategy(3, 2),
+                         sched in proptest::collection::vec(0usize..3, 1..40)) {
+        // Keep per-component counts below the 3n digit bound by capping ops.
+        let family = AddCounterFamily::new(2, 5, AddFlavor::ReadAdd);
+        let capped: Vec<_> = ops.into_iter().take(14).collect();
+        let (got, expect) = interleaved_totals(&family, 3, &capped, &sched);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn set_bit_counter_exact(ops in ops_strategy(4, 3),
+                             sched in proptest::collection::vec(0usize..4, 1..40)) {
+        let family = SetBitCounterFamily::new(3, 4);
+        let (got, expect) = interleaved_totals(&family, 4, &ops, &sched);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn increment_locations_exact(ops in ops_strategy(3, 2),
+                                 sched in proptest::collection::vec(0usize..3, 1..40)) {
+        let family = IncrementCounterFamily::new(2, IncrementFlavor::Increment);
+        let (got, expect) = interleaved_totals(&family, 3, &ops, &sched);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn register_counter_exact(ops in ops_strategy(3, 3),
+                              sched in proptest::collection::vec(0usize..3, 1..40)) {
+        let family = RegisterCounterFamily::new(3, 3);
+        let (got, expect) = interleaved_totals(&family, 3, &ops, &sched);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn buffer_counter_exact(ops in ops_strategy(4, 2),
+                            sched in proptest::collection::vec(0usize..4, 1..40),
+                            ell in 1usize..4) {
+        let family = BufferCounterFamily::new(2, 4, ell);
+        let (got, expect) = interleaved_totals(&family, 4, &ops, &sched);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn hetero_buffer_counter_exact(ops in ops_strategy(4, 2),
+                                   sched in proptest::collection::vec(0usize..4, 1..40)) {
+        let family = HeteroBufferCounterFamily::new(2, 4, vec![2, 1, 1]);
+        let (got, expect) = interleaved_totals(&family, 4, &ops, &sched);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn track_counter_bounds(ops in ops_strategy(3, 2),
+                            sched in proptest::collection::vec(0usize..3, 1..40)) {
+        // Tracks may merge concurrent increments of one component: totals are
+        // bounded above by the issued counts and below by the per-process max
+        // contribution (no increment by a solo-owner component is lost), and
+        // never exceed the issued counts.
+        let family = TrackCounterFamily::new(2, BitWrite::Write1, TrackLayout::Unbounded);
+        let (got, expect) = interleaved_totals(&family, 3, &ops, &sched);
+        for v in 0..2 {
+            prop_assert!(got[v] <= expect[v], "component {v}: {} > {}", got[v], expect[v]);
+            if expect[v] > 0 {
+                prop_assert!(got[v] >= 1, "component {v} lost everything");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_track_counter_exact(ops in proptest::collection::vec((0usize..1, 0usize..2), 0..25)) {
+        // Without concurrency there is no merging: totals are exact.
+        let family = TrackCounterFamily::new(2, BitWrite::TestAndSet, TrackLayout::Unbounded);
+        let (got, expect) = interleaved_totals(&family, 1, &ops, &[0]);
+        prop_assert_eq!(got, expect);
+    }
+}

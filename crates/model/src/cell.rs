@@ -1,0 +1,379 @@
+//! Per-location semantics: plain words and `ℓ`-buffers.
+
+use crate::{Instruction, ModelError, Result, Value};
+use cbh_bigint::BigInt;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The state of a single memory location.
+///
+/// Plain instruction sets operate on a [`CellState::Word`]. The buffer sets
+/// `B_ℓ` of Section 6 operate on a [`CellState::Buffer`], whose state *is* the
+/// sequence of the `ℓ` most recent writes — exactly the information an
+/// `ℓ-buffer-read` may return.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum CellState {
+    /// A single word.
+    Word(Value),
+    /// An `ℓ`-buffer: the inputs of the `ℓ` most recent `ℓ-buffer-write`s,
+    /// oldest first.
+    Buffer {
+        /// The capacity `ℓ ≥ 1`.
+        cap: usize,
+        /// Most recent writes, oldest first; never longer than `cap`.
+        entries: VecDeque<Value>,
+    },
+}
+
+impl CellState {
+    /// A word initialised to `v`.
+    pub fn word(v: Value) -> Self {
+        CellState::Word(v)
+    }
+
+    /// An empty `ℓ`-buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`; the paper requires `ℓ ≥ 1`.
+    pub fn buffer(cap: usize) -> Self {
+        assert!(cap >= 1, "ℓ-buffer capacity must be at least 1");
+        CellState::Buffer {
+            cap,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// The word contents, if this is a word cell.
+    pub fn as_word(&self) -> Option<&Value> {
+        match self {
+            CellState::Word(v) => Some(v),
+            CellState::Buffer { .. } => None,
+        }
+    }
+
+    /// Applies one instruction atomically, returning the instruction's result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TypeMismatch`] when an arithmetic instruction hits
+    /// a non-integer word or a buffer/word instruction hits the wrong cell
+    /// kind. Uniformity is *not* checked here — that is [`crate::Memory`]'s
+    /// job; the cell implements raw semantics.
+    pub fn apply(&mut self, instr: &Instruction) -> Result<Value> {
+        match self {
+            CellState::Word(word) => Self::apply_word(word, instr),
+            CellState::Buffer { cap, entries } => Self::apply_buffer(*cap, entries, instr),
+        }
+    }
+
+    /// The write a multiple assignment performs on this cell kind: a plain
+    /// `write(v)` on words, an `ℓ-buffer-write(v)` on buffers.
+    pub fn multi_assign_write(&mut self, v: Value) {
+        match self {
+            CellState::Word(word) => *word = v,
+            CellState::Buffer { cap, entries } => Self::buffer_push(*cap, entries, v),
+        }
+    }
+
+    fn apply_word(word: &mut Value, instr: &Instruction) -> Result<Value> {
+        use Instruction as I;
+        match instr {
+            I::Read | I::ReadMax => Ok(word.clone()),
+            I::Write(v) => {
+                *word = v.clone();
+                Ok(Value::Bot)
+            }
+            I::Swap(v) => Ok(std::mem::replace(word, v.clone())),
+            I::CompareAndSwap { expected, new } => {
+                let old = word.clone();
+                if old == *expected {
+                    *word = new.clone();
+                }
+                Ok(old)
+            }
+            I::TestAndSet => {
+                let cur = Self::int_of(word)?.clone();
+                if cur.is_zero() {
+                    *word = Value::one();
+                }
+                Ok(Value::Int(cur))
+            }
+            I::Reset => {
+                *word = Value::zero();
+                Ok(Value::Bot)
+            }
+            I::FetchAndAdd(x) => {
+                let cur = Self::int_of(word)?.clone();
+                *word = Value::Int(&cur + x);
+                Ok(Value::Int(cur))
+            }
+            I::Add(x) => {
+                let cur = Self::int_of(word)?;
+                *word = Value::Int(cur + x);
+                Ok(Value::Bot)
+            }
+            I::Increment => {
+                let cur = Self::int_of(word)?;
+                *word = Value::Int(cur + &BigInt::one());
+                Ok(Value::Bot)
+            }
+            I::Decrement => {
+                let cur = Self::int_of(word)?;
+                *word = Value::Int(cur - &BigInt::one());
+                Ok(Value::Bot)
+            }
+            I::FetchAndIncrement => {
+                let cur = Self::int_of(word)?.clone();
+                *word = Value::Int(&cur + &BigInt::one());
+                Ok(Value::Int(cur))
+            }
+            I::Multiply(x) => {
+                let cur = Self::int_of(word)?;
+                *word = Value::Int(cur * x);
+                Ok(Value::Bot)
+            }
+            I::FetchAndMultiply(x) => {
+                let cur = Self::int_of(word)?.clone();
+                *word = Value::Int(&cur * x);
+                Ok(Value::Int(cur))
+            }
+            I::SetBit(i) => {
+                let mut cur = Self::int_of(word)?.clone();
+                cur.set_bit(*i);
+                *word = Value::Int(cur);
+                Ok(Value::Bot)
+            }
+            I::WriteMax(v) => {
+                let new = v
+                    .as_int()
+                    .ok_or_else(|| Self::mismatch("an integer argument", v))?;
+                let cur = Self::int_of(word)?;
+                if new > cur {
+                    *word = v.clone();
+                }
+                Ok(Value::Bot)
+            }
+            I::BufferRead | I::BufferWrite(_) => {
+                Err(Self::mismatch("an ℓ-buffer cell", word))
+            }
+        }
+    }
+
+    fn apply_buffer(
+        cap: usize,
+        entries: &mut VecDeque<Value>,
+        instr: &Instruction,
+    ) -> Result<Value> {
+        use Instruction as I;
+        match instr {
+            I::BufferRead => {
+                let mut out = Vec::with_capacity(cap);
+                out.resize(cap - entries.len(), Value::Bot);
+                out.extend(entries.iter().cloned());
+                Ok(Value::Seq(out))
+            }
+            I::BufferWrite(v) => {
+                Self::buffer_push(cap, entries, v.clone());
+                Ok(Value::Bot)
+            }
+            other => Err(ModelError::TypeMismatch {
+                expected: "a word cell",
+                found: format!("an ℓ-buffer (instruction {other})"),
+            }),
+        }
+    }
+
+    fn buffer_push(cap: usize, entries: &mut VecDeque<Value>, v: Value) {
+        entries.push_back(v);
+        while entries.len() > cap {
+            entries.pop_front();
+        }
+    }
+
+    fn int_of(word: &Value) -> Result<&BigInt> {
+        word.as_int()
+            .ok_or_else(|| Self::mismatch("an integer word", word))
+    }
+
+    fn mismatch(expected: &'static str, found: &impl fmt::Display) -> ModelError {
+        ModelError::TypeMismatch {
+            expected,
+            found: found.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellState::Word(v) => write!(f, "{v}"),
+            CellState::Buffer { cap, entries } => {
+                write!(f, "buf{cap}[")?;
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instruction as I;
+
+    fn word0() -> CellState {
+        CellState::word(Value::zero())
+    }
+
+    #[test]
+    fn read_write_swap_cas() {
+        let mut c = word0();
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(0));
+        assert_eq!(c.apply(&I::write(7)).unwrap(), Value::Bot);
+        assert_eq!(c.apply(&I::Swap(Value::int(9))).unwrap(), Value::int(7));
+        // CAS succeeds only on a match, returns the old value either way.
+        let miss = c
+            .apply(&I::CompareAndSwap {
+                expected: Value::int(1),
+                new: Value::int(5),
+            })
+            .unwrap();
+        assert_eq!(miss, Value::int(9));
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(9));
+        let hit = c
+            .apply(&I::CompareAndSwap {
+                expected: Value::int(9),
+                new: Value::int(5),
+            })
+            .unwrap();
+        assert_eq!(hit, Value::int(9));
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(5));
+    }
+
+    #[test]
+    fn test_and_set_uses_papers_stronger_definition() {
+        // Returns the stored number; sets to 1 only if it contained 0.
+        let mut c = word0();
+        assert_eq!(c.apply(&I::TestAndSet).unwrap(), Value::int(0));
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(1));
+        let mut c = CellState::word(Value::int(6));
+        assert_eq!(c.apply(&I::TestAndSet).unwrap(), Value::int(6));
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(6), "6 is untouched");
+    }
+
+    #[test]
+    fn arithmetic_family() {
+        let mut c = word0();
+        assert_eq!(c.apply(&I::fetch_and_add(2)).unwrap(), Value::int(0));
+        assert_eq!(c.apply(&I::fetch_and_add(2)).unwrap(), Value::int(2));
+        c.apply(&I::add(-5)).unwrap();
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(-1));
+        c.apply(&I::Increment).unwrap();
+        c.apply(&I::Decrement).unwrap();
+        c.apply(&I::Decrement).unwrap();
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(-2));
+        assert_eq!(c.apply(&I::FetchAndIncrement).unwrap(), Value::int(-2));
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(-1));
+    }
+
+    #[test]
+    fn multiply_family() {
+        let mut c = CellState::word(Value::one());
+        c.apply(&I::multiply(6)).unwrap();
+        assert_eq!(c.apply(&I::FetchAndMultiply(7.into())).unwrap(), Value::int(6));
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(42));
+    }
+
+    #[test]
+    fn set_bit_is_idempotent_per_bit() {
+        let mut c = word0();
+        c.apply(&I::SetBit(3)).unwrap();
+        c.apply(&I::SetBit(3)).unwrap();
+        c.apply(&I::SetBit(0)).unwrap();
+        assert_eq!(c.apply(&I::Read).unwrap(), Value::int(9));
+    }
+
+    #[test]
+    fn write_max_keeps_maximum() {
+        let mut c = word0();
+        c.apply(&I::WriteMax(Value::int(5))).unwrap();
+        c.apply(&I::WriteMax(Value::int(3))).unwrap();
+        assert_eq!(c.apply(&I::ReadMax).unwrap(), Value::int(5));
+        c.apply(&I::WriteMax(Value::int(8))).unwrap();
+        assert_eq!(c.apply(&I::ReadMax).unwrap(), Value::int(8));
+    }
+
+    #[test]
+    fn buffer_pads_then_slides() {
+        let mut c = CellState::buffer(3);
+        assert_eq!(
+            c.apply(&I::BufferRead).unwrap(),
+            Value::seq([Value::Bot, Value::Bot, Value::Bot])
+        );
+        for k in 1..=2 {
+            c.apply(&I::BufferWrite(Value::int(k))).unwrap();
+        }
+        assert_eq!(
+            c.apply(&I::BufferRead).unwrap(),
+            Value::seq([Value::Bot, Value::int(1), Value::int(2)])
+        );
+        for k in 3..=5 {
+            c.apply(&I::BufferWrite(Value::int(k))).unwrap();
+        }
+        assert_eq!(
+            c.apply(&I::BufferRead).unwrap(),
+            Value::seq([Value::int(3), Value::int(4), Value::int(5)])
+        );
+    }
+
+    #[test]
+    fn one_buffer_is_a_register() {
+        let mut c = CellState::buffer(1);
+        c.apply(&I::BufferWrite(Value::int(4))).unwrap();
+        c.apply(&I::BufferWrite(Value::int(6))).unwrap();
+        assert_eq!(c.apply(&I::BufferRead).unwrap(), Value::seq([Value::int(6)]));
+    }
+
+    #[test]
+    fn type_mismatches_are_errors() {
+        let mut c = CellState::word(Value::Bot);
+        assert!(c.apply(&I::Increment).is_err(), "⊥ is not a number");
+        assert!(c.apply(&I::BufferRead).is_err());
+        let mut b = CellState::buffer(2);
+        assert!(b.apply(&I::Read).is_err());
+        assert!(b.apply(&I::Increment).is_err());
+        let mut w = word0();
+        assert!(w.apply(&I::WriteMax(Value::Bot)).is_err());
+    }
+
+    #[test]
+    fn multi_assign_write_dispatches_on_cell_kind() {
+        let mut w = word0();
+        w.multi_assign_write(Value::int(3));
+        assert_eq!(w.apply(&I::Read).unwrap(), Value::int(3));
+        let mut b = CellState::buffer(2);
+        b.multi_assign_write(Value::int(4));
+        assert_eq!(
+            b.apply(&I::BufferRead).unwrap(),
+            Value::seq([Value::Bot, Value::int(4)])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_buffer_rejected() {
+        let _ = CellState::buffer(0);
+    }
+}

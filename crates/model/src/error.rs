@@ -1,0 +1,87 @@
+//! Model-level errors.
+
+use crate::InstructionSet;
+use std::fmt;
+
+/// An error raised by the shared-memory machine.
+///
+/// Protocol implementations in this repository never trigger these in correct
+/// runs; they exist so the machine *enforces* the paper's model (uniformity,
+/// typed words) instead of silently accepting out-of-model steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The instruction is not a member of the memory's uniform instruction set
+    /// (Section 2's uniformity requirement).
+    UnsupportedInstruction {
+        /// The memory's instruction set.
+        iset: InstructionSet,
+        /// Rendered instruction that was rejected.
+        instr: String,
+    },
+    /// An arithmetic instruction was applied to a non-integer word, or a
+    /// buffer instruction to a plain word (or vice versa).
+    TypeMismatch {
+        /// What the instruction needed.
+        expected: &'static str,
+        /// Rendered actual contents.
+        found: String,
+    },
+    /// A location index beyond a bounded memory.
+    OutOfBounds {
+        /// Requested location.
+        loc: usize,
+        /// Number of locations in the memory.
+        len: usize,
+    },
+    /// A multiple assignment listed the same location twice.
+    DuplicateMultiAssignTarget {
+        /// The repeated location.
+        loc: usize,
+    },
+    /// A simulated object entered its broken state (`⊥` forever), e.g. the
+    /// bounded counter of Lemma 3.2 after an out-of-range increment.
+    ObjectBroken {
+        /// Which object broke.
+        object: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnsupportedInstruction { iset, instr } => {
+                write!(f, "instruction {instr} is not in the uniform set {iset}")
+            }
+            ModelError::TypeMismatch { expected, found } => {
+                write!(f, "instruction expected {expected} but location holds {found}")
+            }
+            ModelError::OutOfBounds { loc, len } => {
+                write!(f, "location {loc} out of bounds for memory of {len} locations")
+            }
+            ModelError::DuplicateMultiAssignTarget { loc } => {
+                write!(f, "multiple assignment targets location {loc} twice")
+            }
+            ModelError::ObjectBroken { object } => {
+                write!(f, "simulated object {object} is broken (returns ⊥)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_offender() {
+        let e = ModelError::OutOfBounds { loc: 9, len: 2 };
+        assert!(e.to_string().contains('9'));
+        let e = ModelError::UnsupportedInstruction {
+            iset: InstructionSet::Cas,
+            instr: "read()".into(),
+        };
+        assert!(e.to_string().contains("compare-and-swap"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Instructions and atomic steps.
+
+use crate::Value;
+use cbh_bigint::BigInt;
+use std::fmt;
+
+/// Every synchronization instruction appearing in the paper.
+///
+/// The *trivial* instructions (those that never change the location:
+/// [`Instruction::Read`], [`Instruction::ReadMax`], [`Instruction::BufferRead`])
+/// are distinguished by [`Instruction::is_trivial`]; the covering arguments of
+/// Sections 6–7 only care about non-trivial instructions.
+///
+/// Instructions that "return nothing" in the paper return [`Value::Bot`] here.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// `read()` — returns the contents of the location.
+    Read,
+    /// `write(x)` — stores `x`, returns nothing.
+    Write(Value),
+    /// `swap(x)` — stores `x`, returns the previous contents.
+    Swap(Value),
+    /// `compare-and-swap(x, y)` — if the contents equal `expected`, stores
+    /// `new`; returns the previous contents either way.
+    CompareAndSwap {
+        /// Value the location must hold for the swap to happen.
+        expected: Value,
+        /// Value installed on success.
+        new: Value,
+    },
+    /// `test-and-set()` — returns the number stored and sets the location to 1
+    /// **if it contained 0** (the paper's slightly-stronger definition, §1).
+    TestAndSet,
+    /// `reset()` — stores 0, returns nothing.
+    Reset,
+    /// `fetch-and-add(x)` — returns the number stored and adds `x` to it.
+    FetchAndAdd(BigInt),
+    /// `add(x)` — adds `x`, returns nothing.
+    Add(BigInt),
+    /// `increment()` — adds 1, returns nothing.
+    Increment,
+    /// `decrement()` — subtracts 1, returns nothing.
+    Decrement,
+    /// `fetch-and-increment()` — returns the number stored and adds 1.
+    FetchAndIncrement,
+    /// `multiply(x)` — multiplies the contents by `x`, returns nothing.
+    Multiply(BigInt),
+    /// `fetch-and-multiply(x)` — returns the number stored and multiplies by `x`.
+    FetchAndMultiply(BigInt),
+    /// `set-bit(x)` — sets bit `x` of the location to 1, returns nothing.
+    SetBit(u64),
+    /// `read-max()` — returns the contents of a max-register.
+    ReadMax,
+    /// `write-max(x)` — stores `x` if it exceeds the current contents.
+    WriteMax(Value),
+    /// `ℓ-buffer-read()` — returns the inputs of the `ℓ` most recent buffer
+    /// writes, least recent first, `⊥`-padded (Section 6).
+    BufferRead,
+    /// `ℓ-buffer-write(x)` — appends `x` to the buffer, returns nothing.
+    BufferWrite(Value),
+}
+
+impl Instruction {
+    /// Convenience constructor: `write` of an integer.
+    pub fn write(v: impl Into<BigInt>) -> Self {
+        Instruction::Write(Value::Int(v.into()))
+    }
+
+    /// Convenience constructor: `fetch-and-add` of a machine integer.
+    pub fn fetch_and_add(x: impl Into<BigInt>) -> Self {
+        Instruction::FetchAndAdd(x.into())
+    }
+
+    /// Convenience constructor: `add` of a machine integer.
+    pub fn add(x: impl Into<BigInt>) -> Self {
+        Instruction::Add(x.into())
+    }
+
+    /// Convenience constructor: `multiply` by a machine integer.
+    pub fn multiply(x: impl Into<BigInt>) -> Self {
+        Instruction::Multiply(x.into())
+    }
+
+    /// The fieldless discriminant, used for instruction-set membership.
+    pub fn kind(&self) -> InstructionKind {
+        match self {
+            Instruction::Read => InstructionKind::Read,
+            Instruction::Write(_) => InstructionKind::Write,
+            Instruction::Swap(_) => InstructionKind::Swap,
+            Instruction::CompareAndSwap { .. } => InstructionKind::CompareAndSwap,
+            Instruction::TestAndSet => InstructionKind::TestAndSet,
+            Instruction::Reset => InstructionKind::Reset,
+            Instruction::FetchAndAdd(_) => InstructionKind::FetchAndAdd,
+            Instruction::Add(_) => InstructionKind::Add,
+            Instruction::Increment => InstructionKind::Increment,
+            Instruction::Decrement => InstructionKind::Decrement,
+            Instruction::FetchAndIncrement => InstructionKind::FetchAndIncrement,
+            Instruction::Multiply(_) => InstructionKind::Multiply,
+            Instruction::FetchAndMultiply(_) => InstructionKind::FetchAndMultiply,
+            Instruction::SetBit(_) => InstructionKind::SetBit,
+            Instruction::ReadMax => InstructionKind::ReadMax,
+            Instruction::WriteMax(_) => InstructionKind::WriteMax,
+            Instruction::BufferRead => InstructionKind::BufferRead,
+            Instruction::BufferWrite(_) => InstructionKind::BufferWrite,
+        }
+    }
+
+    /// Returns `true` if the instruction can never change the location.
+    pub fn is_trivial(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Read | Instruction::ReadMax | Instruction::BufferRead
+        )
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Read => write!(f, "read()"),
+            Instruction::Write(v) => write!(f, "write({v})"),
+            Instruction::Swap(v) => write!(f, "swap({v})"),
+            Instruction::CompareAndSwap { expected, new } => {
+                write!(f, "compare-and-swap({expected}, {new})")
+            }
+            Instruction::TestAndSet => write!(f, "test-and-set()"),
+            Instruction::Reset => write!(f, "reset()"),
+            Instruction::FetchAndAdd(x) => write!(f, "fetch-and-add({x})"),
+            Instruction::Add(x) => write!(f, "add({x})"),
+            Instruction::Increment => write!(f, "increment()"),
+            Instruction::Decrement => write!(f, "decrement()"),
+            Instruction::FetchAndIncrement => write!(f, "fetch-and-increment()"),
+            Instruction::Multiply(x) => write!(f, "multiply({x})"),
+            Instruction::FetchAndMultiply(x) => write!(f, "fetch-and-multiply({x})"),
+            Instruction::SetBit(x) => write!(f, "set-bit({x})"),
+            Instruction::ReadMax => write!(f, "read-max()"),
+            Instruction::WriteMax(v) => write!(f, "write-max({v})"),
+            Instruction::BufferRead => write!(f, "ℓ-buffer-read()"),
+            Instruction::BufferWrite(v) => write!(f, "ℓ-buffer-write({v})"),
+        }
+    }
+}
+
+impl fmt::Debug for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The fieldless discriminant of an [`Instruction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum InstructionKind {
+    Read,
+    Write,
+    Swap,
+    CompareAndSwap,
+    TestAndSet,
+    Reset,
+    FetchAndAdd,
+    Add,
+    Increment,
+    Decrement,
+    FetchAndIncrement,
+    Multiply,
+    FetchAndMultiply,
+    SetBit,
+    ReadMax,
+    WriteMax,
+    BufferRead,
+    BufferWrite,
+}
+
+/// One atomic step's effect on memory.
+///
+/// Almost every step is a [`Op::Single`] instruction on one location. Section 7
+/// additionally allows a process to atomically perform one buffer-write per
+/// location on any subset of locations ([`Op::MultiAssign`]); the paper proves
+/// such "simple transactions" cannot significantly reduce space complexity.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// One instruction applied to one location.
+    Single {
+        /// Index of the target location.
+        loc: usize,
+        /// The instruction to apply.
+        instr: Instruction,
+    },
+    /// Atomic multiple assignment: one write per listed location.
+    ///
+    /// On `ℓ`-buffer memory each entry is an `ℓ-buffer-write`; on plain
+    /// read/write memory each entry is a `write`. Locations must be distinct.
+    MultiAssign(Vec<(usize, Value)>),
+}
+
+impl Op {
+    /// One instruction on one location.
+    pub fn single(loc: usize, instr: Instruction) -> Self {
+        Op::Single { loc, instr }
+    }
+
+    /// Convenience constructor: `read()` of `loc`.
+    pub fn read(loc: usize) -> Self {
+        Op::single(loc, Instruction::Read)
+    }
+
+    /// Convenience constructor: atomic multiple assignment.
+    pub fn multi_assign(writes: impl IntoIterator<Item = (usize, Value)>) -> Self {
+        Op::MultiAssign(writes.into_iter().collect())
+    }
+
+    /// The set of locations this step *may modify* (empty for trivial ops).
+    pub fn writes(&self) -> Vec<usize> {
+        match self {
+            Op::Single { loc, instr } => {
+                if instr.is_trivial() {
+                    Vec::new()
+                } else {
+                    vec![*loc]
+                }
+            }
+            Op::MultiAssign(ws) => ws.iter().map(|(loc, _)| *loc).collect(),
+        }
+    }
+
+    /// The set of locations this step touches at all.
+    pub fn touches(&self) -> Vec<usize> {
+        match self {
+            Op::Single { loc, .. } => vec![*loc],
+            Op::MultiAssign(ws) => ws.iter().map(|(loc, _)| *loc).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Single { loc, instr } => write!(f, "{instr} @ {loc}"),
+            Op::MultiAssign(ws) => {
+                write!(f, "multi-assign[")?;
+                for (i, (loc, v)) in ws.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{loc}←{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_instructions_do_not_write() {
+        assert!(Instruction::Read.is_trivial());
+        assert!(Instruction::ReadMax.is_trivial());
+        assert!(Instruction::BufferRead.is_trivial());
+        assert!(!Instruction::TestAndSet.is_trivial());
+        assert!(!Instruction::write(0).is_trivial());
+        assert_eq!(Op::read(3).writes(), Vec::<usize>::new());
+        assert_eq!(Op::single(3, Instruction::Increment).writes(), vec![3]);
+    }
+
+    #[test]
+    fn multi_assign_writes_all_targets() {
+        let op = Op::multi_assign([(0, Value::int(1)), (4, Value::Bot)]);
+        assert_eq!(op.writes(), vec![0, 4]);
+        assert_eq!(op.touches(), vec![0, 4]);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Instruction::write(9).kind(), InstructionKind::Write);
+        assert_eq!(
+            Instruction::CompareAndSwap {
+                expected: Value::Bot,
+                new: Value::int(1)
+            }
+            .kind(),
+            InstructionKind::CompareAndSwap
+        );
+    }
+
+    #[test]
+    fn display_is_paper_notation() {
+        assert_eq!(Instruction::fetch_and_add(2).to_string(), "fetch-and-add(2)");
+        assert_eq!(Op::read(0).to_string(), "read() @ 0");
+        assert_eq!(
+            Op::multi_assign([(1, Value::int(5))]).to_string(),
+            "multi-assign[1←5]"
+        );
+    }
+}

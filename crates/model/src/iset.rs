@@ -1,0 +1,254 @@
+//! Uniform instruction sets (the rows of Table 1 plus the intro examples).
+
+use crate::{Instruction, ModelError};
+use cbh_bigint::BigInt;
+use std::fmt;
+
+/// A uniform set of instructions supported by *every* memory location.
+///
+/// The paper's *uniformity requirement* (Section 2) says all locations support
+/// the same instruction set; [`crate::Memory`] enforces it by rejecting any
+/// instruction the set does not contain. Each variant corresponds to a row of
+/// Table 1 (several single-location rows share a variant each) or to one of the
+/// introduction's combination examples.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_model::{Instruction, InstructionSet};
+///
+/// let iset = InstructionSet::ReadWrite1;
+/// assert!(iset.supports(&Instruction::Read));
+/// assert!(iset.supports(&Instruction::write(1)));
+/// assert!(!iset.supports(&Instruction::write(0)), "only write(1) is allowed");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionSet {
+    /// `{read(), test-and-set()}` — Table 1 row 1a (`SP = ∞` for `n ≥ 3`).
+    ReadTas,
+    /// `{read(), write(1)}` — Table 1 row 1b (`SP = ∞` for `n ≥ 3`).
+    ReadWrite1,
+    /// `{read(), write(1), write(0)}` — row 2 (`n` lower, `O(n log n)` upper).
+    ReadWrite01,
+    /// `{read(), write(x)}` — row 3 (`SP = n`, registers).
+    ReadWrite,
+    /// `{read(), test-and-set(), reset()}` — row 4 (`Ω(√n)`, `O(n log n)`).
+    ReadTasReset,
+    /// `{read(), swap(x)}` — row 5 (`Ω(√n)` lower, `n−1` upper).
+    ReadSwap,
+    /// `{ℓ-buffer-read(), ℓ-buffer-write(x)}` = `B_ℓ` — row 6
+    /// (`⌈(n−1)/ℓ⌉` lower, `⌈n/ℓ⌉` upper). The payload is `ℓ ≥ 1`.
+    Buffer(usize),
+    /// `{read(), write(x), increment()}` — row 7a (2 lower, `O(log n)` upper).
+    ReadWriteIncrement,
+    /// `{read(), write(x), fetch-and-increment()}` — row 7b.
+    ReadWriteFetchIncrement,
+    /// `{read-max(), write-max(x)}` — row 8 (`SP = 2`).
+    MaxRegister,
+    /// `{compare-and-swap(x, y)}` — row 9 (`SP = 1`).
+    Cas,
+    /// `{read(), set-bit(x)}` — row 9 (`SP = 1`).
+    ReadSetBit,
+    /// `{read(), add(x)}` — row 9 (`SP = 1`).
+    ReadAdd,
+    /// `{read(), multiply(x)}` — row 9 (`SP = 1`).
+    ReadMultiply,
+    /// `{fetch-and-add(x)}` — row 9 (`SP = 1`).
+    FetchAndAdd,
+    /// `{fetch-and-multiply(x)}` — row 9 (`SP = 1`).
+    FetchAndMultiply,
+    /// `{fetch-and-add(2), test-and-set()}` — introduction example 1
+    /// (wait-free binary consensus for any `n` with one location).
+    FaaTas,
+    /// `{read(), decrement(), multiply(x)}` — introduction example 2.
+    ReadDecMul,
+}
+
+impl InstructionSet {
+    /// All instruction sets, in Table 1 order followed by the intro examples.
+    pub const ALL: [InstructionSet; 18] = [
+        InstructionSet::ReadTas,
+        InstructionSet::ReadWrite1,
+        InstructionSet::ReadWrite01,
+        InstructionSet::ReadWrite,
+        InstructionSet::ReadTasReset,
+        InstructionSet::ReadSwap,
+        InstructionSet::Buffer(2),
+        InstructionSet::ReadWriteIncrement,
+        InstructionSet::ReadWriteFetchIncrement,
+        InstructionSet::MaxRegister,
+        InstructionSet::Cas,
+        InstructionSet::ReadSetBit,
+        InstructionSet::ReadAdd,
+        InstructionSet::ReadMultiply,
+        InstructionSet::FetchAndAdd,
+        InstructionSet::FetchAndMultiply,
+        InstructionSet::FaaTas,
+        InstructionSet::ReadDecMul,
+    ];
+
+    /// Returns `true` if `instr` belongs to this uniform set.
+    pub fn supports(&self, instr: &Instruction) -> bool {
+        use Instruction as I;
+        match self {
+            InstructionSet::ReadTas => matches!(instr, I::Read | I::TestAndSet),
+            InstructionSet::ReadWrite1 => match instr {
+                I::Read => true,
+                I::Write(v) => v.as_u64() == Some(1),
+                _ => false,
+            },
+            InstructionSet::ReadWrite01 => match instr {
+                I::Read => true,
+                I::Write(v) => matches!(v.as_u64(), Some(0) | Some(1)),
+                _ => false,
+            },
+            InstructionSet::ReadWrite => matches!(instr, I::Read | I::Write(_)),
+            InstructionSet::ReadTasReset => {
+                matches!(instr, I::Read | I::TestAndSet | I::Reset)
+            }
+            InstructionSet::ReadSwap => matches!(instr, I::Read | I::Swap(_)),
+            InstructionSet::Buffer(_) => matches!(instr, I::BufferRead | I::BufferWrite(_)),
+            InstructionSet::ReadWriteIncrement => {
+                matches!(instr, I::Read | I::Write(_) | I::Increment)
+            }
+            InstructionSet::ReadWriteFetchIncrement => {
+                matches!(instr, I::Read | I::Write(_) | I::FetchAndIncrement)
+            }
+            InstructionSet::MaxRegister => matches!(instr, I::ReadMax | I::WriteMax(_)),
+            InstructionSet::Cas => matches!(instr, I::CompareAndSwap { .. }),
+            InstructionSet::ReadSetBit => matches!(instr, I::Read | I::SetBit(_)),
+            InstructionSet::ReadAdd => matches!(instr, I::Read | I::Add(_)),
+            InstructionSet::ReadMultiply => matches!(instr, I::Read | I::Multiply(_)),
+            InstructionSet::FetchAndAdd => matches!(instr, I::FetchAndAdd(_)),
+            InstructionSet::FetchAndMultiply => matches!(instr, I::FetchAndMultiply(_)),
+            InstructionSet::FaaTas => match instr {
+                I::TestAndSet => true,
+                I::FetchAndAdd(x) => *x == BigInt::from(2u64),
+                _ => false,
+            },
+            InstructionSet::ReadDecMul => {
+                matches!(instr, I::Read | I::Decrement | I::Multiply(_))
+            }
+        }
+    }
+
+    /// Checks membership and produces a uniformity-violation error otherwise.
+    pub fn check(&self, instr: &Instruction) -> Result<(), ModelError> {
+        if self.supports(instr) {
+            Ok(())
+        } else {
+            Err(ModelError::UnsupportedInstruction {
+                iset: *self,
+                instr: instr.to_string(),
+            })
+        }
+    }
+
+    /// The buffer capacity `ℓ` if this is a buffer set, else `None`.
+    pub fn buffer_capacity(&self) -> Option<usize> {
+        match self {
+            InstructionSet::Buffer(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the set contains plain `read()` and `write(x)` for
+    /// every `x` — the precondition of the bit-by-bit construction (Lemma 5.2).
+    pub fn has_read_write(&self) -> bool {
+        self.supports(&Instruction::Read)
+            && self.supports(&Instruction::Write(crate::Value::int(2)))
+    }
+}
+
+impl fmt::Display for InstructionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstructionSet::ReadTas => "{read, test-and-set}",
+            InstructionSet::ReadWrite1 => "{read, write(1)}",
+            InstructionSet::ReadWrite01 => "{read, write(1), write(0)}",
+            InstructionSet::ReadWrite => "{read, write(x)}",
+            InstructionSet::ReadTasReset => "{read, test-and-set, reset}",
+            InstructionSet::ReadSwap => "{read, swap(x)}",
+            InstructionSet::Buffer(l) => return write!(f, "{{{l}-buffer-read, {l}-buffer-write(x)}}"),
+            InstructionSet::ReadWriteIncrement => "{read, write(x), increment}",
+            InstructionSet::ReadWriteFetchIncrement => "{read, write(x), fetch-and-increment}",
+            InstructionSet::MaxRegister => "{read-max, write-max(x)}",
+            InstructionSet::Cas => "{compare-and-swap(x,y)}",
+            InstructionSet::ReadSetBit => "{read, set-bit(x)}",
+            InstructionSet::ReadAdd => "{read, add(x)}",
+            InstructionSet::ReadMultiply => "{read, multiply(x)}",
+            InstructionSet::FetchAndAdd => "{fetch-and-add(x)}",
+            InstructionSet::FetchAndMultiply => "{fetch-and-multiply(x)}",
+            InstructionSet::FaaTas => "{fetch-and-add(2), test-and-set}",
+            InstructionSet::ReadDecMul => "{read, decrement, multiply(x)}",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn write1_rejects_other_values() {
+        let s = InstructionSet::ReadWrite1;
+        assert!(s.supports(&Instruction::write(1)));
+        assert!(!s.supports(&Instruction::write(0)));
+        assert!(!s.supports(&Instruction::write(7)));
+        assert!(!s.supports(&Instruction::Write(Value::Bot)));
+    }
+
+    #[test]
+    fn write01_allows_both_bits_only() {
+        let s = InstructionSet::ReadWrite01;
+        assert!(s.supports(&Instruction::write(0)));
+        assert!(s.supports(&Instruction::write(1)));
+        assert!(!s.supports(&Instruction::write(2)));
+    }
+
+    #[test]
+    fn faatas_pins_the_addend() {
+        let s = InstructionSet::FaaTas;
+        assert!(s.supports(&Instruction::fetch_and_add(2)));
+        assert!(!s.supports(&Instruction::fetch_and_add(1)));
+        assert!(s.supports(&Instruction::TestAndSet));
+        assert!(!s.supports(&Instruction::Read));
+    }
+
+    #[test]
+    fn buffers_support_only_buffer_ops() {
+        let s = InstructionSet::Buffer(3);
+        assert!(s.supports(&Instruction::BufferRead));
+        assert!(s.supports(&Instruction::BufferWrite(Value::int(5))));
+        assert!(!s.supports(&Instruction::Read));
+        assert_eq!(s.buffer_capacity(), Some(3));
+        assert_eq!(InstructionSet::ReadWrite.buffer_capacity(), None);
+    }
+
+    #[test]
+    fn check_reports_uniformity_violation() {
+        let err = InstructionSet::MaxRegister
+            .check(&Instruction::Read)
+            .unwrap_err();
+        assert!(err.to_string().contains("read()"));
+    }
+
+    #[test]
+    fn has_read_write_identifies_lemma_5_2_preconditions() {
+        assert!(InstructionSet::ReadWrite.has_read_write());
+        assert!(InstructionSet::ReadWriteIncrement.has_read_write());
+        assert!(InstructionSet::ReadWriteFetchIncrement.has_read_write());
+        assert!(!InstructionSet::ReadWrite01.has_read_write());
+        assert!(!InstructionSet::MaxRegister.has_read_write());
+    }
+
+    #[test]
+    fn every_set_displays_with_braces() {
+        for s in InstructionSet::ALL {
+            let d = s.to_string();
+            assert!(d.starts_with('{') && d.ends_with('}'), "{d}");
+        }
+    }
+}

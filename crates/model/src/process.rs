@@ -1,0 +1,148 @@
+//! Processes and protocols as deterministic, cloneable state machines.
+
+use crate::{MemorySpec, Op};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// What a process will do when next allocated a step.
+///
+/// In every reachable configuration each undecided process is *poised* to
+/// perform one specific instruction on one specific location (Section 2); a
+/// decided process takes no further steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Poised to perform this atomic step.
+    Invoke(Op),
+    /// Decided: outputs this consensus value and halts.
+    Decide(u64),
+}
+
+impl Action {
+    /// The pending operation, if the process has not decided.
+    pub fn op(&self) -> Option<&Op> {
+        match self {
+            Action::Invoke(op) => Some(op),
+            Action::Decide(_) => None,
+        }
+    }
+
+    /// The decision, if the process has decided.
+    pub fn decision(&self) -> Option<u64> {
+        match self {
+            Action::Invoke(_) => None,
+            Action::Decide(v) => Some(*v),
+        }
+    }
+}
+
+/// A deterministic process: a state machine over atomic memory steps.
+///
+/// The contract mirrors the paper's model exactly:
+///
+/// 1. [`Process::action`] reports what the process is poised to do. It must be
+///    a pure function of the process state.
+/// 2. If the action is [`Action::Invoke`], the scheduler may execute it and
+///    feed the instruction's result to [`Process::absorb`], after which the
+///    process may do *unbounded local computation* to choose its next action.
+/// 3. If the action is [`Action::Decide`], the process never moves again.
+///
+/// Implementations must be [`Clone`] + [`Eq`] + [`Hash`] so configurations can
+/// be branched (the adversaries of the lower-bound proofs literally clone a
+/// configuration and run the two futures the proof compares) and memoised by
+/// the bounded model checker.
+pub trait Process: Clone + Debug + Eq + Hash {
+    /// What this process is poised to do.
+    fn action(&self) -> Action;
+
+    /// Absorbs the result of the op this process was poised to perform.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called while [`Process::action`] is
+    /// [`Action::Decide`] — the scheduler must never step a decided process.
+    fn absorb(&mut self, result: crate::Value);
+}
+
+/// Inputs to a consensus instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConsensusInput {
+    /// Process identifier in `0..n`.
+    pub pid: usize,
+    /// This process's proposal in `0..m`.
+    pub input: u64,
+}
+
+/// A consensus protocol: a recipe for memory plus one process per participant.
+///
+/// `m`-valued consensus among `n` processes (Section 2): every process starts
+/// with an input in `0..m`, decisions must be the input of some process
+/// (validity) and all equal (agreement), and every process must decide in a
+/// solo execution from any reachable configuration (obstruction-freedom).
+pub trait Protocol {
+    /// The process state machine this protocol runs.
+    type Proc: Process;
+
+    /// Human-readable protocol name (used by the Table 1 harness).
+    fn name(&self) -> String;
+
+    /// Number of participating processes `n ≥ 2`.
+    fn n(&self) -> usize;
+
+    /// Size of the input domain `m` (`m = n` for `n`-consensus, 2 for binary).
+    fn domain(&self) -> u64;
+
+    /// The memory this protocol runs on.
+    fn memory_spec(&self) -> MemorySpec;
+
+    /// Creates the initial state of process `pid` with proposal `input`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `pid ≥ n` or `input ≥ domain`.
+    fn spawn(&self, pid: usize, input: u64) -> Self::Proc;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instruction, Value};
+
+    #[test]
+    fn action_accessors() {
+        let inv = Action::Invoke(Op::single(0, Instruction::Read));
+        assert!(inv.op().is_some());
+        assert_eq!(inv.decision(), None);
+        let dec = Action::Decide(3);
+        assert_eq!(dec.decision(), Some(3));
+        assert!(dec.op().is_none());
+    }
+
+    /// A minimal process used to exercise the trait contract.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct OneShot {
+        done: bool,
+    }
+
+    impl Process for OneShot {
+        fn action(&self) -> Action {
+            if self.done {
+                Action::Decide(0)
+            } else {
+                Action::Invoke(Op::read(0))
+            }
+        }
+        fn absorb(&mut self, _result: Value) {
+            self.done = true;
+        }
+    }
+
+    #[test]
+    fn process_state_machine_roundtrip() {
+        let mut p = OneShot { done: false };
+        assert!(matches!(p.action(), Action::Invoke(_)));
+        p.absorb(Value::zero());
+        assert_eq!(p.action(), Action::Decide(0));
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+}

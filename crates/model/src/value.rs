@@ -1,0 +1,222 @@
+//! The contents of a memory word.
+
+use cbh_bigint::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A value stored in (or returned from) a memory location.
+///
+/// The paper's locations hold unbounded integers, but two constructions need
+/// more structure and the model gives it to them directly:
+///
+/// - `⊥` ([`Value::Bot`]) — the initial contents of an `ℓ`-buffer and the
+///   padding returned by `ℓ-buffer-read` before `ℓ` writes have happened
+///   (Section 6);
+/// - sequences ([`Value::Seq`]) — the vector returned by `ℓ-buffer-read`, the
+///   `(history, value)` pairs written by the history-object simulation
+///   (Lemma 6.1), and the lap vectors of the swap protocol (Algorithm 1).
+///
+/// The derived [`Ord`] is total: `⊥ <` integers `<` sequences, integers by
+/// numeric order, sequences lexicographically. Only the *max-register*
+/// instructions depend on an order, and they restrict themselves to integers;
+/// the total order exists so values can live in ordered containers.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_model::Value;
+///
+/// let v = Value::seq([Value::int(3), Value::Bot]);
+/// assert_eq!(v.to_string(), "(3, ⊥)");
+/// assert!(Value::Bot < Value::int(-100));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// The distinguished "no value" symbol `⊥`.
+    Bot,
+    /// An unbounded integer.
+    Int(BigInt),
+    /// An ordered sequence of values.
+    Seq(Vec<Value>),
+}
+
+impl Value {
+    /// Builds an integer value from any machine integer.
+    ///
+    /// ```
+    /// use cbh_model::Value;
+    /// assert_eq!(Value::int(-3).to_string(), "-3");
+    /// ```
+    pub fn int(v: impl Into<BigInt>) -> Self {
+        Value::Int(v.into())
+    }
+
+    /// Builds a sequence value.
+    pub fn seq(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Seq(items.into_iter().collect())
+    }
+
+    /// A two-element sequence, used for `(history, value)` pairs.
+    pub fn pair(a: Value, b: Value) -> Self {
+        Value::Seq(vec![a, b])
+    }
+
+    /// Returns `true` for `⊥`.
+    pub fn is_bot(&self) -> bool {
+        matches!(self, Value::Bot)
+    }
+
+    /// The integer contents, if this is an integer.
+    pub fn as_int(&self) -> Option<&BigInt> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The sequence contents, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The integer as `u64`, if this is a small nonnegative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_int().and_then(|v| v.to_u64())
+    }
+
+    /// The integer as `i64`, if this is a small integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_int().and_then(|v| v.to_i64())
+    }
+
+    /// Conventional zero word: the integer `0`.
+    pub fn zero() -> Self {
+        Value::Int(BigInt::zero())
+    }
+
+    /// Conventional unit word: the integer `1`.
+    pub fn one() -> Self {
+        Value::Int(BigInt::one())
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Bot => 0,
+            Value::Int(_) => 1,
+            Value::Seq(_) => 2,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Bot
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Seq(a), Value::Seq(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<BigInt> for Value {
+    fn from(v: BigInt) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::int(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::int(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bot => write!(f, "⊥"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Seq(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_dispatch_on_variant() {
+        assert!(Value::Bot.is_bot());
+        assert_eq!(Value::int(7).as_u64(), Some(7));
+        assert_eq!(Value::int(-7).as_i64(), Some(-7));
+        assert_eq!(Value::int(-7).as_u64(), None);
+        assert_eq!(Value::Bot.as_int(), None);
+        assert_eq!(
+            Value::seq([Value::Bot, Value::int(1)]).as_seq().map(<[Value]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn total_order_ranks_variants() {
+        let bot = Value::Bot;
+        let small = Value::int(-1000);
+        let seq = Value::seq([]);
+        assert!(bot < small && small < seq);
+        assert!(Value::int(2) < Value::int(10));
+        assert!(Value::seq([Value::int(1)]) < Value::seq([Value::int(1), Value::Bot]));
+        assert!(Value::seq([Value::int(1)]) < Value::seq([Value::int(2)]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Bot.to_string(), "⊥");
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(
+            Value::pair(Value::Bot, Value::int(1)).to_string(),
+            "(⊥, 1)"
+        );
+        assert_eq!(Value::seq([]).to_string(), "()");
+    }
+
+    #[test]
+    fn default_is_bot() {
+        assert_eq!(Value::default(), Value::Bot);
+    }
+}

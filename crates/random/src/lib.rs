@@ -1,0 +1,256 @@
+//! Randomized wait-freedom from obstruction-freedom (oblivious adversary).
+//!
+//! The paper motivates its obstruction-free hierarchy partly through
+//! randomization: *"any (deterministic) obstruction-free algorithm can be
+//! transformed into a randomized wait-free algorithm that uses the same number
+//! of memory locations (against an oblivious adversary)"* \[GHHW13\]. This crate
+//! implements that transformation operationally:
+//!
+//! - the **oblivious adversary** fixes an arbitrary infinite schedule of
+//!   process turns *before* seeing any coin flips ([`ObliviousSchedule`]);
+//! - each process wraps the deterministic protocol with **random exponential
+//!   backoff** ([`run_randomized`]): after each real step it flips a coin and
+//!   may sit out a random number of its own turns. Backoff desynchronizes the
+//!   processes, so with probability 1 some process eventually runs long enough
+//!   effectively-solo to finish — at which point obstruction-freedom carries
+//!   everyone home.
+//!
+//! Because the schedule cannot react to the coins, termination holds with
+//! probability 1 and the *space* is untouched: the transform adds no
+//! locations, which is why the space hierarchy transfers to randomized
+//! wait-free algorithms (see also \[EGZ18\]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cbh_core::maxreg::MaxRegConsensus;
+//! use cbh_random::{run_randomized, RandomizedConfig};
+//!
+//! let protocol = MaxRegConsensus::new(4);
+//! let stats = run_randomized(&protocol, &[3, 0, 0, 2], RandomizedConfig::seeded(7))
+//!     .expect("terminates with probability 1");
+//! assert!(stats.report.unanimous().is_some());
+//! assert_eq!(stats.report.locations_touched, 2, "the transform adds no space");
+//! ```
+
+use cbh_model::Protocol;
+use cbh_sim::{ConsensusReport, Machine, SimError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An infinite process-turn schedule fixed in advance — the oblivious
+/// adversary. Deterministic in its seed and independent of all coin flips.
+#[derive(Debug, Clone)]
+pub struct ObliviousSchedule {
+    rng: StdRng,
+}
+
+impl ObliviousSchedule {
+    /// A schedule drawn uniformly at random (but fixed) per turn.
+    pub fn seeded(seed: u64) -> Self {
+        ObliviousSchedule {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The pid taking the next turn, among `n` processes.
+    pub fn next_turn(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Parameters of the randomized execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedConfig {
+    /// Seed of the oblivious adversary's schedule.
+    pub schedule_seed: u64,
+    /// Seed of the processes' coins (independent of the schedule).
+    pub coin_seed: u64,
+    /// Probability of entering backoff after a step (per mille).
+    pub backoff_per_mille: u32,
+    /// Cap on a single backoff draw (turns).
+    pub max_backoff: u64,
+    /// Give up after this many turns (a safety valve for tests; the
+    /// theoretical guarantee is termination with probability 1).
+    pub max_turns: u64,
+}
+
+impl RandomizedConfig {
+    /// A sensible default configuration with both seeds derived from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        RandomizedConfig {
+            schedule_seed: seed,
+            coin_seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            backoff_per_mille: 300,
+            max_backoff: 64,
+            max_turns: 50_000_000,
+        }
+    }
+}
+
+/// Statistics of a randomized wait-free run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomizedStats {
+    /// The final consensus report (all processes decided).
+    pub report: ConsensusReport,
+    /// Scheduler turns consumed (including turns burnt in backoff).
+    pub turns: u64,
+    /// Real memory steps taken.
+    pub steps: u64,
+}
+
+/// Runs `protocol` to completion under an oblivious adversary with the
+/// randomized-backoff transform. Returns `None` only if `max_turns` elapsed
+/// first (probability decreasing geometrically in the budget).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] if the protocol steps outside the model.
+pub fn run_randomized<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    config: RandomizedConfig,
+) -> Result<RandomizedStats, SimError> {
+    let mut machine = Machine::start(protocol, inputs)?;
+    let mut schedule = ObliviousSchedule::seeded(config.schedule_seed);
+    let mut coins = StdRng::seed_from_u64(config.coin_seed);
+    let n = machine.n();
+    let mut backoff = vec![0u64; n];
+    // Per-process growing backoff window: doubling windows are what make an
+    // effectively-solo stretch arrive with probability 1.
+    let mut window = vec![4u64; n];
+
+    for turn in 0..config.max_turns {
+        if machine.all_decided() {
+            return Ok(RandomizedStats {
+                report: machine.report(),
+                turns: turn,
+                steps: machine.steps(),
+            });
+        }
+        let pid = schedule.next_turn(n);
+        if machine.decision(pid).is_some() {
+            continue; // decided processes ignore their turns
+        }
+        if backoff[pid] > 0 {
+            backoff[pid] -= 1;
+            continue;
+        }
+        machine.step(pid)?;
+        if coins.gen_ratio(config.backoff_per_mille, 1000) {
+            let w = window[pid].min(config.max_backoff);
+            backoff[pid] = coins.gen_range(0..=w);
+            window[pid] = (window[pid] * 2).min(config.max_backoff);
+        }
+    }
+
+    Err(SimError::SoloBudgetExhausted {
+        pid: machine.active().first().copied().unwrap_or(0),
+        budget: config.max_turns,
+    })
+}
+
+/// The average number of turns to termination across `seeds` runs — the
+/// quantity the randomized-consensus benchmark sweeps.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn expected_turns<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    seeds: std::ops::Range<u64>,
+) -> Result<f64, SimError> {
+    let count = seeds.end.saturating_sub(seeds.start).max(1);
+    let mut total = 0u64;
+    for seed in seeds {
+        total += run_randomized(protocol, inputs, RandomizedConfig::seeded(seed))?.turns;
+    }
+    Ok(total as f64 / count as f64)
+}
+
+/// The \[FHS98\] observation made executable: a *single* `{fetch-and-add}`
+/// location suffices for randomized wait-free binary consensus among `n`
+/// processes (contrast with the Ω(√n) historyless-object bound). This is the
+/// randomized transform applied to racing counters over the one-location
+/// base-3n add counter.
+pub fn faa_randomized_binary(
+    n: usize,
+) -> cbh_core::racing::RacingConsensus<cbh_core::counter::AddCounterFamily> {
+    use cbh_core::counter::{AddCounterFamily, AddFlavor};
+    cbh_core::racing::RacingConsensus::new(AddCounterFamily::new(2, n, AddFlavor::FetchAndAdd), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_core::cas::CasConsensus;
+    use cbh_core::maxreg::MaxRegConsensus;
+    use cbh_core::swap::SwapConsensus;
+
+    #[test]
+    fn maxreg_terminates_across_seeds() {
+        let protocol = MaxRegConsensus::new(4);
+        let inputs = [1, 3, 3, 0];
+        for seed in 0..20 {
+            let stats =
+                run_randomized(&protocol, &inputs, RandomizedConfig::seeded(seed)).unwrap();
+            stats.report.check(&inputs).unwrap();
+            assert!(stats.report.unanimous().is_some());
+            assert_eq!(stats.report.locations_touched, 2);
+        }
+    }
+
+    #[test]
+    fn swap_protocol_randomized() {
+        let protocol = SwapConsensus::new(3);
+        let inputs = [2, 0, 1];
+        for seed in 0..10 {
+            let stats =
+                run_randomized(&protocol, &inputs, RandomizedConfig::seeded(seed)).unwrap();
+            stats.report.check(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn faa_randomized_single_location() {
+        let protocol = faa_randomized_binary(5);
+        let inputs = [1, 0, 1, 1, 0];
+        for seed in 0..10 {
+            let stats =
+                run_randomized(&protocol, &inputs, RandomizedConfig::seeded(seed)).unwrap();
+            stats.report.check(&inputs).unwrap();
+            assert_eq!(
+                stats.report.locations_touched, 1,
+                "[FHS98]: one fetch-and-add object"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_free_even_though_cas_is_already_wait_free() {
+        // Degenerate sanity case: a wait-free protocol stays wait-free.
+        let protocol = CasConsensus::new(3);
+        let stats =
+            run_randomized(&protocol, &[0, 1, 2], RandomizedConfig::seeded(3)).unwrap();
+        assert_eq!(stats.steps, 3);
+    }
+
+    #[test]
+    fn schedule_is_oblivious() {
+        // Same schedule seed ⇒ same turn sequence, regardless of coins.
+        let mut a = ObliviousSchedule::seeded(5);
+        let mut b = ObliviousSchedule::seeded(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_turn(7), b.next_turn(7));
+        }
+    }
+
+    #[test]
+    fn turns_exceed_steps_due_to_backoff() {
+        let protocol = MaxRegConsensus::new(4);
+        let stats =
+            run_randomized(&protocol, &[0, 1, 2, 3], RandomizedConfig::seeded(11)).unwrap();
+        assert!(stats.turns >= stats.steps);
+    }
+}

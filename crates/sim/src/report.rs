@@ -1,0 +1,133 @@
+//! Consensus run outcomes and their correctness conditions.
+
+use std::fmt;
+
+/// A consensus-property violation found in a finished run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two processes decided different values.
+    Agreement {
+        /// First process and its decision.
+        a: (usize, u64),
+        /// Second process and its conflicting decision.
+        b: (usize, u64),
+    },
+    /// A decision was not the input of any process.
+    Validity {
+        /// The deciding process.
+        pid: usize,
+        /// Its out-of-thin-air decision.
+        decided: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Agreement { a, b } => write!(
+                f,
+                "agreement violated: p{} decided {} but p{} decided {}",
+                a.0, a.1, b.0, b.1
+            ),
+            Violation::Validity { pid, decided } => write!(
+                f,
+                "validity violated: p{pid} decided {decided}, which nobody proposed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// The outcome of a consensus run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusReport {
+    /// Per-process decisions (`None` = still undecided).
+    pub decisions: Vec<Option<u64>>,
+    /// Total steps executed.
+    pub steps: u64,
+    /// Locations allocated in memory at the end of the run.
+    pub locations_allocated: usize,
+    /// Locations ever touched — the space-complexity measure of Table 1.
+    pub locations_touched: usize,
+}
+
+impl ConsensusReport {
+    /// The unanimous decision, if all processes decided the same value.
+    pub fn unanimous(&self) -> Option<u64> {
+        let mut it = self.decisions.iter();
+        let first = (*it.next()?)?;
+        for d in it {
+            if *d != Some(first) {
+                return None;
+            }
+        }
+        Some(first)
+    }
+
+    /// Checks agreement and validity against the proposals.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found.
+    pub fn check(&self, inputs: &[u64]) -> Result<(), Violation> {
+        let mut seen: Option<(usize, u64)> = None;
+        for (pid, d) in self.decisions.iter().enumerate() {
+            let Some(v) = *d else { continue };
+            if !inputs.contains(&v) {
+                return Err(Violation::Validity { pid, decided: v });
+            }
+            match seen {
+                None => seen = Some((pid, v)),
+                Some((q, w)) if w != v => {
+                    return Err(Violation::Agreement {
+                        a: (q, w),
+                        b: (pid, v),
+                    })
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(decisions: Vec<Option<u64>>) -> ConsensusReport {
+        ConsensusReport {
+            decisions,
+            steps: 0,
+            locations_allocated: 1,
+            locations_touched: 1,
+        }
+    }
+
+    #[test]
+    fn unanimous_requires_every_process() {
+        assert_eq!(report(vec![Some(1), Some(1)]).unanimous(), Some(1));
+        assert_eq!(report(vec![Some(1), None]).unanimous(), None);
+        assert_eq!(report(vec![Some(1), Some(2)]).unanimous(), None);
+    }
+
+    #[test]
+    fn agreement_violation_detected() {
+        let err = report(vec![Some(0), Some(1)]).check(&[0, 1]).unwrap_err();
+        assert!(matches!(err, Violation::Agreement { .. }));
+        assert!(err.to_string().contains("agreement"));
+    }
+
+    #[test]
+    fn validity_violation_detected() {
+        let err = report(vec![Some(5), Some(5)]).check(&[0, 1]).unwrap_err();
+        assert!(matches!(err, Violation::Validity { decided: 5, .. }));
+    }
+
+    #[test]
+    fn undecided_processes_are_ignored_by_check() {
+        report(vec![None, Some(1)]).check(&[1, 1]).unwrap();
+        report(vec![None, None]).check(&[0, 1]).unwrap();
+    }
+}

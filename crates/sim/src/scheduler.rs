@@ -1,0 +1,208 @@
+//! Adversarial schedulers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An adversary controlling which undecided process takes the next step.
+///
+/// `active` is always non-empty and sorted; returning `None` ends the run
+/// early (used by scripted adversaries whose script is exhausted).
+pub trait Scheduler {
+    /// Chooses the pid to step next from `active`, or `None` to stop.
+    fn next(&mut self, active: &[usize], step: u64) -> Option<usize>;
+}
+
+/// Always runs one process: the solo executions of obstruction-freedom.
+#[derive(Debug, Clone, Copy)]
+pub struct SoloScheduler {
+    pid: usize,
+}
+
+impl SoloScheduler {
+    /// Runs only `pid`; stops if `pid` decides while others remain.
+    pub fn new(pid: usize) -> Self {
+        SoloScheduler { pid }
+    }
+}
+
+impl Scheduler for SoloScheduler {
+    fn next(&mut self, active: &[usize], _step: u64) -> Option<usize> {
+        active.contains(&self.pid).then_some(self.pid)
+    }
+}
+
+/// Cycles through the undecided processes in pid order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl RoundRobinScheduler {
+    /// A fresh round-robin scheduler starting at pid 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn next(&mut self, active: &[usize], _step: u64) -> Option<usize> {
+        let pid = active
+            .iter()
+            .copied()
+            .find(|&p| p >= self.cursor)
+            .unwrap_or(active[0]);
+        self.cursor = pid + 1;
+        Some(pid)
+    }
+}
+
+/// A seeded uniformly-random adversary. Deterministic given its seed, so
+/// failures replay exactly.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// A random adversary with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next(&mut self, active: &[usize], _step: u64) -> Option<usize> {
+        Some(active[self.rng.gen_range(0..active.len())])
+    }
+}
+
+/// Replays an explicit pid sequence; skips entries whose process has decided;
+/// stops when the script ends.
+///
+/// Used to reproduce the exact interleavings of the paper's proofs (e.g. the
+/// Figure 1 overlap pattern).
+#[derive(Debug, Clone)]
+pub struct ScriptedScheduler {
+    script: std::vec::IntoIter<usize>,
+}
+
+impl ScriptedScheduler {
+    /// Builds a scheduler that replays `script` in order.
+    pub fn new(script: impl IntoIterator<Item = usize>) -> Self {
+        ScriptedScheduler {
+            script: script.into_iter().collect::<Vec<_>>().into_iter(),
+        }
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn next(&mut self, active: &[usize], _step: u64) -> Option<usize> {
+        for pid in self.script.by_ref() {
+            if active.contains(&pid) {
+                return Some(pid);
+            }
+        }
+        None
+    }
+}
+
+/// An adversary that runs random processes in geometrically-distributed solo
+/// *bursts* — the natural adversary for obstruction-free algorithms, since it
+/// eventually gives some process a long enough solo window to finish.
+#[derive(Debug, Clone)]
+pub struct ObstructionScheduler {
+    rng: StdRng,
+    current: Option<usize>,
+    remaining: u64,
+    mean_burst: u64,
+}
+
+impl ObstructionScheduler {
+    /// A burst adversary with mean burst length `mean_burst`, seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_burst == 0`.
+    pub fn seeded(seed: u64, mean_burst: u64) -> Self {
+        assert!(mean_burst > 0, "mean burst length must be positive");
+        ObstructionScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+            remaining: 0,
+            mean_burst,
+        }
+    }
+}
+
+impl Scheduler for ObstructionScheduler {
+    fn next(&mut self, active: &[usize], _step: u64) -> Option<usize> {
+        if self.remaining == 0 || self.current.map_or(true, |p| !active.contains(&p)) {
+            self.current = Some(active[self.rng.gen_range(0..active.len())]);
+            // Geometric with mean `mean_burst`, at least 1.
+            let p = 1.0 / self.mean_burst as f64;
+            let mut len = 1;
+            while self.rng.gen::<f64>() > p && len < 64 * self.mean_burst {
+                len += 1;
+            }
+            self.remaining = len;
+        }
+        self.remaining -= 1;
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_runs_only_its_pid() {
+        let mut s = SoloScheduler::new(2);
+        assert_eq!(s.next(&[0, 2, 3], 0), Some(2));
+        assert_eq!(s.next(&[0, 3], 1), None);
+    }
+
+    #[test]
+    fn round_robin_cycles_over_active() {
+        let mut s = RoundRobinScheduler::new();
+        assert_eq!(s.next(&[0, 1, 2], 0), Some(0));
+        assert_eq!(s.next(&[0, 1, 2], 1), Some(1));
+        assert_eq!(s.next(&[0, 2], 2), Some(2));
+        assert_eq!(s.next(&[0, 2], 3), Some(0));
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let picks = |seed| {
+            let mut s = RandomScheduler::seeded(seed);
+            (0..20).map(|i| s.next(&[0, 1, 2, 3], i).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8), "different seeds diverge (w.h.p.)");
+    }
+
+    #[test]
+    fn scripted_skips_decided_and_ends() {
+        let mut s = ScriptedScheduler::new([1, 0, 1, 1]);
+        assert_eq!(s.next(&[0, 1], 0), Some(1));
+        assert_eq!(s.next(&[1], 1), Some(1), "0 skipped: decided");
+        assert_eq!(s.next(&[1], 2), Some(1));
+        assert_eq!(s.next(&[1], 3), None, "script exhausted");
+    }
+
+    #[test]
+    fn bursts_stick_with_one_process() {
+        let mut s = ObstructionScheduler::seeded(1, 10);
+        let first = s.next(&[0, 1, 2], 0).unwrap();
+        // While the burst lasts, the same process is chosen.
+        let mut same = 0;
+        for i in 1..5 {
+            if s.next(&[0, 1, 2], i) == Some(first) {
+                same += 1;
+            }
+        }
+        assert!(same > 0, "burst length of mean 10 repeats at least once in 5");
+    }
+}

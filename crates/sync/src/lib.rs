@@ -1,0 +1,35 @@
+//! Thread-backed runtime and native concurrent objects.
+//!
+//! The deterministic machine in `cbh-sim` is the paper's model; this crate is
+//! the bridge to *real* concurrency:
+//!
+//! - [`SharedMemory`] realizes the model's atomic instructions over OS
+//!   threads (per-location mutual exclusion makes exotic instructions like
+//!   `multiply(x)` atomic, exactly as a hardware RMW would);
+//! - [`run_threaded`] executes any [`Protocol`](cbh_model::Protocol) state
+//!   machine on real threads, with randomized backoff so obstruction-free
+//!   protocols terminate in practice;
+//! - [`objects`] offers the paper's derived objects as ordinary, directly
+//!   usable concurrent types: max-registers, `ℓ`-buffers, history objects
+//!   (Lemma 6.1), single-writer register arrays (Lemma 6.2) and `m`-component
+//!   counters;
+//! - [`universal`] realizes the conclusion's universality remark: any
+//!   sequentially specified object from one history object.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbh_core::maxreg::MaxRegConsensus;
+//! use cbh_sync::run_threaded;
+//!
+//! let protocol = MaxRegConsensus::new(4);
+//! let outcome = run_threaded(&protocol, &[2, 0, 1, 2]).unwrap();
+//! outcome.report.check(&[2, 0, 1, 2]).unwrap();
+//! assert!(outcome.report.unanimous().is_some());
+//! ```
+
+pub mod memory;
+pub mod objects;
+pub mod universal;
+
+pub use memory::{run_threaded, SharedMemory, ThreadOutcome};

@@ -1,0 +1,322 @@
+//! Real-thread execution of protocol state machines.
+
+use cbh_model::{Action, CellState, MemorySpec, ModelError, Op, Process, Protocol, Value};
+use cbh_sim::ConsensusReport;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe shared memory implementing the model's atomic instructions.
+///
+/// Each location is a [`CellState`] behind its own mutex; one instruction =
+/// one critical section, which realizes the model's atomicity for arbitrary
+/// read-modify-write instructions. Multiple assignment locks its target
+/// locations in ascending order (two-phase), so it is atomic and
+/// deadlock-free.
+pub struct SharedMemory {
+    spec: MemorySpec,
+    cells: RwLock<Vec<Arc<Mutex<CellState>>>>,
+    growable: bool,
+    touched: AtomicUsize,
+    steps: AtomicU64,
+}
+
+impl SharedMemory {
+    /// Builds the memory described by `spec`.
+    pub fn new(spec: &MemorySpec) -> Self {
+        // Reuse the deterministic memory to materialise initial cells.
+        let proto = cbh_model::Memory::new(spec);
+        let cells = (0..proto.len())
+            .map(|i| Arc::new(Mutex::new(proto.cell(i).expect("in range").clone())))
+            .collect();
+        SharedMemory {
+            spec: spec.clone(),
+            cells: RwLock::new(cells),
+            growable: spec.bounded_len().is_none(),
+            touched: AtomicUsize::new(0),
+            steps: AtomicU64::new(0),
+        }
+    }
+
+    /// Locations ever touched (the Table 1 space measure).
+    pub fn touched(&self) -> usize {
+        self.touched.load(Ordering::Relaxed)
+    }
+
+    /// Total instructions applied.
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    fn cell(&self, loc: usize) -> Result<Arc<Mutex<CellState>>, ModelError> {
+        {
+            let cells = self.cells.read();
+            if let Some(c) = cells.get(loc) {
+                return Ok(Arc::clone(c));
+            }
+            if !self.growable {
+                return Err(ModelError::OutOfBounds {
+                    loc,
+                    len: cells.len(),
+                });
+            }
+        }
+        let mut cells = self.cells.write();
+        while cells.len() <= loc {
+            let i = cells.len();
+            let fresh = cbh_model::Memory::new(
+                &MemorySpec::unbounded(self.spec.iset()).with_default(Value::zero()),
+            );
+            let _ = fresh; // template only; build the default cell directly
+            let cell = if let Some(cap) = self.spec.iset().buffer_capacity() {
+                CellState::buffer(cap)
+            } else {
+                CellState::word(Value::zero())
+            };
+            let _ = i;
+            cells.push(Arc::new(Mutex::new(cell)));
+        }
+        Ok(Arc::clone(&cells[loc]))
+    }
+
+    fn note(&self, loc: usize) {
+        self.touched.fetch_max(loc + 1, Ordering::Relaxed);
+        self.steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Applies one atomic step.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`cbh_model::Memory::apply`].
+    pub fn apply(&self, op: &Op) -> Result<Value, ModelError> {
+        match op {
+            Op::Single { loc, instr } => {
+                self.spec.iset().check(instr)?;
+                let cell = self.cell(*loc)?;
+                self.note(*loc);
+                let mut guard = cell.lock();
+                guard.apply(instr)
+            }
+            Op::MultiAssign(writes) => {
+                for (i, (loc, _)) in writes.iter().enumerate() {
+                    if writes[..i].iter().any(|(l, _)| l == loc) {
+                        return Err(ModelError::DuplicateMultiAssignTarget { loc: *loc });
+                    }
+                }
+                let mut sorted: Vec<(usize, &Value)> =
+                    writes.iter().map(|(l, v)| (*l, v)).collect();
+                sorted.sort_by_key(|(l, _)| *l);
+                let cells: Vec<(Arc<Mutex<CellState>>, &Value)> = sorted
+                    .iter()
+                    .map(|(l, v)| Ok((self.cell(*l)?, *v)))
+                    .collect::<Result<_, ModelError>>()?;
+                // Lock in ascending location order: atomic and deadlock-free.
+                let mut guards: Vec<_> = cells.iter().map(|(c, _)| c.lock()).collect();
+                for ((_, v), guard) in cells.iter().zip(guards.iter_mut()) {
+                    guard.multi_assign_write((*v).clone());
+                }
+                for (l, _) in &sorted {
+                    self.note(*l);
+                }
+                Ok(Value::Bot)
+            }
+        }
+    }
+}
+
+/// The result of a threaded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadOutcome {
+    /// Decisions and space usage, in the same shape as the simulator's.
+    pub report: ConsensusReport,
+}
+
+/// Runs every process of `protocol` on its own OS thread until all decide.
+///
+/// Obstruction-free protocols have no deterministic termination guarantee
+/// under true concurrency, so each thread applies randomized exponential
+/// backoff when it has gone a long time without deciding — the practical
+/// analogue of the randomized wait-free transform in `cbh-random`.
+///
+/// # Errors
+///
+/// Returns the first [`ModelError`] any thread hits (the error aborts that
+/// thread; others finish or exhaust their step caps).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != protocol.n()`.
+pub fn run_threaded<P>(protocol: &P, inputs: &[u64]) -> Result<ThreadOutcome, ModelError>
+where
+    P: Protocol,
+    P::Proc: Send,
+{
+    assert_eq!(inputs.len(), protocol.n(), "one input per process");
+    let memory = SharedMemory::new(&protocol.memory_spec());
+    let decisions: Vec<Mutex<Option<u64>>> = (0..protocol.n()).map(|_| Mutex::new(None)).collect();
+    let error: Mutex<Option<ModelError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for (pid, &input) in inputs.iter().enumerate() {
+            let mut proc = protocol.spawn(pid, input);
+            let memory = &memory;
+            let decisions = &decisions;
+            let error = &error;
+            scope.spawn(move || {
+                let mut since_backoff: u32 = 0;
+                let mut window_us: u64 = 1;
+                loop {
+                    match proc.action() {
+                        Action::Decide(v) => {
+                            *decisions[pid].lock() = Some(v);
+                            return;
+                        }
+                        Action::Invoke(op) => match memory.apply(&op) {
+                            Ok(result) => proc.absorb(result),
+                            Err(e) => {
+                                let mut slot = error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                return;
+                            }
+                        },
+                    }
+                    since_backoff += 1;
+                    if since_backoff > 256 {
+                        // A long undecided stretch means heavy contention:
+                        // back off for a pseudo-random, growing interval so
+                        // somebody gets an effectively-solo window.
+                        since_backoff = 0;
+                        let jitter = (pid as u64 + 1).wrapping_mul(0x9E37_79B9) % window_us.max(1);
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            window_us + jitter,
+                        ));
+                        window_us = (window_us * 2).min(2_000);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    let decided: Vec<Option<u64>> = decisions.iter().map(|d| *d.lock()).collect();
+    let locations_allocated = memory.cells.read().len();
+    Ok(ThreadOutcome {
+        report: ConsensusReport {
+            decisions: decided,
+            steps: memory.steps(),
+            locations_allocated,
+            locations_touched: memory.touched(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_core::cas::CasConsensus;
+    use cbh_core::intro::FaaTasConsensus;
+    use cbh_core::maxreg::MaxRegConsensus;
+    use cbh_core::registers::register_consensus;
+    use cbh_core::swap::SwapConsensus;
+    use cbh_core::tracks::track_consensus;
+    use cbh_core::util::BitWrite;
+    use cbh_model::{Instruction, InstructionSet};
+
+    #[test]
+    fn shared_memory_applies_instructions_atomically() {
+        let spec = MemorySpec::bounded(InstructionSet::FetchAndAdd, 1);
+        let mem = SharedMemory::new(&spec);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        mem.apply(&Op::single(0, Instruction::fetch_and_add(1)))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let total = mem
+            .apply(&Op::single(0, Instruction::fetch_and_add(0)))
+            .unwrap();
+        assert_eq!(total, Value::int(4000), "no increment was lost");
+    }
+
+    #[test]
+    fn shared_memory_rejects_uniformity_violations() {
+        let mem = SharedMemory::new(&MemorySpec::bounded(InstructionSet::MaxRegister, 1));
+        assert!(mem.apply(&Op::read(0)).is_err());
+    }
+
+    #[test]
+    fn multi_assign_is_atomic_under_threads() {
+        let mem = SharedMemory::new(&MemorySpec::bounded(InstructionSet::ReadWrite, 2));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let mem = &mem;
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        mem.apply(&Op::multi_assign([
+                            (0, Value::int(t)),
+                            (1, Value::int(t)),
+                        ]))
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        // Both cells must agree: a torn multi-assign would leave them mixed.
+        let a = mem.apply(&Op::read(0)).unwrap();
+        let b = mem.apply(&Op::read(1)).unwrap();
+        assert_eq!(a, b, "atomic multiple assignment never tears");
+    }
+
+    fn check_threaded<P>(protocol: P, inputs: &[u64])
+    where
+        P: Protocol,
+        P::Proc: Send,
+    {
+        let outcome = run_threaded(&protocol, inputs).unwrap();
+        outcome.report.check(inputs).unwrap();
+        assert!(
+            outcome.report.unanimous().is_some(),
+            "all threads decide: {:?}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn threaded_cas() {
+        check_threaded(CasConsensus::new(8), &[7, 1, 1, 3, 0, 2, 5, 1]);
+    }
+
+    #[test]
+    fn threaded_faa_tas() {
+        check_threaded(FaaTasConsensus::new(8), &[0, 1, 1, 0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn threaded_max_registers() {
+        check_threaded(MaxRegConsensus::new(6), &[5, 0, 3, 3, 1, 2]);
+    }
+
+    #[test]
+    fn threaded_swap() {
+        check_threaded(SwapConsensus::new(4), &[3, 1, 1, 0]);
+    }
+
+    #[test]
+    fn threaded_registers() {
+        check_threaded(register_consensus(4), &[2, 2, 0, 1]);
+    }
+
+    #[test]
+    fn threaded_unbounded_tracks() {
+        check_threaded(track_consensus(3, BitWrite::Write1), &[2, 0, 1]);
+    }
+}

@@ -1,0 +1,427 @@
+//! The paper's derived objects as native concurrent types.
+//!
+//! These are the objects a downstream user would actually instantiate: a
+//! [`MaxRegister`] (Section 4), an [`LBuffer`] (Section 6), the
+//! [`HistoryObject`] built from one buffer (Lemma 6.1), the single-writer
+//! register array derived from it ([`SwmrRegisters`], Lemma 6.2), and the
+//! racing-counters workhorse [`MCounter`] (Section 3).
+
+use cbh_bigint::BigInt;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent max-register: `write_max` only ever raises the value.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_sync::objects::MaxRegister;
+///
+/// let r = MaxRegister::new(0u64.into());
+/// r.write_max(5u64.into());
+/// r.write_max(3u64.into());
+/// assert_eq!(r.read_max(), 5u64.into());
+/// ```
+#[derive(Debug)]
+pub struct MaxRegister {
+    value: Mutex<BigInt>,
+}
+
+impl MaxRegister {
+    /// A max-register holding `initial`.
+    pub fn new(initial: BigInt) -> Self {
+        MaxRegister {
+            value: Mutex::new(initial),
+        }
+    }
+
+    /// Raises the register to `v` if `v` exceeds the current value.
+    pub fn write_max(&self, v: BigInt) {
+        let mut cur = self.value.lock();
+        if v > *cur {
+            *cur = v;
+        }
+    }
+
+    /// The largest value ever written (or the initial value).
+    pub fn read_max(&self) -> BigInt {
+        self.value.lock().clone()
+    }
+}
+
+impl Default for MaxRegister {
+    fn default() -> Self {
+        MaxRegister::new(BigInt::zero())
+    }
+}
+
+/// A concurrent `ℓ`-buffer: reads return the `ℓ` most recent writes,
+/// oldest first, `None`-padded.
+#[derive(Debug)]
+pub struct LBuffer<T> {
+    cap: usize,
+    entries: Mutex<VecDeque<T>>,
+}
+
+impl<T: Clone> LBuffer<T> {
+    /// An empty buffer of capacity `ℓ = cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "ℓ-buffer capacity must be at least 1");
+        LBuffer {
+            cap,
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The capacity `ℓ`.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// `ℓ-buffer-write(v)`.
+    pub fn write(&self, v: T) {
+        let mut entries = self.entries.lock();
+        entries.push_back(v);
+        while entries.len() > self.cap {
+            entries.pop_front();
+        }
+    }
+
+    /// `ℓ-buffer-read()`: `ℓ` slots, oldest first, `None` where fewer than
+    /// `ℓ` writes have happened.
+    pub fn read(&self) -> Vec<Option<T>> {
+        let entries = self.entries.lock();
+        let mut out: Vec<Option<T>> = Vec::with_capacity(self.cap);
+        out.resize(self.cap - entries.len(), None);
+        out.extend(entries.iter().cloned().map(Some));
+        out
+    }
+}
+
+/// A record in a [`HistoryObject`]: unique via `(writer, seq)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HistoryRecord<T> {
+    /// The appending writer (must be `< writers`).
+    pub writer: usize,
+    /// Writer-local sequence number.
+    pub seq: u64,
+    /// The appended value.
+    pub value: T,
+}
+
+/// A history object simulated from a single `ℓ`-buffer (Lemma 6.1), for at
+/// most `ℓ` distinct writers and any number of readers.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_sync::objects::HistoryObject;
+///
+/// let h: HistoryObject<&str> = HistoryObject::new(2);
+/// h.append(0, "a");
+/// h.append(1, "b");
+/// h.append(0, "c");
+/// let vals: Vec<_> = h.get_history().into_iter().map(|r| r.value).collect();
+/// assert_eq!(vals, ["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct HistoryObject<T> {
+    buffer: LBuffer<(Vec<HistoryRecord<T>>, HistoryRecord<T>)>,
+    seqs: Mutex<Vec<u64>>,
+}
+
+impl<T: Clone + PartialEq> HistoryObject<T> {
+    /// A history object over one `ℓ`-buffer supporting `writers = ℓ` writers.
+    pub fn new(writers: usize) -> Self {
+        HistoryObject {
+            buffer: LBuffer::new(writers),
+            seqs: Mutex::new(vec![0; writers]),
+        }
+    }
+
+    /// Appends `value` on behalf of `writer` (Lemma 6.1's `append`): a
+    /// `get-history` followed by one buffer write of `(history, record)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writer` is out of range.
+    pub fn append(&self, writer: usize, value: T) {
+        let seq = {
+            let mut seqs = self.seqs.lock();
+            let s = seqs[writer];
+            seqs[writer] += 1;
+            s
+        };
+        let record = HistoryRecord { writer, seq, value };
+        let history = self.get_history();
+        self.buffer.write((history, record));
+    }
+
+    /// Returns the full linearized history (Lemma 6.1's `get-history`).
+    pub fn get_history(&self) -> Vec<HistoryRecord<T>> {
+        let slots = self.buffer.read();
+        let present: Vec<&(Vec<HistoryRecord<T>>, HistoryRecord<T>)> =
+            slots.iter().flatten().collect();
+        if present.len() < slots.len() {
+            return present.iter().map(|(_, x)| x.clone()).collect();
+        }
+        if present.is_empty() {
+            return Vec::new();
+        }
+        let x1 = &present[0].1;
+        let h = present
+            .iter()
+            .map(|(h, _)| h)
+            .max_by_key(|h| h.len())
+            .expect("non-empty");
+        let same = |a: &HistoryRecord<T>, b: &HistoryRecord<T>| {
+            a.writer == b.writer && a.seq == b.seq
+        };
+        let mut out: Vec<HistoryRecord<T>> = match h.iter().position(|r| same(r, x1)) {
+            Some(pos) => h[..pos].to_vec(),
+            None => h.clone(),
+        };
+        out.extend(present.iter().map(|(_, x)| x.clone()));
+        out
+    }
+}
+
+/// `ℓ` single-writer multi-reader registers from one `ℓ`-buffer (Lemma 6.2).
+#[derive(Debug)]
+pub struct SwmrRegisters<T> {
+    history: HistoryObject<T>,
+}
+
+impl<T: Clone + PartialEq> SwmrRegisters<T> {
+    /// `count` single-writer registers (register `i` owned by writer `i`),
+    /// all initially empty.
+    pub fn new(count: usize) -> Self {
+        SwmrRegisters {
+            history: HistoryObject::new(count),
+        }
+    }
+
+    /// Writes `v` to the register owned by `owner`.
+    pub fn write(&self, owner: usize, v: T) {
+        self.history.append(owner, v);
+    }
+
+    /// Reads the register owned by `owner` (`None` if never written).
+    pub fn read(&self, owner: usize) -> Option<T> {
+        self.history
+            .get_history()
+            .into_iter()
+            .rev()
+            .find(|r| r.writer == owner)
+            .map(|r| r.value)
+    }
+}
+
+/// An `m`-component counter with lock-free increments and a double-collect
+/// `scan` (counts are monotone, so repeated identical collects linearize).
+#[derive(Debug)]
+pub struct MCounter {
+    components: Vec<AtomicU64>,
+}
+
+impl MCounter {
+    /// An `m`-component counter, all components 0.
+    pub fn new(m: usize) -> Self {
+        MCounter {
+            components: (0..m).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of components.
+    pub fn m(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Increments component `v`.
+    pub fn increment(&self, v: usize) {
+        self.components[v].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A linearizable snapshot of all components (double collect).
+    pub fn scan(&self) -> Vec<u64> {
+        let collect = |out: &mut Vec<u64>| {
+            out.clear();
+            out.extend(self.components.iter().map(|c| c.load(Ordering::SeqCst)));
+        };
+        let mut prev = Vec::new();
+        let mut cur = Vec::new();
+        collect(&mut prev);
+        loop {
+            collect(&mut cur);
+            if prev == cur {
+                return cur;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+    }
+}
+
+/// Native racing-counters consensus (Lemma 3.1 directly on [`MCounter`]):
+/// `n` threads, values `0..m`; returns the agreed value.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or any input is `≥ m`.
+pub fn racing_consensus_native(m: usize, inputs: &[u64]) -> u64 {
+    assert!(!inputs.is_empty());
+    assert!(inputs.iter().all(|&v| (v as usize) < m), "inputs in domain");
+    let n = inputs.len() as u64;
+    let counter = MCounter::new(m);
+    let decisions: Vec<Mutex<Option<u64>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for (pid, &input) in inputs.iter().enumerate() {
+            let counter = &counter;
+            let decisions = &decisions;
+            scope.spawn(move || {
+                let mut target = input as usize;
+                loop {
+                    counter.increment(target);
+                    let counts = counter.scan();
+                    let lead = counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &c)| c)
+                        .map(|(v, _)| v)
+                        .expect("m ≥ 1");
+                    if counts
+                        .iter()
+                        .enumerate()
+                        .all(|(v, &c)| v == lead || counts[lead] >= c + n)
+                    {
+                        *decisions[pid].lock() = Some(lead as u64);
+                        return;
+                    }
+                    target = lead;
+                }
+            });
+        }
+    });
+
+    let first = decisions[0].lock().expect("decided");
+    for d in &decisions {
+        assert_eq!(d.lock().expect("decided"), first, "agreement");
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_register_is_monotone_under_threads() {
+        let r = MaxRegister::default();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        r.write_max(BigInt::from(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.read_max(), BigInt::from(7099u64));
+    }
+
+    #[test]
+    fn lbuffer_semantics() {
+        let b: LBuffer<u32> = LBuffer::new(3);
+        assert_eq!(b.read(), vec![None, None, None]);
+        b.write(1);
+        b.write(2);
+        assert_eq!(b.read(), vec![None, Some(1), Some(2)]);
+        b.write(3);
+        b.write(4);
+        assert_eq!(b.read(), vec![Some(2), Some(3), Some(4)]);
+        assert_eq!(b.capacity(), 3);
+    }
+
+    #[test]
+    fn history_object_sequential() {
+        let h: HistoryObject<u32> = HistoryObject::new(3);
+        for i in 0..10 {
+            h.append((i % 3) as usize, i);
+        }
+        let vals: Vec<u32> = h.get_history().into_iter().map(|r| r.value).collect();
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn history_object_concurrent_appends_linearize() {
+        let h: HistoryObject<(usize, u64)> = HistoryObject::new(4);
+        std::thread::scope(|s| {
+            for w in 0..4usize {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        h.append(w, (w, i));
+                    }
+                });
+            }
+        });
+        let hist = h.get_history();
+        assert_eq!(hist.len(), 200, "no append is lost");
+        // Per-writer subsequences appear in order.
+        for w in 0..4usize {
+            let seqs: Vec<u64> = hist
+                .iter()
+                .filter(|r| r.writer == w)
+                .map(|r| r.seq)
+                .collect();
+            assert_eq!(seqs, (0..50).collect::<Vec<_>>(), "writer {w} in order");
+        }
+    }
+
+    #[test]
+    fn swmr_registers() {
+        let regs: SwmrRegisters<&str> = SwmrRegisters::new(2);
+        assert_eq!(regs.read(0), None);
+        regs.write(0, "x");
+        regs.write(1, "y");
+        regs.write(0, "z");
+        assert_eq!(regs.read(0), Some("z"));
+        assert_eq!(regs.read(1), Some("y"));
+    }
+
+    #[test]
+    fn mcounter_scan_sums_all_increments() {
+        let c = MCounter::new(2);
+        std::thread::scope(|s| {
+            for t in 0..6usize {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.increment(t % 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.scan(), vec![3000, 3000]);
+    }
+
+    #[test]
+    fn native_racing_consensus_agrees_and_is_valid() {
+        for _ in 0..5 {
+            let inputs = [2u64, 0, 2, 1, 2, 2, 0, 1];
+            let v = racing_consensus_native(3, &inputs);
+            assert!(inputs.contains(&v));
+        }
+    }
+
+    #[test]
+    fn native_racing_unanimous() {
+        assert_eq!(racing_consensus_native(4, &[3, 3, 3, 3]), 3);
+    }
+}

@@ -1,0 +1,434 @@
+//! Adversaries extracted from the paper's impossibility proofs.
+
+use cbh_model::{Action, Instruction, InstructionKind, InstructionSet, Protocol, Value};
+use cbh_sim::{Machine, SimError};
+use std::fmt;
+
+/// What an adversary produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversaryOutcome {
+    /// Agreement was violated: the two decisions.
+    AgreementViolation {
+        /// First process's decision.
+        p: u64,
+        /// Second process's decision.
+        q: u64,
+    },
+    /// The protocol survived — it is not of the shape the theorem covers (or
+    /// a step/budget limit was hit first).
+    Survived {
+        /// Why the adversary gave up.
+        reason: String,
+    },
+}
+
+impl AdversaryOutcome {
+    /// Returns `true` if a violation was found.
+    pub fn violated(&self) -> bool {
+        matches!(self, AdversaryOutcome::AgreementViolation { .. })
+    }
+}
+
+impl fmt::Display for AdversaryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryOutcome::AgreementViolation { p, q } => {
+                write!(f, "agreement violated: decisions {p} and {q}")
+            }
+            AdversaryOutcome::Survived { reason } => write!(f, "adversary gave up: {reason}"),
+        }
+    }
+}
+
+/// An error from an adversary run.
+#[derive(Debug)]
+pub enum AdversaryError {
+    /// The protocol does not have the shape the theorem requires.
+    WrongShape(&'static str),
+    /// The underlying machine failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryError::WrongShape(s) => write!(f, "protocol shape mismatch: {s}"),
+            AdversaryError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {}
+
+impl From<SimError> for AdversaryError {
+    fn from(e: SimError) -> Self {
+        AdversaryError::Sim(e)
+    }
+}
+
+fn poised_kind<P: Protocol>(machine: &Machine<P::Proc>, pid: usize) -> Option<InstructionKind> {
+    match machine.action(pid) {
+        Action::Invoke(op) => match op {
+            cbh_model::Op::Single { instr, .. } => Some(instr.kind()),
+            cbh_model::Op::MultiAssign(_) => None,
+        },
+        Action::Decide(_) => None,
+    }
+}
+
+fn poised_write_max_arg<P: Protocol>(machine: &Machine<P::Proc>, pid: usize) -> Option<Value> {
+    match machine.action(pid) {
+        Action::Invoke(cbh_model::Op::Single {
+            instr: Instruction::WriteMax(v),
+            ..
+        }) => Some(v),
+        _ => None,
+    }
+}
+
+/// Theorem 4.1: defeats any 2-process binary consensus protocol that uses a
+/// **single max-register**.
+///
+/// Interleaves the two solo executions so that whenever a process runs, every
+/// write by the other process so far is dominated by its own writes — making
+/// the interleaving indistinguishable from each solo run, so both solo
+/// decisions happen in one execution.
+///
+/// # Errors
+///
+/// [`AdversaryError::WrongShape`] unless the protocol has `n = 2` on one
+/// max-register location. [`AdversaryError::Sim`] if the machine rejects a
+/// step.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_verify::adversary::max_register_interleave;
+/// use cbh_verify::strawmen::OneMaxRegister;
+///
+/// let outcome = max_register_interleave(&OneMaxRegister::new()).unwrap();
+/// assert!(outcome.violated(), "Theorem 4.1 in action: {outcome}");
+/// ```
+pub fn max_register_interleave<P: Protocol>(
+    protocol: &P,
+) -> Result<AdversaryOutcome, AdversaryError> {
+    if protocol.n() != 2 {
+        return Err(AdversaryError::WrongShape("need exactly 2 processes"));
+    }
+    let spec = protocol.memory_spec();
+    if spec.iset() != InstructionSet::MaxRegister || spec.bounded_len() != Some(1) {
+        return Err(AdversaryError::WrongShape("need one max-register location"));
+    }
+
+    const BUDGET: u64 = 100_000;
+    let mut machine = Machine::start(protocol, &[0, 1])?;
+
+    // Advance `pid` until it is poised to write-max or has decided.
+    fn advance<Pr: Protocol>(
+        m: &mut Machine<Pr::Proc>,
+        pid: usize,
+        budget: &mut u64,
+    ) -> Result<(), AdversaryError> {
+        while *budget > 0
+            && m.decision(pid).is_none()
+            && poised_write_max_arg::<Pr>(m, pid).is_none()
+        {
+            m.step(pid)?;
+            *budget -= 1;
+        }
+        Ok(())
+    }
+
+    let mut budget = BUDGET;
+    advance::<P>(&mut machine, 0, &mut budget)?;
+    advance::<P>(&mut machine, 1, &mut budget)?;
+
+    while budget > 0 {
+        match (machine.decision(0), machine.decision(1)) {
+            (Some(p), Some(q)) => {
+                return Ok(if p != q {
+                    AdversaryOutcome::AgreementViolation { p, q }
+                } else {
+                    AdversaryOutcome::Survived {
+                        reason: format!("both decided {p}"),
+                    }
+                });
+            }
+            (Some(_), None) => {
+                machine.step(1)?;
+                budget -= 1;
+                advance::<P>(&mut machine, 1, &mut budget)?;
+            }
+            (None, Some(_)) => {
+                machine.step(0)?;
+                budget -= 1;
+                advance::<P>(&mut machine, 0, &mut budget)?;
+            }
+            (None, None) => {
+                let a = poised_write_max_arg::<P>(&machine, 0)
+                    .expect("undecided process past advance is poised to write-max");
+                let b = poised_write_max_arg::<P>(&machine, 1)
+                    .expect("undecided process past advance is poised to write-max");
+                // The proof's rule: let the smaller pending write go first.
+                let runner = if a <= b { 0 } else { 1 };
+                machine.step(runner)?;
+                budget -= 1;
+                advance::<P>(&mut machine, runner, &mut budget)?;
+            }
+        }
+    }
+    Ok(AdversaryOutcome::Survived {
+        reason: "step budget exhausted before both processes decided".into(),
+    })
+}
+
+/// Theorem 5.1: defeats any 2-process binary consensus protocol that uses a
+/// **single `{read, write(x), fetch-and-increment}` location**.
+///
+/// Reproduces the proof: compare `p`'s two solo executions (inputs 0 and 1)
+/// up to their first `write`; run the input whose write-free prefix does
+/// fewer fetch-and-increments, let `q` decide solo from the resulting
+/// configuration (which `q` cannot distinguish from a unanimous one), then
+/// let `p`'s pending write obliterate the location and finish its solo run.
+///
+/// # Errors
+///
+/// [`AdversaryError::WrongShape`] unless the protocol has `n = 2` on one
+/// `{read, write, fetch-and-increment}` location.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_verify::adversary::fetch_inc_adversary;
+/// use cbh_verify::strawmen::OneFetchIncWord;
+///
+/// let outcome = fetch_inc_adversary(&OneFetchIncWord::new()).unwrap();
+/// assert!(outcome.violated(), "Theorem 5.1 in action: {outcome}");
+/// ```
+pub fn fetch_inc_adversary<P: Protocol>(
+    protocol: &P,
+) -> Result<AdversaryOutcome, AdversaryError> {
+    if protocol.n() != 2 {
+        return Err(AdversaryError::WrongShape("need exactly 2 processes"));
+    }
+    let spec = protocol.memory_spec();
+    if spec.iset() != InstructionSet::ReadWriteFetchIncrement || spec.bounded_len() != Some(1) {
+        return Err(AdversaryError::WrongShape(
+            "need one {read, write, fetch-and-increment} location",
+        ));
+    }
+
+    const BUDGET: u64 = 100_000;
+
+    // Count fetch-and-increments in p's solo write-free prefix with `input`.
+    let fi_count = |input: u64| -> Result<u64, AdversaryError> {
+        let mut m = Machine::start(protocol, &[input, 1 - input])?;
+        let mut count = 0;
+        for _ in 0..BUDGET {
+            if m.decision(0).is_some() {
+                break;
+            }
+            match poised_kind::<P>(&m, 0) {
+                Some(InstructionKind::Write) | None => break,
+                Some(InstructionKind::FetchAndIncrement) => count += 1,
+                _ => {}
+            }
+            m.step(0)?;
+        }
+        Ok(count)
+    };
+
+    // WLOG (proof): run the input with the *smaller or equal* write-free
+    // fetch-and-increment count as p's real input.
+    let (fi0, fi1) = (fi_count(0)?, fi_count(1)?);
+    let p_input = if fi0 <= fi1 { 0 } else { 1 };
+    let q_input = 1 - p_input;
+
+    // Build configuration C: p runs its write-free prefix α′.
+    let mut machine = Machine::start(protocol, &[p_input, q_input])?;
+    for _ in 0..BUDGET {
+        if machine.decision(0).is_some() {
+            break;
+        }
+        match poised_kind::<P>(&machine, 0) {
+            Some(InstructionKind::Write) | None => break,
+            _ => {}
+        }
+        machine.step(0)?;
+    }
+
+    // q decides solo from C — it cannot distinguish C from the configuration
+    // C′ in which both processes started with its own input.
+    let q_decision = machine
+        .run_solo(1, BUDGET)?
+        .ok_or(AdversaryError::WrongShape(
+            "q did not decide solo (protocol is not obstruction-free)",
+        ))?;
+
+    // If p already decided in C it decided solo — p_input.
+    let p_decision = match machine.decision(0) {
+        Some(v) => v,
+        None => {
+            // p's pending write makes C·γ and C indistinguishable to p.
+            machine.step(0)?;
+            machine
+                .run_solo(0, BUDGET)?
+                .ok_or(AdversaryError::WrongShape(
+                    "p did not decide solo (protocol is not obstruction-free)",
+                ))?
+        }
+    };
+
+    Ok(if p_decision != q_decision {
+        AdversaryOutcome::AgreementViolation {
+            p: p_decision,
+            q: q_decision,
+        }
+    } else {
+        AdversaryOutcome::Survived {
+            reason: format!("both decided {p_decision}"),
+        }
+    })
+}
+
+/// The escalation adversary behind Lemma 9.1 / Theorem 9.2: on
+/// `{read, test-and-set}` or `{read, write(1)}` memory, keeps the system
+/// bivalent while forcing it to touch ever more locations.
+///
+/// Strategy (greedy form of the lemma's construction): repeatedly find two
+/// processes whose solo runs decide differently — the configuration is
+/// bivalent — and take one step of a process whose step *keeps* it bivalent
+/// (checked by cloning the configuration and probing solo decisions). Every
+/// obstruction-free protocol on such memory admits arbitrarily long bivalent
+/// executions, and bivalent executions must keep setting fresh locations.
+///
+/// Returns the number of locations touched once `target_locations` is reached
+/// or the step budget runs out, together with whether the final configuration
+/// is still bivalent.
+///
+/// # Errors
+///
+/// Propagates machine errors.
+pub fn tas_escalation<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    target_locations: usize,
+    budget: u64,
+) -> Result<EscalationReport, AdversaryError> {
+    let mut machine = Machine::start(protocol, inputs)?;
+    let solo_budget = 1_000_000;
+
+    let bivalent = |m: &Machine<P::Proc>| -> Result<bool, AdversaryError> {
+        let mut seen = None;
+        for pid in 0..m.n() {
+            let mut probe = m.clone();
+            let Some(d) = probe.run_solo(pid, solo_budget)? else {
+                continue;
+            };
+            match seen {
+                None => seen = Some(d),
+                Some(prev) if prev != d => return Ok(true),
+                _ => {}
+            }
+        }
+        Ok(false)
+    };
+
+    let mut steps = 0;
+    while steps < budget && machine.memory().touched() < target_locations {
+        if !bivalent(&machine)? {
+            return Ok(EscalationReport {
+                locations_touched: machine.memory().touched(),
+                steps,
+                still_bivalent: false,
+            });
+        }
+        // Greedy: take any step that preserves bivalence (the lemma guarantees
+        // one exists for ≥ 3 processes on this memory).
+        let mut advanced = false;
+        for pid in machine.active() {
+            let mut trial = machine.clone();
+            trial.step(pid)?;
+            if bivalent(&trial)? {
+                machine = trial;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return Ok(EscalationReport {
+                locations_touched: machine.memory().touched(),
+                steps,
+                still_bivalent: true,
+            });
+        }
+    }
+
+    let still = bivalent(&machine)?;
+    Ok(EscalationReport {
+        locations_touched: machine.memory().touched(),
+        steps,
+        still_bivalent: still,
+    })
+}
+
+/// Result of [`tas_escalation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscalationReport {
+    /// Locations the bivalent execution has touched.
+    pub locations_touched: usize,
+    /// Steps the adversary spent.
+    pub steps: u64,
+    /// Whether the final configuration is still bivalent (it should be —
+    /// that is Theorem 9.2's content).
+    pub still_bivalent: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strawmen::{OneFetchIncWord, OneMaxRegister};
+    use cbh_core::maxreg::MaxRegConsensus;
+    use cbh_core::tracks::track_consensus;
+    use cbh_core::util::BitWrite;
+
+    #[test]
+    fn theorem_4_1_defeats_one_max_register() {
+        let outcome = max_register_interleave(&OneMaxRegister::new()).unwrap();
+        assert!(outcome.violated(), "{outcome}");
+    }
+
+    #[test]
+    fn theorem_4_1_shape_check_rejects_two_registers() {
+        let err = max_register_interleave(&MaxRegConsensus::new(2)).unwrap_err();
+        assert!(matches!(err, AdversaryError::WrongShape(_)));
+    }
+
+    #[test]
+    fn theorem_5_1_defeats_one_fetch_inc_word() {
+        let outcome = fetch_inc_adversary(&OneFetchIncWord::new()).unwrap();
+        assert!(outcome.violated(), "{outcome}");
+    }
+
+    #[test]
+    fn theorem_9_2_escalation_grows_space_on_tracks() {
+        // Theorem 9.2 concretely: on {read, write(1)} memory, the adversary
+        // drives our track protocol through a bivalent execution touching
+        // ever more locations.
+        let protocol = track_consensus(3, BitWrite::Write1);
+        let report = tas_escalation(&protocol, &[0, 1, 2], 12, 4_000).unwrap();
+        assert!(
+            report.locations_touched >= 12,
+            "expected ≥ 12 locations, got {report:?}"
+        );
+        assert!(report.still_bivalent, "{report:?}");
+    }
+
+    #[test]
+    fn escalation_with_tas_writes_too() {
+        let protocol = track_consensus(3, BitWrite::TestAndSet);
+        let report = tas_escalation(&protocol, &[0, 1, 1], 9, 4_000).unwrap();
+        assert!(report.locations_touched >= 9, "{report:?}");
+    }
+}

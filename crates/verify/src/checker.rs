@@ -1,0 +1,356 @@
+//! Bounded exhaustive model checking over schedules.
+//!
+//! For small numbers of processes and short horizons, *every* interleaving of
+//! a protocol can be explored. The checker walks the schedule tree of a
+//! [`Protocol`], memoising configurations (process states + memory, which are
+//! `Hash + Eq` by construction), and reports:
+//!
+//! - agreement/validity violations, with the schedule that produced them;
+//! - valency information ("can value `v` still be decided from here?") — the
+//!   `can decide` relation the paper's covering arguments are built on;
+//! - obstruction-freedom failures (a reachable configuration from which some
+//!   process's solo run does not decide).
+
+use cbh_model::{Process, Protocol};
+use cbh_sim::{Machine, SimError};
+use std::collections::HashSet;
+
+/// What the exhaustive exploration found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreOutcome {
+    /// No violation within the horizon; `complete` tells whether the whole
+    /// reachable space was covered (no depth/size cutoff was hit).
+    Clean {
+        /// Configurations visited.
+        configs: usize,
+        /// `true` if exploration exhausted all reachable configurations.
+        complete: bool,
+    },
+    /// Two processes decided differently; the schedule (pid sequence) leads
+    /// there from the initial configuration.
+    AgreementViolation {
+        /// Conflicting decisions.
+        decisions: (u64, u64),
+        /// The offending schedule.
+        schedule: Vec<usize>,
+    },
+    /// A process decided a value nobody proposed.
+    ValidityViolation {
+        /// The invalid decision.
+        decided: u64,
+        /// The offending schedule.
+        schedule: Vec<usize>,
+    },
+    /// A reachable configuration from which `pid`'s solo run failed to decide
+    /// within the solo budget.
+    ObstructionFailure {
+        /// The starved process.
+        pid: usize,
+        /// Schedule reaching the bad configuration.
+        schedule: Vec<usize>,
+    },
+}
+
+impl ExploreOutcome {
+    /// `true` if no violation was found.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, ExploreOutcome::Clean { .. })
+    }
+}
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Maximum schedule length explored.
+    pub depth: usize,
+    /// Maximum distinct configurations visited before giving up.
+    pub max_configs: usize,
+    /// If set, every visited configuration is also checked for solo
+    /// termination within this many steps (expensive).
+    pub solo_check_budget: Option<u64>,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            depth: 40,
+            max_configs: 200_000,
+            solo_check_budget: None,
+        }
+    }
+}
+
+/// Exhaustively explores all schedules of `protocol` on `inputs`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] if the protocol steps outside the model.
+pub fn explore<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+) -> Result<ExploreOutcome, SimError> {
+    let machine = Machine::start(protocol, inputs)?;
+    let mut seen: HashSet<Machine<P::Proc>> = HashSet::new();
+    let mut schedule = Vec::new();
+    let mut complete = true;
+    let outcome = explore_rec(
+        &machine,
+        inputs,
+        &limits,
+        &mut seen,
+        &mut schedule,
+        &mut complete,
+    )?;
+    Ok(match outcome {
+        Some(v) => v,
+        None => ExploreOutcome::Clean {
+            configs: seen.len(),
+            complete,
+        },
+    })
+}
+
+fn explore_rec<Proc: Process>(
+    machine: &Machine<Proc>,
+    inputs: &[u64],
+    limits: &ExploreLimits,
+    seen: &mut HashSet<Machine<Proc>>,
+    schedule: &mut Vec<usize>,
+    complete: &mut bool,
+) -> Result<Option<ExploreOutcome>, SimError> {
+    if !seen.insert(machine.clone()) {
+        return Ok(None);
+    }
+    if seen.len() > limits.max_configs {
+        *complete = false;
+        return Ok(None);
+    }
+
+    // Check decided values at this configuration.
+    let decisions: Vec<(usize, u64)> = (0..machine.n())
+        .filter_map(|p| machine.decision(p).map(|d| (p, d)))
+        .collect();
+    for &(_, d) in &decisions {
+        if !inputs.contains(&d) {
+            return Ok(Some(ExploreOutcome::ValidityViolation {
+                decided: d,
+                schedule: schedule.clone(),
+            }));
+        }
+    }
+    if let Some((&(_, a), &(_, b))) = decisions
+        .iter()
+        .zip(decisions.iter().skip(1))
+        .find(|((_, a), (_, b))| a != b)
+    {
+        return Ok(Some(ExploreOutcome::AgreementViolation {
+            decisions: (a, b),
+            schedule: schedule.clone(),
+        }));
+    }
+
+    if let Some(budget) = limits.solo_check_budget {
+        for pid in machine.active() {
+            let mut probe = machine.clone();
+            if probe.run_solo(pid, budget)?.is_none() {
+                return Ok(Some(ExploreOutcome::ObstructionFailure {
+                    pid,
+                    schedule: schedule.clone(),
+                }));
+            }
+        }
+    }
+
+    if schedule.len() >= limits.depth {
+        *complete = false;
+        return Ok(None);
+    }
+
+    for pid in machine.active() {
+        let mut next = machine.clone();
+        next.step(pid)?;
+        schedule.push(pid);
+        let out = explore_rec(&next, inputs, limits, seen, schedule, complete)?;
+        schedule.pop();
+        if out.is_some() {
+            return Ok(out);
+        }
+    }
+    Ok(None)
+}
+
+/// Valency probe: can the set of all processes still decide `v` from this
+/// configuration within `depth` further steps?
+///
+/// This is the "`P` can decide `v` from `C`" relation of Section 6's covering
+/// argument, made executable for small horizons.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn can_decide<Proc: Process>(
+    machine: &Machine<Proc>,
+    v: u64,
+    depth: usize,
+) -> Result<bool, SimError> {
+    let mut seen = HashSet::new();
+    can_decide_rec(machine, v, depth, &mut seen)
+}
+
+fn can_decide_rec<Proc: Process>(
+    machine: &Machine<Proc>,
+    v: u64,
+    depth: usize,
+    seen: &mut HashSet<Machine<Proc>>,
+) -> Result<bool, SimError> {
+    if (0..machine.n()).any(|p| machine.decision(p) == Some(v)) {
+        return Ok(true);
+    }
+    if depth == 0 || !seen.insert(machine.clone()) {
+        return Ok(false);
+    }
+    for pid in machine.active() {
+        let mut next = machine.clone();
+        next.step(pid)?;
+        if can_decide_rec(&next, v, depth - 1, seen)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Bivalence probe: can both 0 and 1 still be decided from this
+/// configuration? (Within `depth` steps; binary-consensus configurations.)
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn bivalent<Proc: Process>(
+    machine: &Machine<Proc>,
+    depth: usize,
+) -> Result<bool, SimError> {
+    Ok(can_decide(machine, 0, depth)? && can_decide(machine, 1, depth)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strawmen::{OneMaxRegister, OneRegister};
+    use cbh_core::cas::CasConsensus;
+    use cbh_core::intro::{DecMulConsensus, FaaTasConsensus};
+    use cbh_core::maxreg::MaxRegConsensus;
+
+    #[test]
+    fn cas_is_exhaustively_clean() {
+        // CAS consensus terminates in one step per process: the whole space
+        // is tiny and completely clean.
+        for inputs in [[0u64, 1], [1, 0], [1, 1]] {
+            let out = explore(
+                &CasConsensus::new(2),
+                &inputs,
+                ExploreLimits {
+                    depth: 10,
+                    max_configs: 10_000,
+                    solo_check_budget: Some(10),
+                },
+            )
+            .unwrap();
+            assert!(matches!(out, ExploreOutcome::Clean { complete: true, .. }), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn faa_tas_is_exhaustively_clean_for_three_processes() {
+        for mask in 0..8u64 {
+            let inputs: Vec<u64> = (0..3).map(|i| (mask >> i) & 1).collect();
+            let out = explore(
+                &FaaTasConsensus::new(3),
+                &inputs,
+                ExploreLimits {
+                    depth: 12,
+                    max_configs: 100_000,
+                    solo_check_budget: Some(12),
+                },
+            )
+            .unwrap();
+            assert!(matches!(out, ExploreOutcome::Clean { complete: true, .. }), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn dec_mul_is_exhaustively_clean() {
+        for inputs in [[0u64, 1], [1, 0], [0, 0], [1, 1]] {
+            let out = explore(
+                &DecMulConsensus::new(2),
+                &inputs,
+                ExploreLimits {
+                    depth: 10,
+                    max_configs: 10_000,
+                    solo_check_budget: Some(10),
+                },
+            )
+            .unwrap();
+            assert!(out.is_clean(), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn max_register_protocol_clean_to_depth() {
+        // Not complete (the protocol loops under contention) but no violation
+        // exists within the horizon.
+        let out = explore(
+            &MaxRegConsensus::new(2),
+            &[0, 1],
+            ExploreLimits {
+                depth: 18,
+                max_configs: 400_000,
+                solo_check_budget: None,
+            },
+        )
+        .unwrap();
+        assert!(out.is_clean(), "{out:?}");
+    }
+
+    #[test]
+    fn checker_finds_the_one_max_register_violation() {
+        // The exhaustive checker independently rediscovers what the
+        // Theorem 4.1 adversary constructs.
+        let out = explore(
+            &OneMaxRegister::new(),
+            &[0, 1],
+            ExploreLimits::default(),
+        )
+        .unwrap();
+        match out {
+            ExploreOutcome::AgreementViolation { decisions, schedule } => {
+                assert_ne!(decisions.0, decisions.1);
+                assert!(!schedule.is_empty());
+            }
+            other => panic!("expected agreement violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checker_finds_the_one_register_violation() {
+        let out = explore(&OneRegister::new(2), &[0, 1], ExploreLimits::default()).unwrap();
+        assert!(
+            matches!(out, ExploreOutcome::AgreementViolation { .. }),
+            "one plain register cannot do 2-process consensus: {out:?}"
+        );
+    }
+
+    #[test]
+    fn valency_probes() {
+        // Initially, a 2-process CAS consensus with inputs {0,1} is bivalent.
+        let protocol = CasConsensus::new(2);
+        let machine = Machine::start(&protocol, &[0, 1]).unwrap();
+        assert!(bivalent(&machine, 5).unwrap());
+        // After p0's CAS, only 0 can be decided: the configuration is
+        // univalent.
+        let mut after = machine.clone();
+        after.step(0).unwrap();
+        assert!(can_decide(&after, 0, 5).unwrap());
+        assert!(!can_decide(&after, 1, 5).unwrap());
+    }
+}

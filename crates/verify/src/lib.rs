@@ -1,0 +1,31 @@
+//! Executable lower-bound artifacts of the space hierarchy.
+//!
+//! A space *lower* bound is a statement about **all** protocols, so it cannot
+//! be "run" the way an algorithm can. What can be run is the executable core
+//! of each proof: an **adversary** that, handed any concrete protocol using
+//! too few locations, constructs an execution violating agreement. This crate
+//! provides:
+//!
+//! - [`adversary`] — the interleaving adversary of Theorem 4.1 (one
+//!   max-register), the fetch-and-increment adversary of Theorem 5.1 (one
+//!   `{read, write, fetch-and-increment}` location), and the location-
+//!   escalation adversary behind Lemma 9.1/Theorem 9.2 (test-and-set/
+//!   write(1) memories need unboundedly many locations);
+//! - [`checker`] — a bounded exhaustive model checker over schedules
+//!   (agreement/validity violations, valency probes, obstruction-freedom
+//!   checks) for small configurations;
+//! - [`packing`] — Lemma 7.1's `k`-packing repair algorithm (the Eulerian
+//!   multigraph argument) as a standalone combinatorial routine, plus
+//!   `k`-packing construction and the fully-packed-location computation used
+//!   by the multi-assignment lower bound (Theorem 7.5);
+//! - [`covering`] — Section 6.2's covering-configuration vocabulary (covers,
+//!   `k`-covered locations, block writes) computed on live configurations;
+//! - [`strawmen`] — deliberately undersized protocols (one max-register, one
+//!   fetch-and-increment word, one plain register) for the adversaries and
+//!   checker to defeat, witnessing each lower bound's claim *on code*.
+
+pub mod adversary;
+pub mod checker;
+pub mod covering;
+pub mod packing;
+pub mod strawmen;

@@ -1,0 +1,334 @@
+//! Deliberately undersized protocols for the adversaries to defeat.
+//!
+//! Each strawman is a *plausible* consensus attempt that respects its row's
+//! instruction set but uses fewer locations than the lower bound allows. They
+//! are obstruction-free and correct in solo runs — the adversaries of
+//! [`crate::adversary`] find the interleavings that break them, turning each
+//! impossibility proof into a passing test.
+
+use cbh_model::{
+    Action, Instruction, InstructionSet, MemorySpec, Op, Process, Protocol, Value,
+};
+
+/// A 2-process binary consensus attempt on ONE max-register (impossible by
+/// Theorem 4.1).
+///
+/// Each process writes `input + 1`, then reads; if the register still shows
+/// its own write it decides its input, otherwise it adopts `value − 1`.
+/// Solo it is perfectly correct; interleaved, Theorem 4.1's adversary makes
+/// both processes see their own writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OneMaxRegister;
+
+impl OneMaxRegister {
+    /// A fresh strawman.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        OneMaxRegister
+    }
+}
+
+impl Default for OneMaxRegister {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for OneMaxRegister {
+    type Proc = OneMaxRegProc;
+
+    fn name(&self) -> String {
+        "strawman-one-max-register".into()
+    }
+
+    fn n(&self) -> usize {
+        2
+    }
+
+    fn domain(&self) -> u64 {
+        2
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::MaxRegister, 1)
+    }
+
+    fn spawn(&self, _pid: usize, input: u64) -> OneMaxRegProc {
+        assert!(input < 2);
+        OneMaxRegProc {
+            input,
+            stage: MaxStage::Write,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MaxStage {
+    Write,
+    Read,
+    Done(u64),
+}
+
+/// Per-process state of [`OneMaxRegister`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OneMaxRegProc {
+    input: u64,
+    stage: MaxStage,
+}
+
+impl Process for OneMaxRegProc {
+    fn action(&self) -> Action {
+        match &self.stage {
+            MaxStage::Write => Action::Invoke(Op::single(
+                0,
+                Instruction::WriteMax(Value::int(self.input + 1)),
+            )),
+            MaxStage::Read => Action::Invoke(Op::single(0, Instruction::ReadMax)),
+            MaxStage::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        match self.stage {
+            MaxStage::Write => self.stage = MaxStage::Read,
+            MaxStage::Read => {
+                let v = result.as_u64().expect("register holds small naturals");
+                self.stage = MaxStage::Done(v.saturating_sub(1));
+            }
+            MaxStage::Done(_) => unreachable!("decided processes take no steps"),
+        }
+    }
+}
+
+/// A 2-process binary consensus attempt on ONE
+/// `{read, write, fetch-and-increment}` location (impossible by Theorem 5.1).
+///
+/// Input-0 processes announce themselves with `fetch-and-increment()`;
+/// input-1 processes `write(1000)` a sentinel. Everyone then reads: a read of
+/// the sentinel decides 1, otherwise 0 — except a fetch-and-increment that
+/// already returned the sentinel range decides 1 immediately. Correct solo
+/// and under many schedules; Theorem 5.1's adversary finds the write that
+/// obliterates the increments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OneFetchIncWord;
+
+impl OneFetchIncWord {
+    /// A fresh strawman.
+    pub fn new() -> Self {
+        OneFetchIncWord
+    }
+}
+
+impl Default for OneFetchIncWord {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const SENTINEL: u64 = 1000;
+
+impl Protocol for OneFetchIncWord {
+    type Proc = OneFetchIncProc;
+
+    fn name(&self) -> String {
+        "strawman-one-fetch-inc-word".into()
+    }
+
+    fn n(&self) -> usize {
+        2
+    }
+
+    fn domain(&self) -> u64 {
+        2
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::ReadWriteFetchIncrement, 1)
+    }
+
+    fn spawn(&self, _pid: usize, input: u64) -> OneFetchIncProc {
+        assert!(input < 2);
+        OneFetchIncProc {
+            input,
+            stage: FiStage::Announce,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum FiStage {
+    Announce,
+    Read,
+    Done(u64),
+}
+
+/// Per-process state of [`OneFetchIncWord`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OneFetchIncProc {
+    input: u64,
+    stage: FiStage,
+}
+
+impl Process for OneFetchIncProc {
+    fn action(&self) -> Action {
+        match &self.stage {
+            FiStage::Announce if self.input == 0 => {
+                Action::Invoke(Op::single(0, Instruction::FetchAndIncrement))
+            }
+            FiStage::Announce => {
+                Action::Invoke(Op::single(0, Instruction::write(SENTINEL)))
+            }
+            FiStage::Read => Action::Invoke(Op::read(0)),
+            FiStage::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        match self.stage {
+            FiStage::Announce => {
+                if self.input == 0 {
+                    let seen = result.as_u64().expect("word holds naturals");
+                    if seen >= SENTINEL {
+                        self.stage = FiStage::Done(1);
+                        return;
+                    }
+                }
+                self.stage = FiStage::Read;
+            }
+            FiStage::Read => {
+                let v = result.as_u64().expect("word holds naturals");
+                self.stage = FiStage::Done(u64::from(v >= SENTINEL));
+            }
+            FiStage::Done(_) => unreachable!("decided processes take no steps"),
+        }
+    }
+}
+
+/// An `n`-process consensus attempt on ONE multi-writer register — below the
+/// `n`-register bound of \[EGZ18\] for every `n ≥ 2` (and below `n = 2` already
+/// for two processes).
+///
+/// Every process swaps in... it cannot; it only has `read`/`write`. It writes
+/// its input, reads, and decides what it reads after seeing the same value
+/// twice. Plain write-overwrite races break it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OneRegister {
+    n: usize,
+}
+
+impl OneRegister {
+    /// A fresh strawman for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        OneRegister { n }
+    }
+}
+
+impl Protocol for OneRegister {
+    type Proc = OneRegisterProc;
+
+    fn name(&self) -> String {
+        "strawman-one-register".into()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn domain(&self) -> u64 {
+        2
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::ReadWrite, 1).with_initial(vec![Value::Bot])
+    }
+
+    fn spawn(&self, _pid: usize, input: u64) -> OneRegisterProc {
+        assert!(input < 2);
+        OneRegisterProc {
+            input,
+            last: None,
+            stage: RegStage::Write,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RegStage {
+    Write,
+    Read,
+    Done(u64),
+}
+
+/// Per-process state of [`OneRegister`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OneRegisterProc {
+    input: u64,
+    last: Option<u64>,
+    stage: RegStage,
+}
+
+impl Process for OneRegisterProc {
+    fn action(&self) -> Action {
+        match &self.stage {
+            RegStage::Write => Action::Invoke(Op::single(0, Instruction::write(self.input))),
+            RegStage::Read => Action::Invoke(Op::read(0)),
+            RegStage::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        match self.stage {
+            RegStage::Write => self.stage = RegStage::Read,
+            RegStage::Read => {
+                let v = result.as_u64().expect("register holds bits");
+                if self.last == Some(v) {
+                    self.stage = RegStage::Done(v);
+                } else {
+                    self.last = Some(v);
+                }
+            }
+            RegStage::Done(_) => unreachable!("decided processes take no steps"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_sim::Machine;
+
+    #[test]
+    fn strawmen_are_correct_solo() {
+        // Each strawman decides its own input in a solo run — they are
+        // plausible protocols, broken only by interleaving.
+        let p = OneMaxRegister::new();
+        let mut m = Machine::start(&p, &[1, 0]).unwrap();
+        assert_eq!(m.run_solo(0, 100).unwrap(), Some(1));
+
+        let p = OneFetchIncWord::new();
+        let mut m = Machine::start(&p, &[0, 1]).unwrap();
+        assert_eq!(m.run_solo(0, 100).unwrap(), Some(0));
+        let mut m = Machine::start(&p, &[1, 0]).unwrap();
+        assert_eq!(m.run_solo(0, 100).unwrap(), Some(1));
+
+        let p = OneRegister::new(2);
+        let mut m = Machine::start(&p, &[1, 0]).unwrap();
+        assert_eq!(m.run_solo(0, 100).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn strawmen_respect_their_instruction_sets() {
+        // Running them never triggers a uniformity violation.
+        let p = OneMaxRegister::new();
+        let mut m = Machine::start(&p, &[0, 1]).unwrap();
+        m.run(cbh_sim::RoundRobinScheduler::new(), 100).unwrap();
+        let p = OneFetchIncWord::new();
+        let mut m = Machine::start(&p, &[0, 1]).unwrap();
+        m.run(cbh_sim::RoundRobinScheduler::new(), 100).unwrap();
+    }
+}

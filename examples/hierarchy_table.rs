@@ -1,0 +1,61 @@
+//! Walk the space hierarchy: run one protocol per Table 1 row and print the
+//! measured space next to the paper's bound.
+//!
+//! ```bash
+//! cargo run --example hierarchy_table
+//! ```
+//!
+//! (The `table1` binary in `cbh-bench` is the full harness; this example is
+//! the guided-tour version.)
+
+use space_hierarchy::protocols::bitwise::increment_log_consensus;
+use space_hierarchy::protocols::buffer::buffer_consensus;
+use space_hierarchy::protocols::cas::CasConsensus;
+use space_hierarchy::protocols::hierarchy::render_table;
+use space_hierarchy::protocols::increment::IncrementFlavor;
+use space_hierarchy::protocols::maxreg::MaxRegConsensus;
+use space_hierarchy::protocols::registers::register_consensus;
+use space_hierarchy::protocols::swap::SwapConsensus;
+use space_hierarchy::protocols::tracks::track_consensus;
+use space_hierarchy::protocols::util::BitWrite;
+use space_hierarchy::model::Protocol;
+use space_hierarchy::sim::{run_consensus, RandomScheduler};
+
+fn demo<P: Protocol>(protocol: &P, inputs: &[u64], claimed: &str) {
+    let report = run_consensus(protocol, inputs, RandomScheduler::seeded(1), 8_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+    report
+        .check(inputs)
+        .unwrap_or_else(|v| panic!("{}: {v}", protocol.name()));
+    println!(
+        "  {:<42} claimed {:<10} touched {:>3} locations   ({} steps)",
+        protocol.name(),
+        claimed,
+        report.locations_touched,
+        report.steps
+    );
+}
+
+fn main() {
+    println!("The paper's Table 1:\n\n{}", render_table());
+
+    let n = 6;
+    let inputs: Vec<u64> = vec![5, 0, 3, 3, 1, 5];
+    println!("One protocol per row, n = {n}, inputs {inputs:?}:\n");
+
+    demo(&track_consensus(n, BitWrite::Write1), &inputs, "∞");
+    demo(&register_consensus(n), &inputs, "n");
+    demo(&SwapConsensus::new(n), &inputs, "n−1");
+    demo(&buffer_consensus(n, 2), &inputs, "⌈n/ℓ⌉");
+    demo(
+        &increment_log_consensus(n, IncrementFlavor::Increment),
+        &inputs,
+        "O(log n)",
+    );
+    demo(&MaxRegConsensus::new(n), &inputs, "2");
+    demo(&CasConsensus::new(n), &inputs, "1");
+
+    println!("\nReading the column: the same consensus task needs unboundedly many");
+    println!("write(1)-registers, n−1 swap locations, two max-registers, or a single");
+    println!("compare-and-swap word — space, not computability, separates them.");
+}

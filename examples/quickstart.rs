@@ -1,0 +1,56 @@
+//! Quickstart: solve consensus three ways in a few lines.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+//!
+//! 1. Deterministic simulation under a seeded adversarial scheduler;
+//! 2. The same protocol on real OS threads;
+//! 3. A different rung of the hierarchy: one `{read, multiply}` location.
+
+use space_hierarchy::protocols::counter::{MultiplyCounterFamily, MultiplyFlavor};
+use space_hierarchy::protocols::maxreg::MaxRegConsensus;
+use space_hierarchy::protocols::racing::RacingConsensus;
+use space_hierarchy::sim::{run_consensus, RandomScheduler};
+use space_hierarchy::sync::run_threaded;
+
+fn main() {
+    // --- 1. Two max-registers, simulated (Theorem 4.2) ------------------
+    let n = 8;
+    let protocol = MaxRegConsensus::new(n);
+    let inputs: Vec<u64> = (0..n as u64).map(|i| (i * 5) % n as u64).collect();
+
+    let report = run_consensus(&protocol, &inputs, RandomScheduler::seeded(42), 1_000_000)
+        .expect("protocol stays inside the model");
+    report.check(&inputs).expect("agreement + validity");
+    println!(
+        "[sim]     {n} processes agreed on {} using {} max-registers in {} steps",
+        report.unanimous().expect("all decide"),
+        report.locations_touched,
+        report.steps
+    );
+
+    // --- 2. The same protocol on real threads ---------------------------
+    let outcome = run_threaded(&protocol, &inputs).expect("threads stay inside the model");
+    outcome.report.check(&inputs).expect("agreement + validity");
+    println!(
+        "[threads] {n} threads agreed on {} using {} max-registers in {} steps",
+        outcome.report.unanimous().expect("all decide"),
+        outcome.report.locations_touched,
+        outcome.report.steps
+    );
+
+    // --- 3. One location is enough if it multiplies (Theorem 3.3) -------
+    let one_loc = RacingConsensus::new(
+        MultiplyCounterFamily::new(n, MultiplyFlavor::ReadMultiply),
+        n,
+    );
+    let report = run_consensus(&one_loc, &inputs, RandomScheduler::seeded(7), 4_000_000)
+        .expect("protocol stays inside the model");
+    report.check(&inputs).expect("agreement + validity");
+    println!(
+        "[sim]     {n} processes agreed on {} using {} {{read, multiply}} location(s)",
+        report.unanimous().expect("all decide"),
+        report.locations_touched
+    );
+}

@@ -1,0 +1,44 @@
+//! # space-hierarchy
+//!
+//! A reproduction of *"A Complexity-Based Hierarchy for Multiprocessor
+//! Synchronization"* (Ellen, Gelashvili, Shavit, Zhu — PODC 2016) as a Rust
+//! workspace. This facade crate re-exports the workspace's public API:
+//!
+//! - [`bigint`] — unbounded integers (memory words);
+//! - [`model`] — the shared-memory machine: values, instructions, uniform
+//!   instruction sets, memory, processes;
+//! - [`sim`] — deterministic executor, adversarial schedulers, consensus
+//!   run checking;
+//! - [`protocols`] — every upper-bound algorithm of Table 1;
+//! - [`sync`] — thread-backed runtime and native concurrent objects;
+//! - [`verify`] — executable lower-bound adversaries and bounded model
+//!   checking;
+//! - [`random`] — the obstruction-free → randomized wait-free transform.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the paper-to-module map.
+//!
+//! # Examples
+//!
+//! Solve 8-process consensus with two max-registers (Theorem 4.2) under a
+//! seeded adversarial scheduler and check agreement and validity:
+//!
+//! ```
+//! use space_hierarchy::protocols::maxreg::MaxRegConsensus;
+//! use space_hierarchy::sim::{run_consensus, RandomScheduler};
+//!
+//! let protocol = MaxRegConsensus::new(8);
+//! let inputs: Vec<u64> = (0..8).map(|pid| (pid as u64 * 3) % 8).collect();
+//! let outcome = run_consensus(&protocol, &inputs, RandomScheduler::seeded(42), 1_000_000);
+//! let report = outcome.expect("protocol runs without model errors");
+//! report.check(&inputs).expect("agreement and validity hold");
+//! ```
+
+pub use cbh_bigint as bigint;
+pub use cbh_model as model;
+pub use cbh_random as random;
+pub use cbh_sim as sim;
+pub use cbh_sync as sync;
+pub use cbh_verify as verify;
+
+/// The paper's protocols (crate `cbh-core`), re-exported under a clearer name.
+pub use cbh_core as protocols;

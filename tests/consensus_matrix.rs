@@ -1,0 +1,212 @@
+//! The cross-crate correctness matrix: every protocol in the repository,
+//! exercised through the public facade under several adversaries, with its
+//! Table 1 space bound asserted.
+
+use space_hierarchy::model::Protocol;
+use space_hierarchy::protocols::bitwise::{
+    increment_log_consensus, tas_reset_consensus, write01_consensus,
+};
+use space_hierarchy::protocols::buffer::buffer_consensus;
+use space_hierarchy::protocols::cas::CasConsensus;
+use space_hierarchy::protocols::counter::{
+    AddCounterFamily, AddFlavor, MultiplyCounterFamily, MultiplyFlavor, SetBitCounterFamily,
+};
+use space_hierarchy::protocols::hetero::hetero_consensus;
+use space_hierarchy::protocols::increment::IncrementFlavor;
+use space_hierarchy::protocols::intro::{DecMulConsensus, FaaTasConsensus};
+use space_hierarchy::protocols::maxreg::MaxRegConsensus;
+use space_hierarchy::protocols::racing::RacingConsensus;
+use space_hierarchy::protocols::registers::register_consensus;
+use space_hierarchy::protocols::swap::SwapConsensus;
+use space_hierarchy::protocols::tracks::track_consensus;
+use space_hierarchy::protocols::util::BitWrite;
+use space_hierarchy::sim::{
+    adversarial_then_solo, ObstructionScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
+};
+
+/// Runs `protocol` under a scheduler and asserts consensus correctness;
+/// returns the worst-case locations touched.
+fn run_checked<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    scheduler: impl Scheduler,
+    steps: u64,
+) -> usize {
+    let report = adversarial_then_solo(protocol, inputs, scheduler, steps, 50_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+    report
+        .check(inputs)
+        .unwrap_or_else(|v| panic!("{}: {v}", protocol.name()));
+    assert!(
+        report.unanimous().is_some(),
+        "{}: everyone decides",
+        protocol.name()
+    );
+    report.locations_touched
+}
+
+fn matrix<P: Protocol>(protocol: &P, inputs: &[u64], expect_space: Option<usize>) {
+    let steps = 3_000 * inputs.len() as u64;
+    let mut worst = 0;
+    for seed in 0..4 {
+        worst = worst.max(run_checked(
+            protocol,
+            inputs,
+            RandomScheduler::seeded(seed),
+            steps,
+        ));
+    }
+    worst = worst.max(run_checked(
+        protocol,
+        inputs,
+        RoundRobinScheduler::new(),
+        steps,
+    ));
+    worst = worst.max(run_checked(
+        protocol,
+        inputs,
+        ObstructionScheduler::seeded(9, 12),
+        steps,
+    ));
+    if let Some(space) = expect_space {
+        assert_eq!(worst, space, "{}: Table 1 space", protocol.name());
+    }
+}
+
+#[test]
+fn cas_one_location() {
+    matrix(&CasConsensus::new(5), &[4, 1, 1, 0, 2], Some(1));
+}
+
+#[test]
+fn intro_examples_one_location() {
+    matrix(&FaaTasConsensus::new(5), &[0, 1, 1, 0, 1], Some(1));
+    matrix(&DecMulConsensus::new(5), &[1, 0, 0, 1, 0], Some(1));
+}
+
+#[test]
+fn theorem_3_3_one_location_counters() {
+    let n = 4;
+    let inputs = [3, 0, 2, 2];
+    matrix(
+        &RacingConsensus::new(MultiplyCounterFamily::new(n, MultiplyFlavor::ReadMultiply), n),
+        &inputs,
+        Some(1),
+    );
+    matrix(
+        &RacingConsensus::new(
+            MultiplyCounterFamily::new(n, MultiplyFlavor::FetchAndMultiply),
+            n,
+        ),
+        &inputs,
+        Some(1),
+    );
+    matrix(
+        &RacingConsensus::new(AddCounterFamily::new(n, n, AddFlavor::ReadAdd), n),
+        &inputs,
+        Some(1),
+    );
+    matrix(
+        &RacingConsensus::new(AddCounterFamily::new(n, n, AddFlavor::FetchAndAdd), n),
+        &inputs,
+        Some(1),
+    );
+    matrix(
+        &RacingConsensus::new(SetBitCounterFamily::new(n, n), n),
+        &inputs,
+        Some(1),
+    );
+}
+
+#[test]
+fn theorem_4_2_two_max_registers() {
+    matrix(&MaxRegConsensus::new(6), &[5, 0, 3, 3, 1, 2], Some(2));
+}
+
+#[test]
+fn theorem_5_3_log_locations() {
+    let p = increment_log_consensus(6, IncrementFlavor::Increment);
+    let cap = p.total_locations();
+    matrix(&p, &[5, 5, 0, 2, 1, 3], None);
+    assert_eq!(cap, 10, "(2+2)·⌈log₂ 6⌉ − 2");
+    let p = increment_log_consensus(6, IncrementFlavor::FetchAndIncrement);
+    matrix(&p, &[5, 5, 0, 2, 1, 3], None);
+}
+
+#[test]
+fn theorem_6_3_buffers() {
+    matrix(&buffer_consensus(6, 2), &[5, 0, 3, 3, 1, 2], Some(3));
+    matrix(&buffer_consensus(6, 3), &[5, 0, 3, 3, 1, 2], Some(2));
+    matrix(&buffer_consensus(6, 6), &[5, 0, 3, 3, 1, 2], Some(1));
+}
+
+#[test]
+fn heterogeneous_buffers() {
+    matrix(&hetero_consensus(5, vec![3, 2]), &[4, 0, 2, 2, 4], Some(2));
+    matrix(
+        &hetero_consensus(5, vec![2, 1, 1, 1]),
+        &[4, 0, 2, 2, 4],
+        Some(4),
+    );
+}
+
+#[test]
+fn algorithm_1_swap_n_minus_one() {
+    matrix(&SwapConsensus::new(5), &[4, 0, 2, 2, 1], Some(4));
+}
+
+#[test]
+fn theorem_9_3_tracks() {
+    // Unbounded memory: no fixed space to assert, correctness only.
+    matrix(&track_consensus(4, BitWrite::Write1), &[3, 0, 2, 2], None);
+    matrix(&track_consensus(4, BitWrite::TestAndSet), &[3, 0, 2, 2], None);
+}
+
+#[test]
+fn theorem_9_4_binary_location_constructions() {
+    let p = write01_consensus(5);
+    matrix(&p, &[4, 4, 0, 2, 1], None);
+    let p = tas_reset_consensus(5);
+    matrix(&p, &[4, 4, 0, 2, 1], None);
+}
+
+#[test]
+fn register_row_exactly_n() {
+    matrix(&register_consensus(5), &[4, 0, 2, 2, 1], Some(5));
+}
+
+#[test]
+fn unanimity_across_the_whole_stack() {
+    // Every protocol must decide v when everyone proposes v.
+    let n = 4;
+    for v in 0..n as u64 {
+        let inputs = vec![v; n];
+        let report = adversarial_then_solo(
+            &SwapConsensus::new(n),
+            &inputs,
+            RandomScheduler::seeded(v),
+            5_000,
+            50_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.unanimous(), Some(v));
+        let report = adversarial_then_solo(
+            &MaxRegConsensus::new(n),
+            &inputs,
+            RandomScheduler::seeded(v),
+            5_000,
+            50_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.unanimous(), Some(v));
+        let report = adversarial_then_solo(
+            &buffer_consensus(n, 2),
+            &inputs,
+            RandomScheduler::seeded(v),
+            5_000,
+            50_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.unanimous(), Some(v));
+    }
+}

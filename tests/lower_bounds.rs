@@ -1,0 +1,112 @@
+//! End-to-end lower-bound artifacts: adversaries, exhaustive checking, the
+//! block-write observation, and the Figure 1 schedule.
+
+use space_hierarchy::model::{Instruction, InstructionSet, Memory, MemorySpec, Op, Value};
+use space_hierarchy::protocols::buffer::buffer_consensus;
+use space_hierarchy::protocols::tracks::track_consensus;
+use space_hierarchy::protocols::util::BitWrite;
+use space_hierarchy::sim::{Machine, ScriptedScheduler};
+use space_hierarchy::verify::adversary::{
+    fetch_inc_adversary, max_register_interleave, tas_escalation,
+};
+use space_hierarchy::verify::checker::{bivalent, can_decide, explore, ExploreLimits, ExploreOutcome};
+use space_hierarchy::verify::strawmen::{OneFetchIncWord, OneMaxRegister, OneRegister};
+
+#[test]
+fn theorem_4_1_and_5_1_adversaries_win() {
+    assert!(max_register_interleave(&OneMaxRegister::new())
+        .unwrap()
+        .violated());
+    assert!(fetch_inc_adversary(&OneFetchIncWord::new()).unwrap().violated());
+}
+
+#[test]
+fn exhaustive_checker_agrees_with_the_adversaries() {
+    for out in [
+        explore(&OneMaxRegister::new(), &[0, 1], ExploreLimits::default()).unwrap(),
+        explore(&OneRegister::new(2), &[0, 1], ExploreLimits::default()).unwrap(),
+    ] {
+        assert!(
+            matches!(out, ExploreOutcome::AgreementViolation { .. }),
+            "{out:?}"
+        );
+    }
+}
+
+#[test]
+fn block_write_erases_buffer_history() {
+    // The key observation of Section 6.2: after ℓ buffer-writes (a block
+    // write by ℓ covering processes), an ℓ-buffer-read is independent of
+    // everything before the block — which is what lets the adversary hide
+    // the decided value from the other processes.
+    let ell = 3;
+    let spec = MemorySpec::bounded(InstructionSet::Buffer(ell), 1);
+    let mut with_past = Memory::new(&spec);
+    let mut without_past = Memory::new(&spec);
+    // Divergent histories...
+    for i in 0..10 {
+        with_past
+            .apply(&Op::single(0, Instruction::BufferWrite(Value::int(i))))
+            .unwrap();
+    }
+    // ...then the same block write of ℓ values to both.
+    for i in 100..100 + ell as i64 {
+        for mem in [&mut with_past, &mut without_past] {
+            mem.apply(&Op::single(0, Instruction::BufferWrite(Value::int(i))))
+                .unwrap();
+        }
+    }
+    assert_eq!(
+        with_past.apply(&Op::single(0, Instruction::BufferRead)).unwrap(),
+        without_past.apply(&Op::single(0, Instruction::BufferRead)).unwrap(),
+        "reads after a full block write cannot distinguish the pasts"
+    );
+}
+
+#[test]
+fn figure_1_schedule_on_the_real_protocol() {
+    // Figure 1's overlap: ℓ processes all perform the get-history read of
+    // their first append before any performs its write. With ℓ = n = 3 on a
+    // single 3-buffer, the first counter increment of each process is exactly
+    // an append. Scripted: everyone reads (1 step each), then everyone
+    // writes; the next scan must still count every increment.
+    let n = 3;
+    let protocol = buffer_consensus(n, n);
+    let inputs = [2, 0, 1];
+    // Each append = 1 buffer-read + 1 buffer-write. Schedule all reads, then
+    // all writes, then let p0 finish solo (handled by the harness).
+    let script = vec![0, 1, 2, 0, 1, 2];
+    let report = space_hierarchy::sim::adversarial_then_solo(
+        &protocol,
+        &inputs,
+        ScriptedScheduler::new(script),
+        6,
+        10_000_000,
+    )
+    .unwrap();
+    report.check(&inputs).unwrap();
+    assert_eq!(report.locations_touched, 1, "single ℓ-buffer");
+}
+
+#[test]
+fn escalation_report_grows_with_target() {
+    let protocol = track_consensus(3, BitWrite::Write1);
+    let small = tas_escalation(&protocol, &[0, 1, 2], 6, 4_000).unwrap();
+    let large = tas_escalation(&protocol, &[0, 1, 2], 14, 8_000).unwrap();
+    assert!(small.locations_touched >= 6);
+    assert!(large.locations_touched >= 14);
+    assert!(large.locations_touched > small.locations_touched);
+    assert!(small.still_bivalent && large.still_bivalent);
+}
+
+#[test]
+fn valency_probes_match_intuition_on_tracks() {
+    let protocol = track_consensus(2, BitWrite::Write1);
+    let machine = Machine::start(&protocol, &[0, 1]).unwrap();
+    assert!(bivalent(&machine, 30).unwrap(), "fresh config is bivalent");
+    // After p0 runs far ahead solo, 0 is decided and 1 is unreachable
+    // quickly.
+    let mut ahead = machine.clone();
+    ahead.run_solo(0, 1_000).unwrap();
+    assert!(can_decide(&ahead, 0, 4).unwrap());
+}

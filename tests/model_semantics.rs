@@ -1,0 +1,265 @@
+//! Exhaustive semantics matrix: every instruction against every uniform
+//! instruction set, plus per-instruction behavioural contracts — Section 2's
+//! model pinned down test by test.
+
+use space_hierarchy::bigint::BigInt;
+use space_hierarchy::model::{
+    CellState, Instruction, InstructionSet, Memory, MemorySpec, ModelError, Op, Value,
+};
+
+/// One representative instruction per membership class.
+fn representatives() -> Vec<Instruction> {
+    use Instruction as I;
+    vec![
+        I::Read,
+        I::write(0),
+        I::write(1),
+        I::write(7),
+        I::Swap(Value::int(3)),
+        I::CompareAndSwap {
+            expected: Value::zero(),
+            new: Value::one(),
+        },
+        I::TestAndSet,
+        I::Reset,
+        I::fetch_and_add(2),
+        I::fetch_and_add(1),
+        I::add(5),
+        I::Increment,
+        I::Decrement,
+        I::FetchAndIncrement,
+        I::multiply(3),
+        I::FetchAndMultiply(BigInt::from(3u64)),
+        I::SetBit(4),
+        I::ReadMax,
+        I::WriteMax(Value::int(9)),
+        I::BufferRead,
+        I::BufferWrite(Value::int(1)),
+    ]
+}
+
+/// The full membership matrix, spelled out. A change in any set's membership
+/// must be a conscious edit here.
+#[test]
+fn uniformity_membership_matrix() {
+    use Instruction as I;
+    use InstructionSet as S;
+    let expect = |iset: S, instr: &Instruction| -> bool {
+        match iset {
+            S::ReadTas => matches!(instr, I::Read | I::TestAndSet),
+            S::ReadWrite1 => {
+                matches!(instr, I::Read) || matches!(instr, I::Write(v) if v.as_u64() == Some(1))
+            }
+            S::ReadWrite01 => {
+                matches!(instr, I::Read)
+                    || matches!(instr, I::Write(v) if matches!(v.as_u64(), Some(0) | Some(1)))
+            }
+            S::ReadWrite => matches!(instr, I::Read | I::Write(_)),
+            S::ReadTasReset => matches!(instr, I::Read | I::TestAndSet | I::Reset),
+            S::ReadSwap => matches!(instr, I::Read | I::Swap(_)),
+            S::Buffer(_) => matches!(instr, I::BufferRead | I::BufferWrite(_)),
+            S::ReadWriteIncrement => matches!(instr, I::Read | I::Write(_) | I::Increment),
+            S::ReadWriteFetchIncrement => {
+                matches!(instr, I::Read | I::Write(_) | I::FetchAndIncrement)
+            }
+            S::MaxRegister => matches!(instr, I::ReadMax | I::WriteMax(_)),
+            S::Cas => matches!(instr, I::CompareAndSwap { .. }),
+            S::ReadSetBit => matches!(instr, I::Read | I::SetBit(_)),
+            S::ReadAdd => matches!(instr, I::Read | I::Add(_)),
+            S::ReadMultiply => matches!(instr, I::Read | I::Multiply(_)),
+            S::FetchAndAdd => matches!(instr, I::FetchAndAdd(_)),
+            S::FetchAndMultiply => matches!(instr, I::FetchAndMultiply(_)),
+            S::FaaTas => {
+                matches!(instr, I::TestAndSet)
+                    || matches!(instr, I::FetchAndAdd(x) if *x == BigInt::from(2u64))
+            }
+            S::ReadDecMul => matches!(instr, I::Read | I::Decrement | I::Multiply(_)),
+        }
+    };
+    for iset in InstructionSet::ALL {
+        for instr in representatives() {
+            assert_eq!(
+                iset.supports(&instr),
+                expect(iset, &instr),
+                "{iset} vs {instr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_rejects_exactly_the_out_of_set_instructions() {
+    for iset in InstructionSet::ALL {
+        let spec = MemorySpec::bounded(iset, 1).with_initial(vec![Value::zero()]);
+        for instr in representatives() {
+            let mut mem = Memory::new(&spec);
+            let out = mem.apply(&Op::single(0, instr.clone()));
+            if iset.supports(&instr) {
+                // In-set instructions may still hit a type mismatch (e.g.
+                // CAS set initialises to Int 0 — fine), but never a
+                // uniformity error.
+                if let Err(e) = out {
+                    assert!(
+                        !matches!(e, ModelError::UnsupportedInstruction { .. }),
+                        "{iset} wrongly rejected {instr}: {e}"
+                    );
+                }
+            } else {
+                assert!(
+                    matches!(out, Err(ModelError::UnsupportedInstruction { .. })),
+                    "{iset} wrongly accepted {instr}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_trivial_instruction_leaves_the_cell_unchanged() {
+    let mut word = CellState::word(Value::int(17));
+    let before = word.clone();
+    word.apply(&Instruction::Read).unwrap();
+    word.apply(&Instruction::ReadMax).unwrap();
+    assert_eq!(word, before);
+
+    let mut buf = CellState::buffer(2);
+    buf.apply(&Instruction::BufferWrite(Value::int(5))).unwrap();
+    let before = buf.clone();
+    buf.apply(&Instruction::BufferRead).unwrap();
+    assert_eq!(buf, before);
+}
+
+#[test]
+fn nontrivial_instructions_report_their_write_sets() {
+    for instr in representatives() {
+        let op = Op::single(3, instr.clone());
+        if instr.is_trivial() {
+            assert!(op.writes().is_empty(), "{instr}");
+        } else {
+            assert_eq!(op.writes(), vec![3], "{instr}");
+        }
+        assert_eq!(op.touches(), vec![3], "{instr}");
+    }
+}
+
+#[test]
+fn paper_intro_protocol_algebra() {
+    // The fetch-and-add(2)/test-and-set location from §1, replayed by hand:
+    // parity records whether a TAS arrived first.
+    let spec = MemorySpec::bounded(InstructionSet::FaaTas, 1);
+    // Case A: faa(2) first.
+    let mut mem = Memory::new(&spec);
+    assert_eq!(
+        mem.apply(&Op::single(0, Instruction::fetch_and_add(2))).unwrap(),
+        Value::int(0)
+    );
+    assert_eq!(
+        mem.apply(&Op::single(0, Instruction::TestAndSet)).unwrap(),
+        Value::int(2),
+        "TAS returns the even value and leaves it alone"
+    );
+    assert_eq!(
+        mem.apply(&Op::single(0, Instruction::fetch_and_add(2))).unwrap(),
+        Value::int(2),
+        "still even forever"
+    );
+    // Case B: TAS first.
+    let mut mem = Memory::new(&spec);
+    assert_eq!(
+        mem.apply(&Op::single(0, Instruction::TestAndSet)).unwrap(),
+        Value::int(0)
+    );
+    assert_eq!(
+        mem.apply(&Op::single(0, Instruction::fetch_and_add(2))).unwrap(),
+        Value::int(1),
+        "odd: the low bit is set for good"
+    );
+    assert_eq!(
+        mem.apply(&Op::single(0, Instruction::TestAndSet)).unwrap(),
+        Value::int(3),
+        "remains odd"
+    );
+}
+
+#[test]
+fn dec_mul_sign_invariant() {
+    // §1 example 2: sign is decided by whether a decrement precedes the
+    // first multiply. Checked over all interleavings of 2 decs and 2 muls.
+    let spec = MemorySpec::bounded(InstructionSet::ReadDecMul, 1)
+        .with_initial(vec![Value::one()]);
+    // All 6 orders of {d,d,m,m}:
+    let orders: Vec<Vec<char>> = vec![
+        "ddmm", "dmdm", "dmmd", "mdmd", "mddm", "mmdd",
+    ]
+    .into_iter()
+    .map(|s| s.chars().collect())
+    .collect();
+    for order in orders {
+        let mut mem = Memory::new(&spec);
+        let dec_first = order[0] == 'd';
+        for &c in &order {
+            let instr = if c == 'd' {
+                Instruction::Decrement
+            } else {
+                Instruction::multiply(4)
+            };
+            mem.apply(&Op::single(0, instr)).unwrap();
+            let v = mem.apply(&Op::read(0)).unwrap();
+            let positive = v.as_int().unwrap().is_positive();
+            assert_eq!(
+                positive, !dec_first,
+                "order {order:?}: sign fixed by the first modifying op"
+            );
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_buffer_capacities_apply_per_location() {
+    let spec = MemorySpec::bounded(InstructionSet::Buffer(3), 3)
+        .with_buffer_capacities(vec![1, 2]);
+    let mut mem = Memory::new(&spec);
+    for loc in 0..3 {
+        for k in 0..4 {
+            mem.apply(&Op::single(loc, Instruction::BufferWrite(Value::int(k))))
+                .unwrap();
+        }
+    }
+    let len_of = |mem: &mut Memory, loc: usize| {
+        let v = mem.apply(&Op::single(loc, Instruction::BufferRead)).unwrap();
+        v.as_seq().unwrap().len()
+    };
+    assert_eq!(len_of(&mut mem, 0), 1, "capacity overridden to 1");
+    assert_eq!(len_of(&mut mem, 1), 2, "capacity overridden to 2");
+    assert_eq!(len_of(&mut mem, 2), 3, "beyond the vector: uniform ℓ = 3");
+}
+
+#[test]
+fn unbounded_memory_allocation_matches_touch_pattern() {
+    let spec = MemorySpec::unbounded(InstructionSet::ReadWrite);
+    let mut mem = Memory::new(&spec);
+    assert!(mem.is_empty());
+    for loc in [5usize, 2, 11] {
+        mem.apply(&Op::read(loc)).unwrap();
+    }
+    assert_eq!(mem.len(), 12, "grown to the largest touched index + 1");
+    assert_eq!(mem.touched(), 12);
+}
+
+#[test]
+fn cas_on_bot_initialised_word() {
+    let spec =
+        MemorySpec::bounded(InstructionSet::Cas, 1).with_initial(vec![Value::Bot]);
+    let mut mem = Memory::new(&spec);
+    let cas = |e: Value, n: Value| Instruction::CompareAndSwap { expected: e, new: n };
+    assert_eq!(
+        mem.apply(&Op::single(0, cas(Value::Bot, Value::int(4)))).unwrap(),
+        Value::Bot,
+        "winner sees ⊥"
+    );
+    assert_eq!(
+        mem.apply(&Op::single(0, cas(Value::Bot, Value::int(9)))).unwrap(),
+        Value::int(4),
+        "loser sees the winner's input and installs nothing"
+    );
+}

@@ -1,0 +1,114 @@
+//! Obstruction-freedom: from every reachable configuration we sample, every
+//! process decides in a solo run — the paper's progress condition (Section 2),
+//! checked empirically for each protocol.
+
+use space_hierarchy::model::Protocol;
+use space_hierarchy::protocols::bitwise::increment_log_consensus;
+use space_hierarchy::protocols::buffer::buffer_consensus;
+use space_hierarchy::protocols::counter::{MultiplyCounterFamily, MultiplyFlavor};
+use space_hierarchy::protocols::increment::IncrementFlavor;
+use space_hierarchy::protocols::maxreg::MaxRegConsensus;
+use space_hierarchy::protocols::racing::RacingConsensus;
+use space_hierarchy::protocols::registers::register_consensus;
+use space_hierarchy::protocols::swap::SwapConsensus;
+use space_hierarchy::protocols::tracks::track_consensus;
+use space_hierarchy::protocols::util::BitWrite;
+use space_hierarchy::sim::{Machine, RandomScheduler};
+
+/// Drives the system to assorted reachable configurations (random schedule
+/// prefixes of several lengths and seeds) and asserts that every undecided
+/// process decides solo from there, with decisions consistent with any
+/// already-decided process.
+fn solo_decides_everywhere<P: Protocol>(protocol: &P, inputs: &[u64], solo_budget: u64) {
+    for seed in 0..4 {
+        for prefix in [0u64, 7, 40, 200, 1_000] {
+            let mut machine = Machine::start(protocol, inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+            machine
+                .run(RandomScheduler::seeded(seed), prefix)
+                .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+            let already: Vec<Option<u64>> =
+                (0..machine.n()).map(|p| machine.decision(p)).collect();
+            for pid in 0..machine.n() {
+                if already[pid].is_some() {
+                    continue;
+                }
+                let mut probe = machine.clone();
+                let decided = probe
+                    .run_solo(pid, solo_budget)
+                    .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+                let v = decided.unwrap_or_else(|| {
+                    panic!(
+                        "{}: p{pid} failed to decide solo after prefix {prefix} (seed {seed})",
+                        protocol.name()
+                    )
+                });
+                assert!(inputs.contains(&v), "{}: validity in solo", protocol.name());
+                for q in 0..machine.n() {
+                    if let Some(w) = already[q] {
+                        assert_eq!(v, w, "{}: solo agrees with decided p{q}", protocol.name());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn maxreg_obstruction_free() {
+    solo_decides_everywhere(&MaxRegConsensus::new(4), &[3, 0, 2, 2], 10_000);
+}
+
+#[test]
+fn swap_obstruction_free() {
+    solo_decides_everywhere(&SwapConsensus::new(4), &[3, 0, 2, 2], 100_000);
+}
+
+#[test]
+fn multiply_counter_obstruction_free() {
+    let protocol = RacingConsensus::new(
+        MultiplyCounterFamily::new(4, MultiplyFlavor::ReadMultiply),
+        4,
+    );
+    solo_decides_everywhere(&protocol, &[3, 0, 2, 2], 100_000);
+}
+
+#[test]
+fn buffers_obstruction_free() {
+    solo_decides_everywhere(&buffer_consensus(4, 2), &[3, 0, 2, 2], 1_000_000);
+}
+
+#[test]
+fn registers_obstruction_free() {
+    solo_decides_everywhere(&register_consensus(4), &[3, 0, 2, 2], 1_000_000);
+}
+
+#[test]
+fn tracks_obstruction_free() {
+    solo_decides_everywhere(&track_consensus(3, BitWrite::Write1), &[2, 0, 1], 1_000_000);
+}
+
+#[test]
+fn increment_bit_by_bit_obstruction_free() {
+    let protocol = increment_log_consensus(4, IncrementFlavor::Increment);
+    solo_decides_everywhere(&protocol, &[3, 0, 2, 2], 1_000_000);
+}
+
+#[test]
+fn lemma_8_7_scan_bound_across_n() {
+    // The paper's only explicit solo step bound: ≤ 3n−2 scans for Algorithm 1.
+    for n in [2usize, 4, 8, 16, 32] {
+        let protocol = SwapConsensus::new(n);
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let mut machine = Machine::start(&protocol, &inputs).unwrap();
+        machine.run_solo(0, 50_000_000).unwrap().expect("decides");
+        // Solo double collects stabilize in exactly 2 collects of n−1 reads;
+        // with ≤ 3n−2 scans and ≤ 3(n−1) swaps:
+        let bound = (3 * n as u64 - 2) * 2 * (n as u64 - 1) + 3 * (n as u64 - 1);
+        assert!(
+            machine.steps() <= bound,
+            "n={n}: {} steps exceeds Lemma 8.7's {bound}",
+            machine.steps()
+        );
+    }
+}

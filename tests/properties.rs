@@ -1,0 +1,250 @@
+//! Property-based tests across the workspace: arbitrary schedules, arbitrary
+//! inputs, reference-model semantics.
+
+use proptest::prelude::*;
+use space_hierarchy::model::{
+    CellState, Instruction, InstructionSet, Memory, MemorySpec, Op, Value,
+};
+use space_hierarchy::protocols::buffer::{buffer_consensus, reconstruct_history, Record};
+use space_hierarchy::protocols::cas::CasConsensus;
+use space_hierarchy::protocols::intro::FaaTasConsensus;
+use space_hierarchy::protocols::maxreg::{MaxRegConsensus, RoundValue};
+use space_hierarchy::protocols::swap::SwapConsensus;
+use space_hierarchy::sim::{adversarial_then_solo, ScriptedScheduler};
+use space_hierarchy::verify::packing::{
+    find_k_packing, fully_packed_locations, is_k_packing, repack,
+};
+
+// ---------------------------------------------------------------------------
+// Consensus under arbitrary scripted schedules
+// ---------------------------------------------------------------------------
+
+/// Runs `protocol` with an arbitrary pid script and checks the consensus
+/// properties; used by the per-protocol proptests below.
+fn scripted_consensus_holds<P: space_hierarchy::model::Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    script: Vec<usize>,
+) -> Result<(), TestCaseError> {
+    let script: Vec<usize> = script.into_iter().map(|p| p % protocol.n()).collect();
+    let len = script.len() as u64;
+    let report = adversarial_then_solo(
+        protocol,
+        inputs,
+        ScriptedScheduler::new(script),
+        len,
+        50_000_000,
+    )
+    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    report
+        .check(inputs)
+        .map_err(|v| TestCaseError::fail(v.to_string()))?;
+    prop_assert!(report.unanimous().is_some());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cas_any_schedule(script in proptest::collection::vec(0usize..4, 0..40),
+                        inputs in proptest::collection::vec(0u64..4, 4)) {
+        scripted_consensus_holds(&CasConsensus::new(4), &inputs, script)?;
+    }
+
+    #[test]
+    fn faa_tas_any_schedule(script in proptest::collection::vec(0usize..4, 0..60),
+                            inputs in proptest::collection::vec(0u64..2, 4)) {
+        scripted_consensus_holds(&FaaTasConsensus::new(4), &inputs, script)?;
+    }
+
+    #[test]
+    fn maxreg_any_schedule(script in proptest::collection::vec(0usize..3, 0..120),
+                           inputs in proptest::collection::vec(0u64..3, 3)) {
+        scripted_consensus_holds(&MaxRegConsensus::new(3), &inputs, script)?;
+    }
+
+    #[test]
+    fn swap_any_schedule(script in proptest::collection::vec(0usize..3, 0..120),
+                         inputs in proptest::collection::vec(0u64..3, 3)) {
+        scripted_consensus_holds(&SwapConsensus::new(3), &inputs, script)?;
+    }
+
+    #[test]
+    fn buffers_any_schedule(script in proptest::collection::vec(0usize..3, 0..100),
+                            inputs in proptest::collection::vec(0u64..3, 3)) {
+        scripted_consensus_holds(&buffer_consensus(3, 2), &inputs, script)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell semantics against reference models
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn buffer_cell_matches_naive_model(cap in 1usize..6,
+                                       writes in proptest::collection::vec(any::<i64>(), 0..30)) {
+        let mut cell = CellState::buffer(cap);
+        let mut naive: Vec<i64> = Vec::new();
+        for &w in &writes {
+            cell.apply(&Instruction::BufferWrite(Value::int(w))).unwrap();
+            naive.push(w);
+        }
+        let got = cell.apply(&Instruction::BufferRead).unwrap();
+        // Reference: last `cap` writes, ⊥-padded on the left.
+        let tail: Vec<Value> = naive.iter().rev().take(cap).rev().map(|&w| Value::int(w)).collect();
+        let mut expect = vec![Value::Bot; cap - tail.len()];
+        expect.extend(tail);
+        prop_assert_eq!(got, Value::Seq(expect));
+    }
+
+    #[test]
+    fn max_register_holds_running_maximum(writes in proptest::collection::vec(any::<i64>(), 1..30)) {
+        let mut cell = CellState::word(Value::int(i64::MIN));
+        for &w in &writes {
+            cell.apply(&Instruction::WriteMax(Value::int(w))).unwrap();
+        }
+        let got = cell.apply(&Instruction::ReadMax).unwrap();
+        prop_assert_eq!(got, Value::int(*writes.iter().max().unwrap()));
+    }
+
+    #[test]
+    fn fetch_and_add_is_a_running_sum(adds in proptest::collection::vec(-1000i64..1000, 1..30)) {
+        let spec = MemorySpec::bounded(InstructionSet::FetchAndAdd, 1);
+        let mut mem = Memory::new(&spec);
+        let mut sum = 0i64;
+        for &a in &adds {
+            let got = mem.apply(&Op::single(0, Instruction::fetch_and_add(a))).unwrap();
+            prop_assert_eq!(got, Value::int(sum));
+            sum += a;
+        }
+    }
+
+    #[test]
+    fn multi_assign_equals_individual_writes(values in proptest::collection::vec(any::<i64>(), 1..6)) {
+        // On distinct locations with no interleaving, one multiple assignment
+        // and a sequence of writes produce identical memories.
+        let spec = MemorySpec::bounded(InstructionSet::ReadWrite, values.len());
+        let mut a = Memory::new(&spec);
+        let mut b = Memory::new(&spec);
+        a.apply(&Op::multi_assign(
+            values.iter().enumerate().map(|(i, &v)| (i, Value::int(v))),
+        ))
+        .unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            b.apply(&Op::single(i, Instruction::write(v))).unwrap();
+        }
+        for i in 0..values.len() {
+            prop_assert_eq!(a.cell(i), b.cell(i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encodings
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn maxreg_encoding_respects_lexicographic_order(
+        a_round in 0u64..12, a_val in 0u64..10,
+        b_round in 0u64..12, b_val in 0u64..10,
+    ) {
+        let y = 11; // prime > 10
+        let a = RoundValue { round: a_round, value: a_val };
+        let b = RoundValue { round: b_round, value: b_val };
+        prop_assert_eq!(a.cmp(&b), a.encode(y).cmp(&b.encode(y)));
+        prop_assert_eq!(RoundValue::decode(&a.encode(y), y), a);
+    }
+
+    #[test]
+    fn history_reconstruction_recovers_sequential_appends(
+        ell in 1usize..5,
+        count in 0usize..12,
+    ) {
+        // Sequential appends: entry i carries the exact prefix history.
+        let records: Vec<Value> = (0..count as u64)
+            .map(|i| Record { writer: i % 3, seq: i, payload: Value::int(i) }.encode())
+            .collect();
+        let visible = count.min(ell);
+        let mut entries: Vec<Value> = vec![Value::Bot; ell - visible];
+        for i in (count - visible)..count {
+            entries.push(Value::pair(
+                Value::seq(records[..i].iter().cloned()),
+                records[i].clone(),
+            ));
+        }
+        prop_assert_eq!(reconstruct_history(&entries), records);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// k-packings (Lemma 7.1)
+// ---------------------------------------------------------------------------
+
+fn covers_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0usize..5, 1..4).prop_map(|s| s.into_iter().collect()),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn found_packings_are_valid(covers in covers_strategy(), k in 1usize..4) {
+        if let Some(p) = find_k_packing(&covers, k) {
+            prop_assert!(is_k_packing(&covers, &p, k));
+        }
+    }
+
+    #[test]
+    fn packing_feasibility_is_monotone_in_k(covers in covers_strategy(), k in 1usize..4) {
+        if find_k_packing(&covers, k).is_some() {
+            prop_assert!(find_k_packing(&covers, k + 1).is_some());
+        }
+    }
+
+    #[test]
+    fn repack_preserves_validity_and_shifts_one(covers in covers_strategy(), k in 2usize..4) {
+        // Build two packings by permuting exploration order; when they pack a
+        // location differently, Lemma 7.1's repair must hold.
+        let Some(g) = find_k_packing(&covers, k) else { return Ok(()); };
+        // Second packing: restrict one process to a different covered location
+        // when possible.
+        let mut covers2 = covers.clone();
+        for c in covers2.iter_mut() {
+            c.reverse();
+        }
+        let Some(h) = find_k_packing(&covers2, k) else { return Ok(()); };
+        let count = |pk: &[usize], r: usize| pk.iter().filter(|&&x| x == r).count();
+        let locs: std::collections::BTreeSet<usize> = g.iter().chain(h.iter()).copied().collect();
+        for &r1 in &locs {
+            if count(&g, r1) > count(&h, r1) {
+                let out = repack(&g, &h, r1);
+                prop_assert!(is_k_packing(&covers, &out.packing, k));
+                prop_assert_eq!(count(&out.packing, r1), count(&g, r1) - 1);
+                let rt = *out.path.last().unwrap();
+                prop_assert_eq!(count(&out.packing, rt), count(&g, rt) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_packed_locations_are_packed_to_k_in_every_packing(
+        covers in covers_strategy(), k in 1usize..4,
+    ) {
+        if let Some(fully) = fully_packed_locations(&covers, k) {
+            let p = find_k_packing(&covers, k).expect("feasible");
+            for r in fully {
+                prop_assert_eq!(p.iter().filter(|&&x| x == r).count(), k);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Real-thread integration: the same protocol state machines on OS threads,
+//! plus the native concurrent objects under load.
+
+use space_hierarchy::model::Protocol;
+use space_hierarchy::protocols::buffer::buffer_consensus;
+use space_hierarchy::protocols::cas::CasConsensus;
+use space_hierarchy::protocols::counter::{AddCounterFamily, AddFlavor};
+use space_hierarchy::protocols::hetero::hetero_consensus;
+use space_hierarchy::protocols::intro::DecMulConsensus;
+use space_hierarchy::protocols::maxreg::MaxRegConsensus;
+use space_hierarchy::protocols::racing::RacingConsensus;
+use space_hierarchy::protocols::swap::SwapConsensus;
+use space_hierarchy::sync::objects::{racing_consensus_native, HistoryObject, MCounter, MaxRegister};
+use space_hierarchy::sync::run_threaded;
+
+fn threaded_checked<P>(protocol: P, inputs: &[u64], space: Option<usize>)
+where
+    P: Protocol,
+    P::Proc: Send,
+{
+    let outcome = run_threaded(&protocol, inputs).unwrap();
+    outcome
+        .report
+        .check(inputs)
+        .unwrap_or_else(|v| panic!("{}: {v}", protocol.name()));
+    assert!(outcome.report.unanimous().is_some(), "{}", protocol.name());
+    if let Some(s) = space {
+        assert_eq!(outcome.report.locations_touched, s, "{}", protocol.name());
+    }
+}
+
+#[test]
+fn threads_cas_eight_ways() {
+    threaded_checked(CasConsensus::new(8), &[7, 1, 1, 3, 0, 2, 5, 1], Some(1));
+}
+
+#[test]
+fn threads_dec_mul() {
+    threaded_checked(DecMulConsensus::new(6), &[0, 1, 1, 0, 1, 0], Some(1));
+}
+
+#[test]
+fn threads_add_counter_racing() {
+    let n = 4;
+    threaded_checked(
+        RacingConsensus::new(AddCounterFamily::new(n, n, AddFlavor::ReadAdd), n),
+        &[3, 0, 2, 2],
+        Some(1),
+    );
+}
+
+#[test]
+fn threads_max_registers() {
+    threaded_checked(MaxRegConsensus::new(6), &[5, 0, 3, 3, 1, 2], Some(2));
+}
+
+#[test]
+fn threads_swap() {
+    threaded_checked(SwapConsensus::new(5), &[4, 0, 2, 2, 1], Some(4));
+}
+
+#[test]
+fn threads_buffers_and_hetero() {
+    threaded_checked(buffer_consensus(6, 3), &[5, 0, 3, 3, 1, 2], Some(2));
+    threaded_checked(hetero_consensus(5, vec![3, 2]), &[4, 0, 2, 2, 4], Some(2));
+}
+
+#[test]
+fn native_objects_under_contention() {
+    // Max register: concurrent monotone writes.
+    let reg = MaxRegister::default();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let reg = &reg;
+            s.spawn(move || {
+                for i in 0..500 {
+                    reg.write_max((t * 10_000 + i).into());
+                }
+            });
+        }
+    });
+    assert_eq!(reg.read_max(), 30_499u64.into());
+
+    // History object: nothing is lost, per-writer order preserved.
+    let h: HistoryObject<u64> = HistoryObject::new(3);
+    std::thread::scope(|s| {
+        for w in 0..3usize {
+            let h = &h;
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    h.append(w, i);
+                }
+            });
+        }
+    });
+    assert_eq!(h.get_history().len(), 600);
+
+    // Counter: all increments counted, scan linearizes.
+    let c = MCounter::new(3);
+    std::thread::scope(|s| {
+        for t in 0..6usize {
+            let c = &c;
+            s.spawn(move || {
+                for _ in 0..500 {
+                    c.increment(t % 3);
+                }
+            });
+        }
+    });
+    assert_eq!(c.scan(), vec![1000, 1000, 1000]);
+}
+
+#[test]
+fn native_racing_consensus_many_rounds() {
+    for round in 0..8u64 {
+        let inputs = [round % 3, 2, 0, (round + 1) % 3, 1, 2];
+        let v = racing_consensus_native(3, &inputs);
+        assert!(inputs.contains(&v));
+    }
+}
