@@ -108,7 +108,7 @@ impl BigInt {
         let m = self.mag.to_u128()?;
         match self.sign {
             Sign::Zero => Some(0),
-            Sign::Plus => (m <= i64::MAX as u128).then(|| m as i64),
+            Sign::Plus => (m <= i64::MAX as u128).then_some(m as i64),
             Sign::Minus => (m <= i64::MAX as u128 + 1).then(|| (m as i128).wrapping_neg() as i64),
         }
     }
@@ -126,7 +126,7 @@ impl BigInt {
         let m = self.mag.to_u128()?;
         match self.sign {
             Sign::Zero => Some(0),
-            Sign::Plus => (m <= i128::MAX as u128).then(|| m as i128),
+            Sign::Plus => (m <= i128::MAX as u128).then_some(m as i128),
             Sign::Minus => {
                 if m <= i128::MAX as u128 {
                     Some(-(m as i128))
@@ -152,7 +152,7 @@ impl BigInt {
             }
             Sign::Plus => Sign::Plus,
             Sign::Minus => {
-                if exp % 2 == 0 {
+                if exp.is_multiple_of(2) {
                     Sign::Plus
                 } else {
                     Sign::Minus

@@ -238,7 +238,7 @@ impl BufferCounterSim {
             let history = reconstruct_history(entries);
             // Latest tally per writer in this buffer.
             let mut seen = std::collections::BTreeSet::new();
-            for rec in history.iter().rev().map(|r| Record::decode(r)) {
+            for rec in history.iter().rev().map(Record::decode) {
                 if !seen.insert(rec.writer) {
                     continue;
                 }
@@ -371,7 +371,11 @@ mod tests {
     fn partial_buffer_is_the_whole_history() {
         let r1 = rec(0, 0, 10);
         let r2 = rec(1, 0, 20);
-        let entries = [Value::Bot, pair(&[], &r1), pair(&[r1.clone()], &r2)];
+        let entries = [
+            Value::Bot,
+            pair(&[], &r1),
+            pair(std::slice::from_ref(&r1), &r2),
+        ];
         assert_eq!(reconstruct_history(&entries), vec![r1, r2]);
     }
 
@@ -383,7 +387,7 @@ mod tests {
         let r2 = rec(1, 0, 2);
         let r3 = rec(0, 1, 3);
         let entries = [
-            pair(&[r1.clone()], &r2),
+            pair(std::slice::from_ref(&r1), &r2),
             pair(&[r1.clone(), r2.clone()], &r3),
         ];
         assert_eq!(reconstruct_history(&entries), vec![r1, r2, r3]);

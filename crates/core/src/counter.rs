@@ -513,9 +513,9 @@ mod tests {
         let mut sims: Vec<F::Sim> = (0..n).map(|pid| family.spawn(pid)).collect();
         // Interleave increments from all processes across components.
         for round in 0..3 {
-            for pid in 0..n {
+            for (pid, sim) in sims.iter_mut().enumerate() {
                 let v = (pid + round) % family.m();
-                run_op(&mut sims[pid], &mut mem, CounterRequest::Increment(v));
+                run_op(sim, &mut mem, CounterRequest::Increment(v));
             }
         }
         // Each component receives the same number of increments overall when

@@ -125,7 +125,7 @@ impl HeteroBufferCounterSim {
             let entries = raw.as_seq().expect("buffer read returns a sequence");
             let history = reconstruct_history(entries);
             let mut seen = std::collections::BTreeSet::new();
-            for rec in history.iter().rev().map(|r| Record::decode(r)) {
+            for rec in history.iter().rev().map(Record::decode) {
                 if !seen.insert(rec.writer) {
                     continue;
                 }

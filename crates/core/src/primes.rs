@@ -9,12 +9,12 @@ pub fn is_prime(v: u64) -> bool {
     if v < 2 {
         return false;
     }
-    if v % 2 == 0 {
+    if v.is_multiple_of(2) {
         return v == 2;
     }
     let mut d: u64 = 3;
     while d.saturating_mul(d) <= v {
-        if v % d == 0 {
+        if v.is_multiple_of(d) {
             return false;
         }
         d += 2;

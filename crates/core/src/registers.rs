@@ -188,7 +188,7 @@ mod tests {
         let family = RegisterCounterFamily::new(2, 3);
         let mut mem = Memory::new(&family.memory_spec());
         let mut sims: Vec<_> = (0..3).map(|p| family.spawn(p)).collect();
-        let drive = |sim: &mut RegisterCounterSim, mem: &mut Memory, req| loop {
+        let drive = |sim: &mut RegisterCounterSim, mem: &mut Memory, req| {
             sim.start(req);
             loop {
                 let r = mem.apply(&sim.poised()).unwrap();

@@ -31,8 +31,10 @@ use std::fmt;
 /// assert!(Value::Bot < Value::int(-100));
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Default)]
 pub enum Value {
     /// The distinguished "no value" symbol `⊥`.
+    #[default]
     Bot,
     /// An unbounded integer.
     Int(BigInt),
@@ -111,11 +113,6 @@ impl Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Bot
-    }
-}
 
 impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {

@@ -99,12 +99,7 @@ impl ScriptedScheduler {
 
 impl Scheduler for ScriptedScheduler {
     fn next(&mut self, active: &[usize], _step: u64) -> Option<usize> {
-        for pid in self.script.by_ref() {
-            if active.contains(&pid) {
-                return Some(pid);
-            }
-        }
-        None
+        self.script.by_ref().find(|&pid| active.contains(&pid))
     }
 }
 
@@ -138,7 +133,7 @@ impl ObstructionScheduler {
 
 impl Scheduler for ObstructionScheduler {
     fn next(&mut self, active: &[usize], _step: u64) -> Option<usize> {
-        if self.remaining == 0 || self.current.map_or(true, |p| !active.contains(&p)) {
+        if self.remaining == 0 || self.current.is_none_or(|p| !active.contains(&p)) {
             self.current = Some(active[self.rng.gen_range(0..active.len())]);
             // Geometric with mean `mean_burst`, at least 1.
             let p = 1.0 / self.mean_burst as f64;

@@ -146,10 +146,7 @@ pub fn repack(g: &[usize], h: &[usize], r1: usize) -> Repack {
     let mut path = vec![r1];
     let mut processes = Vec::new();
     let mut cur = r1;
-    loop {
-        let Some(&p) = unused.iter().find(|&&p| g[p] == cur) else {
-            break;
-        };
+    while let Some(&p) = unused.iter().find(|&&p| g[p] == cur) {
         unused.remove(&p);
         processes.push(p);
         cur = h[p];

@@ -1,0 +1,60 @@
+//! Smoke test: every `examples/` binary builds and runs to success.
+//!
+//! Each example is a documented entry point to a different layer of the
+//! workspace (simulator, threads, buffers, adversaries, packings, the
+//! randomized transform); a broken one means a broken public API, so they
+//! are exercised — not just compiled — on every `cargo test`.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Discovered from `examples/*.rs` rather than hard-coded, so a new example
+/// is covered the moment it lands and a renamed one cannot silently drop out.
+fn discover_examples(manifest_dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(manifest_dir.join("examples"))
+        .expect("examples/ exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            // Both cargo-discovered layouts: examples/foo.rs and
+            // examples/foo/main.rs.
+            let is_example = path.extension().is_some_and(|e| e == "rs")
+                || (path.is_dir() && path.join("main.rs").is_file());
+            is_example.then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn all_examples_run_to_success() {
+    // `cargo test` exports CARGO; invoking the same cargo on the same
+    // workspace reuses the target dir, so each example costs one build of
+    // itself plus its (already-compiled) dependencies.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let examples = discover_examples(manifest_dir);
+    assert!(
+        examples.len() >= 6,
+        "expected the six seed examples at minimum, found {examples:?}"
+    );
+    for example in examples {
+        let output = Command::new(&cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--quiet", "--example"])
+            .arg(&example)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} printed nothing; examples must narrate what they show"
+        );
+    }
+}

@@ -44,9 +44,9 @@ fn solo_decides_everywhere<P: Protocol>(protocol: &P, inputs: &[u64], solo_budge
                     )
                 });
                 assert!(inputs.contains(&v), "{}: validity in solo", protocol.name());
-                for q in 0..machine.n() {
-                    if let Some(w) = already[q] {
-                        assert_eq!(v, w, "{}: solo agrees with decided p{q}", protocol.name());
+                for (q, w) in already.iter().enumerate() {
+                    if let Some(w) = w {
+                        assert_eq!(v, *w, "{}: solo agrees with decided p{q}", protocol.name());
                     }
                 }
             }

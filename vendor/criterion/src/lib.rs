@@ -1,0 +1,354 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so this crate implements the benching
+//! surface the workspace uses: [`Criterion`] with builder-style knobs,
+//! benchmark groups, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros for `harness = false`
+//! bench targets.
+//!
+//! Statistics are intentionally simple — mean and min over `sample_size`
+//! samples, each sized to roughly fill `measurement_time` — with no outlier
+//! analysis, plots or HTML reports. `cargo test` does **not** execute
+//! `harness = false` bench targets; to smoke-check that every bench routine
+//! actually runs, invoke `cargo bench -- --test` (as CI does): each
+//! benchmark then runs exactly one iteration, so broken benches fail fast
+//! without burning measurement time.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How a bench binary was invoked (parsed from the command line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// One iteration per benchmark (`cargo test` on a bench target).
+    Test,
+    /// Compile-only invocations never reach `main`; `--list` prints names.
+    List,
+}
+
+fn mode_from_args() -> (Mode, Option<String>) {
+    let mut mode = Mode::Bench;
+    let mut filter = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--test" => mode = Mode::Test,
+            "--list" => mode = Mode::List,
+            // Value-taking flags of real criterion / libtest: consume the
+            // value too, so it is not mistaken for a benchmark filter.
+            "--save-baseline" | "--baseline" | "--load-baseline" | "--skip"
+            | "--sample-size" | "--warm-up-time" | "--measurement-time"
+            | "--profile-time" | "--color" | "--format" | "--logfile" => {
+                args.next();
+            }
+            // Bare flags cargo/libtest conventionally pass through; ignored.
+            s if s.starts_with('-') => {}
+            s => filter = Some(s.to_string()),
+        }
+    }
+    (mode, filter)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let (mode, filter) = mode_from_args();
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples (timed batches) per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget the samples aim to fill.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up running time before measurement.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        self.run_one(&label, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        match self.mode {
+            Mode::List => {
+                println!("{label}: benchmark");
+                return;
+            }
+            Mode::Test => {
+                let mut b = Bencher {
+                    iters_per_sample: 1,
+                    samples: 1,
+                    warm_up: Duration::ZERO,
+                    elapsed: Vec::new(),
+                };
+                f(&mut b);
+                println!("test {label} ... ok");
+                return;
+            }
+            Mode::Bench => {}
+        }
+        // Calibrate: run once to estimate cost, then pick a per-sample
+        // iteration count that fills measurement_time across sample_size.
+        let mut calib = Bencher {
+            iters_per_sample: 1,
+            samples: 1,
+            warm_up: self.warm_up_time,
+            elapsed: Vec::new(),
+        };
+        f(&mut calib);
+        let per_iter = calib.elapsed.first().copied().unwrap_or(Duration::ZERO);
+        let budget = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = if per_iter.as_nanos() == 0 {
+            1000
+        } else {
+            (budget / per_iter.as_nanos()).clamp(1, 1_000_000) as u64
+        };
+        let mut b = Bencher {
+            iters_per_sample: iters,
+            samples: self.sample_size,
+            warm_up: Duration::ZERO,
+            elapsed: Vec::new(),
+        };
+        f(&mut b);
+        let times: Vec<f64> = b
+            .elapsed
+            .iter()
+            .map(|d| d.as_secs_f64() / iters as f64)
+            .collect();
+        let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "{label:<56} mean {:>12}  min {:>12}  ({} samples x {iters} iters)",
+            human_time(mean),
+            human_time(min),
+            times.len(),
+        );
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        return "n/a".into();
+    }
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing the parent driver's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function-name + parameter id, rendered as `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    warm_up: Duration,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing one elapsed time per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.warm_up.is_zero() {
+            let end = Instant::now() + self.warm_up;
+            while Instant::now() < end {
+                black_box(routine());
+            }
+        }
+        self.elapsed.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.elapsed.push(start.elapsed());
+        }
+    }
+}
+
+/// An identity function the optimizer must assume reads its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, optionally with a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// The `main` of a `harness = false` bench target: runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_routine() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(1),
+            warm_up_time: Duration::ZERO,
+            mode: Mode::Test,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0, "routine executed at least once");
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("ell", 4).to_string(), "ell/4");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert!(human_time(2.0).ends_with(" s"));
+        assert!(human_time(2e-3).ends_with(" ms"));
+        assert!(human_time(2e-6).ends_with(" us"));
+        assert!(human_time(2e-9).ends_with(" ns"));
+    }
+}

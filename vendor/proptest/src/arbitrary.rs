@@ -1,0 +1,45 @@
+//! The `any::<T>()` strategy: uniform draws over a type's whole domain.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value uniformly over the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                <$t as rand::Standard>::sample(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,221 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so this crate implements exactly the
+//! property-testing surface the workspace uses: the [`proptest!`] macro with
+//! an optional `#![proptest_config(..)]` header, range / tuple / `any` /
+//! mapped strategies, `proptest::collection::{vec, btree_set}`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Two deliberate simplifications versus upstream:
+//!
+//! - **No shrinking.** A failing case reports its seed, case index and the
+//!   generated inputs (via the test's own assertion message); replaying is
+//!   exact because generation is deterministic.
+//! - **Deterministic by default.** Upstream draws a fresh entropy seed per
+//!   run and persists failures in `proptest-regressions/`; here every test
+//!   derives its stream from a fixed workspace seed XOR a hash of the test
+//!   name, so CI runs are reproducible by construction. Set `PROPTEST_SEED`
+//!   to explore a different stream, and `PROPTEST_CASES` to scale case
+//!   counts; both are plain integers.
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod test_runner;
+
+pub mod prelude {
+    //! The names a property test needs in scope.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: `fn name(arg in strategy, ..) { body }` items,
+/// optionally preceded by `#![proptest_config(expr)]`.
+///
+/// Each declared function becomes an ordinary `#[test]` that runs the body
+/// for `config.cases` generated inputs. The body may use `?` on
+/// `Result<_, TestCaseError>` and may `return Ok(())` early.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                let __proptest_result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                __proptest_result
+            });
+        }
+        $crate::__proptest_tests!{ ($config) $($rest)* }
+    };
+}
+
+/// Like `assert!`, but fails the current generated case instead of
+/// panicking directly (the runner panics with seed/case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, for property-test bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, for property-test bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Discards the current generated case when its precondition fails; the
+/// runner draws a replacement case instead of counting a failure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3usize..9, b in 0u64..=4, c in -5i64..5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((-5..5).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((0usize..3, 0usize..2), 0..10)) {
+            prop_assert!(v.len() < 10);
+            for (x, y) in v {
+                prop_assert!(x < 3 && y < 2);
+            }
+        }
+
+        #[test]
+        fn exact_vec_len(v in crate::collection::vec(0u64..4, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn btree_sets_respect_domain(s in crate::collection::btree_set(0usize..5, 1..4)) {
+            prop_assert!(!s.is_empty() && s.len() < 4);
+            prop_assert!(s.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn assume_rejects_but_test_passes(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn question_mark_works(x in 0u32..5) {
+            fn helper(x: u32) -> Result<u32, TestCaseError> {
+                Ok(x + 1)
+            }
+            let y = helper(x)?;
+            prop_assert_eq!(y, x + 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u64..1000, 0..20);
+        let a: Vec<Vec<u64>> = (0..10)
+            .map(|i| strat.generate(&mut TestRng::from_seed(i)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..10)
+            .map(|i| strat.generate(&mut TestRng::from_seed(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (0u64..10).prop_map(|x| x * 2);
+        for seed in 0..50 {
+            let v = strat.generate(&mut TestRng::from_seed(seed));
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

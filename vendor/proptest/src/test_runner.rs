@@ -1,0 +1,174 @@
+//! The deterministic case runner.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// The workspace-wide base seed. Every property test's stream is derived
+/// from this constant XOR an FNV hash of the test's name, so runs are
+/// reproducible across machines and CI by construction. Override with the
+/// `PROPTEST_SEED` environment variable to explore other streams.
+pub const DEFAULT_SEED: u64 = 0x5ACE_417E_12A2_2016;
+
+/// Configuration of a [`TestRunner`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Generated cases per test (`PROPTEST_CASES` scales the default).
+    pub cases: u32,
+    /// Give up if rejects (`prop_assume!` failures) exceed this count.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion: the property does not hold.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is replaced, not counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies; deterministic in `(seed, test name, case)`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A stream seeded directly (used by strategy unit tests).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runs one property test's cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// A runner for the test named `name` under `config`.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // Accept both decimal and the 0x-prefixed hex form that failure
+        // messages print, so replay instructions work verbatim.
+        let parse_seed = |v: &str| match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => v.parse().ok(),
+        };
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner {
+            config,
+            name,
+            base_seed: base ^ fnv1a(name.as_bytes()),
+        }
+    }
+
+    /// Runs `f` on `config.cases` generated cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case (with seed and case context), or if
+    /// `prop_assume!` rejected more than `config.max_global_rejects` cases.
+    pub fn run<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut rejects = 0u32;
+        let mut attempt = 0u64;
+        let mut passed = 0u32;
+        while passed < self.config.cases {
+            let case_seed = self
+                .base_seed
+                .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            attempt += 1;
+            let mut rng = TestRng::from_seed(case_seed);
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "proptest '{}': too many prop_assume! rejections ({rejects})",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest '{}' failed at case {} (case seed {case_seed:#x}, \
+                         replay with PROPTEST_SEED={:#x}): {reason}",
+                        self.name, passed, self.base_seed ^ fnv1a(self.name.as_bytes()),
+                    );
+                }
+            }
+        }
+    }
+}
