@@ -1,0 +1,202 @@
+//! Criterion group `explore`: state-space engine throughput (configs/sec).
+//!
+//! Each benchmark runs a *complete* bounded exploration of one Table-1
+//! protocol — a fixed workload, so time-per-iteration is directly
+//! comparable. For every workload two routines run:
+//!
+//! - `frontier/…` — the fingerprint-based iterative explorer
+//!   (`cbh_verify::checker::explore` / `Explorer`);
+//! - `legacy/…` — the pre-refactor recursive checker, kept verbatim below
+//!   as the measured baseline: it memoises deep-cloned `Machine`s keyed by
+//!   their full state (step counters included).
+//!
+//! The acceptance bar for the engine refactor is ≥ 5× configs/sec on at
+//! least one row; the printed `[workload]` lines record the configuration
+//! counts each side visits so the ratio can be reconstructed from the
+//! report.
+
+use cbh_core::bitwise::tas_reset_consensus;
+use cbh_core::cas::CasConsensus;
+use cbh_core::maxreg::MaxRegConsensus;
+use cbh_model::{Process, Protocol};
+use cbh_sim::{Machine, SimError};
+use cbh_verify::checker::{explore, ExploreLimits, ExploreOutcome, Explorer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+/// The pre-refactor checker (recursive DFS over deep-cloned machines),
+/// reproduced as the baseline; returns the configurations visited.
+fn legacy_explore<P: Protocol>(protocol: &P, inputs: &[u64], limits: ExploreLimits) -> usize {
+    fn explore_rec<Proc: Process>(
+        machine: &Machine<Proc>,
+        limits: &ExploreLimits,
+        seen: &mut HashSet<Machine<Proc>>,
+        depth: usize,
+    ) -> Result<(), SimError> {
+        if !seen.insert(machine.clone()) || seen.len() > limits.max_configs {
+            return Ok(());
+        }
+        if depth >= limits.depth {
+            return Ok(());
+        }
+        for pid in machine.active() {
+            let mut next = machine.clone();
+            next.step(pid)?;
+            explore_rec(&next, limits, seen, depth + 1)?;
+        }
+        Ok(())
+    }
+    let machine = Machine::start(protocol, inputs).expect("protocol starts");
+    let mut seen = HashSet::new();
+    explore_rec(&machine, &limits, &mut seen, 0).expect("exploration runs");
+    seen.len()
+}
+
+/// Runs the frontier engine and returns configs visited, asserting a clean
+/// verdict (these workloads contain no violations).
+fn frontier_configs<P: Protocol>(protocol: &P, inputs: &[u64], limits: ExploreLimits) -> usize {
+    match explore(protocol, inputs, limits).expect("exploration runs") {
+        ExploreOutcome::Clean { configs, .. } => configs,
+        other => panic!("bench workload must be clean, got {other:?}"),
+    }
+}
+
+struct Workload<P> {
+    name: &'static str,
+    protocol: P,
+    inputs: Vec<u64>,
+    limits: ExploreLimits,
+}
+
+fn bench_workload<P: Protocol>(c: &mut Criterion, w: &Workload<P>)
+where
+    P::Proc: Send + Sync,
+{
+    // Record the workload sizes once, outside the timed loops: configs/sec =
+    // configs below / measured time per iteration.
+    eprintln!(
+        "[workload {}] frontier visits {} configs, legacy visits {} (step-counter-distinct) states",
+        w.name,
+        frontier_configs(&w.protocol, &w.inputs, w.limits),
+        legacy_explore(&w.protocol, &w.inputs, w.limits),
+    );
+    let mut g = c.benchmark_group("explore");
+    g.bench_function(format!("frontier/{}", w.name), |b| {
+        b.iter(|| frontier_configs(&w.protocol, &w.inputs, w.limits));
+    });
+    let parallel = Explorer::new()
+        .limits(w.limits)
+        .workers(std::thread::available_parallelism().map_or(1, usize::from));
+    g.bench_function(format!("frontier_par/{}", w.name), |b| {
+        b.iter(|| parallel.explore(&w.protocol, &w.inputs).unwrap());
+    });
+    g.bench_function(format!("legacy/{}", w.name), |b| {
+        b.iter(|| legacy_explore(&w.protocol, &w.inputs, w.limits));
+    });
+    g.finish();
+}
+
+fn maxreg_row(c: &mut Criterion) {
+    bench_workload(
+        c,
+        &Workload {
+            name: "maxreg_n2_d18",
+            protocol: MaxRegConsensus::new(2),
+            inputs: vec![0, 1],
+            limits: ExploreLimits {
+                depth: 18,
+                max_configs: 1_000_000,
+                solo_check_budget: None,
+            },
+        },
+    );
+}
+
+fn maxreg3_row(c: &mut Criterion) {
+    bench_workload(
+        c,
+        &Workload {
+            name: "maxreg_n3_d12",
+            protocol: MaxRegConsensus::new(3),
+            inputs: vec![0, 1, 2],
+            limits: ExploreLimits {
+                depth: 12,
+                max_configs: 1_000_000,
+                solo_check_budget: None,
+            },
+        },
+    );
+}
+
+fn tas_reset_row(c: &mut Criterion) {
+    // Row 4, {read, test-and-set, reset}: heavyweight per-process bit-by-bit
+    // state, where the branch-light walk (undo-stepping + incremental
+    // fingerprints, no clone or full-state hash per edge) shows its largest
+    // margin over the clone-everything baseline — ≥ 5× configs/sec.
+    bench_workload(
+        c,
+        &Workload {
+            name: "tas_reset_n3_d14",
+            protocol: tas_reset_consensus(3),
+            inputs: vec![0, 1, 2],
+            limits: ExploreLimits {
+                depth: 14,
+                max_configs: 1_000_000,
+                solo_check_budget: None,
+            },
+        },
+    );
+}
+
+fn cas_row(c: &mut Criterion) {
+    bench_workload(
+        c,
+        &Workload {
+            name: "cas_n3",
+            protocol: CasConsensus::new(3),
+            inputs: vec![0, 1, 2],
+            limits: ExploreLimits {
+                depth: 12,
+                max_configs: 1_000_000,
+                solo_check_budget: None,
+            },
+        },
+    );
+}
+
+fn symmetry_reduction(c: &mut Criterion) {
+    // Anonymous protocol with duplicated inputs: the quotiented frontier is
+    // the same verdict over a fraction of the states.
+    let protocol = MaxRegConsensus::new(3);
+    let inputs = [0u64, 0, 1];
+    let limits = ExploreLimits {
+        depth: 10,
+        max_configs: 1_000_000,
+        solo_check_budget: None,
+    };
+    let mut g = c.benchmark_group("explore_symmetry");
+    g.bench_function("plain/maxreg_n3_d10", |b| {
+        let explorer = Explorer::new().limits(limits);
+        b.iter(|| explorer.explore(&protocol, &inputs).unwrap());
+    });
+    g.bench_function("reduced/maxreg_n3_d10", |b| {
+        let explorer = Explorer::new().limits(limits).symmetry_reduction(true);
+        b.iter(|| explorer.explore(&protocol, &inputs).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = explore_group;
+    config = configure(&mut Criterion::default());
+    targets = maxreg_row, maxreg3_row, tas_reset_row, cas_row, symmetry_reduction,
+}
+criterion_main!(explore_group);

@@ -1,4 +1,13 @@
-//! Signed arbitrary-precision integers (sign + magnitude).
+//! Signed arbitrary-precision integers with an inline small-integer fast path.
+//!
+//! Representation: a [`BigInt`] is either an inline `i64` (`Repr::Small`) or a
+//! heap-backed sign + [`BigUint`] magnitude (`Repr::Big`). The representation
+//! is **canonical**: every value that fits in an `i64` is stored inline, and
+//! every constructor and arithmetic result re-normalises. Canonicality is what
+//! makes the derived `PartialEq`/`Eq`/`Hash` correct — two equal values always
+//! have byte-identical representations, no matter which sequence of operations
+//! produced them — and it is why the model's hot path (`Value::Int` holding a
+//! protocol counter or round number) never allocates.
 
 use crate::biguint::BigUint;
 use crate::ParseBigIntError;
@@ -18,11 +27,28 @@ pub enum Sign {
     Plus,
 }
 
+/// Internal storage. Invariant: `Big` is only used for values outside the
+/// `i64` range, so `Small` vs `Big` is decided by the value, never by the
+/// construction path, and the derived `Eq`/`Hash` on [`BigInt`] are sound.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// `i64::MIN ..= i64::MAX`, inline, allocation-free.
+    Small(i64),
+    /// `|value| > i64` range. `sign` is never [`Sign::Zero`].
+    Big {
+        sign: Sign,
+        mag: BigUint,
+    },
+}
+
 /// A signed arbitrary-precision integer.
 ///
 /// The `decrement()`/`multiply(x)` consensus protocol from the paper's
 /// introduction distinguishes processes by whether the shared word went
-/// negative, so the model's word type must be signed.
+/// negative, so the model's word type must be signed. Values that fit in an
+/// `i64` — the overwhelmingly common case in protocol state — are stored
+/// inline without heap allocation; arithmetic spills to the heap form only on
+/// overflow and falls back to the inline form whenever a result shrinks.
 ///
 /// # Examples
 ///
@@ -32,11 +58,16 @@ pub enum Sign {
 /// let v = BigInt::from(-3i64) * BigInt::from(7i64);
 /// assert!(v.is_negative());
 /// assert_eq!(v.to_string(), "-21");
+/// assert!(v.is_inline());
+///
+/// // Spill past i64 and shrink back: the representation stays canonical.
+/// let big = BigInt::from(i64::MAX) + BigInt::from(1i64);
+/// assert!(!big.is_inline());
+/// assert!((big - BigInt::from(1i64)).is_inline());
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigInt {
-    sign: Sign,
-    mag: BigUint,
+    repr: Repr,
 }
 
 impl Default for BigInt {
@@ -48,101 +79,186 @@ impl Default for BigInt {
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigInt {
-            sign: Sign::Zero,
-            mag: BigUint::zero(),
-        }
+        BigInt::small(0)
     }
 
     /// The value `1`.
     pub fn one() -> Self {
+        BigInt::small(1)
+    }
+
+    #[inline]
+    fn small(v: i64) -> Self {
         BigInt {
-            sign: Sign::Plus,
-            mag: BigUint::one(),
+            repr: Repr::Small(v),
+        }
+    }
+
+    /// Canonicalising constructor: inline when the value fits in `i64`.
+    fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            return BigInt::small(0);
+        }
+        if let Some(m) = mag.to_u128() {
+            if sign != Sign::Minus && m <= i64::MAX as u128 {
+                return BigInt::small(m as i64);
+            }
+            if sign == Sign::Minus && m <= i64::MAX as u128 + 1 {
+                return BigInt::small((m as i128).wrapping_neg() as i64);
+            }
+        }
+        BigInt {
+            repr: Repr::Big {
+                sign: if sign == Sign::Zero { Sign::Plus } else { sign },
+                mag,
+            },
         }
     }
 
     /// Builds a value from a sign and magnitude; the sign of a zero magnitude
-    /// is normalised to [`Sign::Zero`].
+    /// is normalised to [`Sign::Zero`], and a magnitude in `i64` range is
+    /// normalised to the inline representation.
     pub fn from_parts(sign: Sign, mag: BigUint) -> Self {
-        if mag.is_zero() {
-            BigInt::zero()
-        } else {
-            let sign = if sign == Sign::Zero { Sign::Plus } else { sign };
-            BigInt { sign, mag }
-        }
+        BigInt::from_sign_mag(sign, mag)
+    }
+
+    /// Returns `true` if the value is stored in the inline (allocation-free)
+    /// `i64` representation — by canonicality, exactly when it fits in `i64`.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
     }
 
     /// The sign of the value.
     pub fn sign(&self) -> Sign {
-        self.sign
+        match &self.repr {
+            Repr::Small(v) => match v.cmp(&0) {
+                Ordering::Less => Sign::Minus,
+                Ordering::Equal => Sign::Zero,
+                Ordering::Greater => Sign::Plus,
+            },
+            Repr::Big { sign, .. } => *sign,
+        }
     }
 
-    /// The magnitude (absolute value).
-    pub fn magnitude(&self) -> &BigUint {
-        &self.mag
+    /// The magnitude (absolute value). Materialised on demand for inline
+    /// values, so prefer [`BigInt::bit_len`] / [`BigInt::count_ones`] /
+    /// [`BigInt::bit`] when only a property of the magnitude is needed.
+    pub fn magnitude(&self) -> BigUint {
+        match &self.repr {
+            Repr::Small(v) => BigUint::from(v.unsigned_abs()),
+            Repr::Big { mag, .. } => mag.clone(),
+        }
     }
 
     /// Consumes the value and returns its magnitude.
     pub fn into_magnitude(self) -> BigUint {
-        self.mag
+        match self.repr {
+            Repr::Small(v) => BigUint::from(v.unsigned_abs()),
+            Repr::Big { mag, .. } => mag,
+        }
+    }
+
+    /// Decomposes into owned sign and magnitude (slow-path helper).
+    fn sign_mag(&self) -> (Sign, BigUint) {
+        match &self.repr {
+            Repr::Small(v) => {
+                let sign = match v.cmp(&0) {
+                    Ordering::Less => Sign::Minus,
+                    Ordering::Equal => Sign::Zero,
+                    Ordering::Greater => Sign::Plus,
+                };
+                (sign, BigUint::from(v.unsigned_abs()))
+            }
+            Repr::Big { sign, mag } => (*sign, mag.clone()),
+        }
     }
 
     /// Returns `true` if the value is zero.
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` if the value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Plus
+        self.sign() == Sign::Plus
     }
 
     /// Returns `true` if the value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Minus
+        self.sign() == Sign::Minus
     }
 
-    /// Converts to `i64`, returning `None` on overflow.
+    /// Converts to `i64`, returning `None` on overflow. By canonicality this
+    /// is a representation test: inline values fit, heap values never do.
     pub fn to_i64(&self) -> Option<i64> {
-        let m = self.mag.to_u128()?;
-        match self.sign {
-            Sign::Zero => Some(0),
-            Sign::Plus => (m <= i64::MAX as u128).then_some(m as i64),
-            Sign::Minus => (m <= i64::MAX as u128 + 1).then(|| (m as i128).wrapping_neg() as i64),
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Big { .. } => None,
         }
     }
 
     /// Converts to `u64` if the value is a representable nonnegative integer.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.sign {
-            Sign::Minus => None,
-            _ => self.mag.to_u64(),
+        match &self.repr {
+            Repr::Small(v) => u64::try_from(*v).ok(),
+            Repr::Big { sign, mag } => match sign {
+                Sign::Minus => None,
+                _ => mag.to_u64(),
+            },
         }
     }
 
     /// Converts to `i128`, returning `None` on overflow.
     pub fn to_i128(&self) -> Option<i128> {
-        let m = self.mag.to_u128()?;
-        match self.sign {
-            Sign::Zero => Some(0),
-            Sign::Plus => (m <= i128::MAX as u128).then_some(m as i128),
-            Sign::Minus => {
-                if m <= i128::MAX as u128 {
-                    Some(-(m as i128))
-                } else if m == i128::MAX as u128 + 1 {
-                    Some(i128::MIN)
-                } else {
-                    None
+        match &self.repr {
+            Repr::Small(v) => Some(*v as i128),
+            Repr::Big { sign, mag } => {
+                let m = mag.to_u128()?;
+                match sign {
+                    Sign::Zero => Some(0),
+                    Sign::Plus => (m <= i128::MAX as u128).then_some(m as i128),
+                    Sign::Minus => {
+                        if m <= i128::MAX as u128 {
+                            Some(-(m as i128))
+                        } else if m == i128::MAX as u128 + 1 {
+                            Some(i128::MIN)
+                        } else {
+                            None
+                        }
+                    }
                 }
             }
         }
     }
 
+    /// Number of significant bits of the magnitude; zero has bit length 0.
+    pub fn bit_len(&self) -> usize {
+        match &self.repr {
+            Repr::Small(v) => (64 - v.unsigned_abs().leading_zeros()) as usize,
+            Repr::Big { mag, .. } => mag.bit_len(),
+        }
+    }
+
+    /// Counts the 1-bits of the magnitude.
+    pub fn count_ones(&self) -> u64 {
+        match &self.repr {
+            Repr::Small(v) => v.unsigned_abs().count_ones() as u64,
+            Repr::Big { mag, .. } => mag.count_ones(),
+        }
+    }
+
     /// `self^exp` by binary exponentiation (sign follows exponent parity).
     pub fn pow(&self, exp: u64) -> BigInt {
-        let mag = self.mag.pow(exp);
-        let sign = match self.sign {
+        if let Repr::Small(v) = self.repr {
+            if let Ok(e) = u32::try_from(exp) {
+                if let Some(p) = v.checked_pow(e) {
+                    return BigInt::small(p);
+                }
+            }
+        }
+        let (sign, mag) = self.sign_mag();
+        let mag = mag.pow(exp);
+        let sign = match sign {
             Sign::Zero => {
                 if exp == 0 {
                     Sign::Plus
@@ -159,13 +275,32 @@ impl BigInt {
                 }
             }
         };
-        BigInt::from_parts(sign, mag)
+        BigInt::from_sign_mag(sign, mag)
     }
 
     /// Largest `k` such that `p^k` divides `|self|`; see
     /// [`BigUint::factor_multiplicity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`.
     pub fn factor_multiplicity(&self, p: u64) -> u64 {
-        self.mag.factor_multiplicity(p)
+        match &self.repr {
+            Repr::Small(v) => {
+                assert!(p >= 2, "factor must be at least 2");
+                let mut m = v.unsigned_abs();
+                if m == 0 {
+                    return 0;
+                }
+                let mut k = 0;
+                while m % p == 0 {
+                    m /= p;
+                    k += 1;
+                }
+                k
+            }
+            Repr::Big { mag, .. } => mag.factor_multiplicity(p),
+        }
     }
 
     /// Divides by a positive machine-word divisor using *Euclidean* semantics:
@@ -176,17 +311,28 @@ impl BigInt {
     ///
     /// Panics if `d == 0`.
     pub fn div_rem_euclid_u64(&self, d: u64) -> (BigInt, u64) {
-        let (q, r) = self.mag.div_rem_u64(d);
-        match self.sign {
-            Sign::Zero => (BigInt::zero(), 0),
-            Sign::Plus => (BigInt::from_parts(Sign::Plus, q), r),
-            Sign::Minus => {
-                if r == 0 {
-                    (BigInt::from_parts(Sign::Minus, q), 0)
-                } else {
-                    // -(q*d + r) = -(q+1)*d + (d - r)
-                    let q1 = q + BigUint::one();
-                    (BigInt::from_parts(Sign::Minus, q1), d - r)
+        assert!(d != 0, "division by zero");
+        match &self.repr {
+            Repr::Small(v) => {
+                // Widen to i128: |v| ≤ 2^63 and d ≥ 1, so the Euclidean
+                // quotient always fits back in an i64.
+                let (q, r) = ((*v as i128).div_euclid(d as i128), (*v as i128).rem_euclid(d as i128));
+                (BigInt::small(q as i64), r as u64)
+            }
+            Repr::Big { sign, mag } => {
+                let (q, r) = mag.div_rem_u64(d);
+                match sign {
+                    Sign::Zero => (BigInt::zero(), 0),
+                    Sign::Plus => (BigInt::from_sign_mag(Sign::Plus, q), r),
+                    Sign::Minus => {
+                        if r == 0 {
+                            (BigInt::from_sign_mag(Sign::Minus, q), 0)
+                        } else {
+                            // -(q*d + r) = -(q+1)*d + (d - r)
+                            let q1 = q + BigUint::one();
+                            (BigInt::from_sign_mag(Sign::Minus, q1), d - r)
+                        }
+                    }
                 }
             }
         }
@@ -194,55 +340,94 @@ impl BigInt {
 
     /// Returns bit `i` of the magnitude.
     pub fn bit(&self, i: u64) -> bool {
-        self.mag.bit(i)
+        match &self.repr {
+            Repr::Small(v) => i < 64 && (v.unsigned_abs() >> i) & 1 == 1,
+            Repr::Big { mag, .. } => mag.bit(i),
+        }
     }
 
     /// Sets bit `i` of the magnitude to 1 (used by `set-bit(x)`).
     pub fn set_bit(&mut self, i: u64) {
-        self.mag.set_bit(i);
-        if self.sign == Sign::Zero && !self.mag.is_zero() {
-            self.sign = Sign::Plus;
+        match &mut self.repr {
+            Repr::Small(v) => {
+                if *v >= 0 && i < 63 {
+                    *v |= 1 << i; // stays within i64::MAX: pure fast path
+                    return;
+                }
+                let sign = if *v < 0 { Sign::Minus } else { Sign::Plus };
+                let mut mag = BigUint::from(v.unsigned_abs());
+                mag.set_bit(i);
+                *self = BigInt::from_sign_mag(sign, mag);
+            }
+            Repr::Big { mag, .. } => {
+                // Setting a bit can only grow the magnitude, so the heap
+                // form stays out of i64 range and the invariant holds.
+                mag.set_bit(i);
+            }
         }
     }
 
     /// Adds `rhs` into `self`.
     pub fn add_assign_ref(&mut self, rhs: &BigInt) {
-        match (self.sign, rhs.sign) {
-            (_, Sign::Zero) => {}
-            (Sign::Zero, _) => *self = rhs.clone(),
-            (a, b) if a == b => self.mag.add_assign_ref(&rhs.mag),
-            _ => match self.mag.cmp(&rhs.mag) {
-                Ordering::Equal => *self = BigInt::zero(),
-                Ordering::Greater => self.mag.sub_assign_ref(&rhs.mag),
-                Ordering::Less => {
-                    let mag = &rhs.mag - &self.mag;
-                    *self = BigInt::from_parts(rhs.sign, mag);
-                }
-            },
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            match a.checked_add(*b) {
+                Some(s) => self.repr = Repr::Small(s),
+                None => *self = BigInt::from(*a as i128 + *b as i128),
+            }
+            return;
         }
+        let (ss, mut sm) = self.sign_mag();
+        let (rs, rm) = rhs.sign_mag();
+        *self = match (ss, rs) {
+            (_, Sign::Zero) => return,
+            (Sign::Zero, _) => rhs.clone(),
+            (a, b) if a == b => {
+                sm.add_assign_ref(&rm);
+                BigInt::from_sign_mag(ss, sm)
+            }
+            _ => match sm.cmp(&rm) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    sm.sub_assign_ref(&rm);
+                    BigInt::from_sign_mag(ss, sm)
+                }
+                Ordering::Less => BigInt::from_sign_mag(rs, &rm - &sm),
+            },
+        };
     }
 
     /// Multiplies `self` by `rhs`.
     pub fn mul_assign_ref(&mut self, rhs: &BigInt) {
-        let sign = match (self.sign, rhs.sign) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            match a.checked_mul(*b) {
+                Some(p) => self.repr = Repr::Small(p),
+                None => *self = BigInt::from(*a as i128 * *b as i128),
+            }
+            return;
+        }
+        let (ss, sm) = self.sign_mag();
+        let (rs, rm) = rhs.sign_mag();
+        let sign = match (ss, rs) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
             (a, b) if a == b => Sign::Plus,
             _ => Sign::Minus,
         };
-        let mag = self.mag.mul_ref(&rhs.mag);
-        *self = BigInt::from_parts(sign, mag);
+        *self = BigInt::from_sign_mag(sign, sm.mul_ref(&rm));
     }
 }
 
 impl From<u64> for BigInt {
     fn from(v: u64) -> Self {
-        BigInt::from_parts(Sign::Plus, BigUint::from(v))
+        match i64::try_from(v) {
+            Ok(small) => BigInt::small(small),
+            Err(_) => BigInt::from_sign_mag(Sign::Plus, BigUint::from(v)),
+        }
     }
 }
 
 impl From<u32> for BigInt {
     fn from(v: u32) -> Self {
-        BigInt::from(v as u64)
+        BigInt::small(v as i64)
     }
 }
 
@@ -254,43 +439,51 @@ impl From<usize> for BigInt {
 
 impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
-        if v < 0 {
-            BigInt::from_parts(Sign::Minus, BigUint::from(v.unsigned_abs()))
-        } else {
-            BigInt::from_parts(Sign::Plus, BigUint::from(v as u64))
-        }
+        BigInt::small(v)
     }
 }
 
 impl From<i32> for BigInt {
     fn from(v: i32) -> Self {
-        BigInt::from(v as i64)
+        BigInt::small(v as i64)
     }
 }
 
 impl From<i128> for BigInt {
     fn from(v: i128) -> Self {
-        if v < 0 {
-            BigInt::from_parts(Sign::Minus, BigUint::from(v.unsigned_abs()))
-        } else {
-            BigInt::from_parts(Sign::Plus, BigUint::from(v as u128))
+        match i64::try_from(v) {
+            Ok(small) => BigInt::small(small),
+            Err(_) if v < 0 => BigInt::from_sign_mag(Sign::Minus, BigUint::from(v.unsigned_abs())),
+            Err(_) => BigInt::from_sign_mag(Sign::Plus, BigUint::from(v as u128)),
         }
     }
 }
 
 impl From<BigUint> for BigInt {
     fn from(mag: BigUint) -> Self {
-        BigInt::from_parts(Sign::Plus, mag)
+        BigInt::from_sign_mag(Sign::Plus, mag)
     }
 }
 
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (self.sign, other.sign) {
-            (a, b) if a != b => a.cmp(&b),
-            (Sign::Plus, _) => self.mag.cmp(&other.mag),
-            (Sign::Minus, _) => other.mag.cmp(&self.mag),
-            _ => Ordering::Equal,
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // A heap value is outside i64 range, so its sign decides.
+            (Repr::Small(_), Repr::Big { sign, .. }) => match sign {
+                Sign::Minus => Ordering::Greater,
+                _ => Ordering::Less,
+            },
+            (Repr::Big { sign, .. }, Repr::Small(_)) => match sign {
+                Sign::Minus => Ordering::Less,
+                _ => Ordering::Greater,
+            },
+            (Repr::Big { sign: a, mag: am }, Repr::Big { sign: b, mag: bm }) => match (a, b) {
+                (x, y) if x != y => x.cmp(y),
+                (Sign::Plus, _) => am.cmp(bm),
+                (Sign::Minus, _) => bm.cmp(am),
+                _ => Ordering::Equal,
+            },
         }
     }
 }
@@ -304,14 +497,21 @@ impl PartialOrd for BigInt {
 impl Neg for BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        let sign = match self.sign {
-            Sign::Plus => Sign::Minus,
-            Sign::Minus => Sign::Plus,
-            Sign::Zero => Sign::Zero,
-        };
-        BigInt {
-            sign,
-            mag: self.mag,
+        match self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt::small(n),
+                // -i64::MIN = 2^63 spills to the heap form.
+                None => BigInt::from_sign_mag(Sign::Plus, BigUint::from(v.unsigned_abs())),
+            },
+            Repr::Big { sign, mag } => {
+                let sign = match sign {
+                    Sign::Plus => Sign::Minus,
+                    Sign::Minus => Sign::Plus,
+                    Sign::Zero => Sign::Zero,
+                };
+                // Re-normalise: negating +2^63 lands back on i64::MIN.
+                BigInt::from_sign_mag(sign, mag)
+            }
         }
     }
 }
@@ -394,8 +594,16 @@ impl MulAssign<&BigInt> for BigInt {
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = self.mag.to_string();
-        f.pad_integral(self.sign != Sign::Minus, "", &s)
+        match &self.repr {
+            Repr::Small(v) => {
+                let s = v.unsigned_abs().to_string();
+                f.pad_integral(*v >= 0, "", &s)
+            }
+            Repr::Big { sign, mag } => {
+                let s = mag.to_string();
+                f.pad_integral(*sign != Sign::Minus, "", &s)
+            }
+        }
     }
 }
 
@@ -417,7 +625,7 @@ impl FromStr for BigInt {
             None => (Sign::Plus, s.strip_prefix('+').unwrap_or(s)),
         };
         let mag: BigUint = digits.parse()?;
-        Ok(BigInt::from_parts(sign, mag))
+        Ok(BigInt::from_sign_mag(sign, mag))
     }
 }
 
@@ -505,5 +713,65 @@ mod tests {
         v.set_bit(10);
         assert!(v.is_positive());
         assert_eq!(v.to_i128(), Some(1024));
+    }
+
+    #[test]
+    fn inline_exactly_within_i64_range() {
+        assert!(b(0).is_inline());
+        assert!(BigInt::from(i64::MAX).is_inline());
+        assert!(BigInt::from(i64::MIN).is_inline());
+        assert!(!b(i64::MAX as i128 + 1).is_inline());
+        assert!(!b(i64::MIN as i128 - 1).is_inline());
+        // from_parts normalises a small magnitude down to the inline form.
+        assert!(BigInt::from_parts(Sign::Plus, BigUint::from(17u32)).is_inline());
+        assert!(BigInt::from_parts(Sign::Minus, BigUint::from(1u128 << 63)).is_inline());
+        assert!(!BigInt::from_parts(Sign::Plus, BigUint::from(1u128 << 63)).is_inline());
+    }
+
+    #[test]
+    fn arithmetic_spills_and_returns_canonically() {
+        let max = BigInt::from(i64::MAX);
+        let one = BigInt::one();
+        let spilled = &max + &one;
+        assert!(!spilled.is_inline());
+        let back = &spilled - &one;
+        assert!(back.is_inline());
+        assert_eq!(back, max);
+        // Negating i64::MIN spills; negating back re-inlines.
+        let min = BigInt::from(i64::MIN);
+        let pos = -min.clone();
+        assert!(!pos.is_inline());
+        assert_eq!(-pos, min);
+    }
+
+    #[test]
+    fn set_bit_spills_out_of_inline_range() {
+        let mut v = BigInt::one();
+        v.set_bit(63);
+        assert!(!v.is_inline());
+        assert_eq!(v.to_i128(), Some((1i128 << 63) + 1));
+        let mut neg = b(-1);
+        neg.set_bit(70);
+        assert_eq!(neg.to_i128(), Some(-((1i128 << 70) + 1)));
+    }
+
+    #[test]
+    fn bit_len_and_count_ones_match_magnitude() {
+        assert_eq!(b(0).bit_len(), 0);
+        assert_eq!(b(-9).bit_len(), 4);
+        assert_eq!(b(9).count_ones(), 2);
+        let big = b(1i128 << 100);
+        assert_eq!(big.bit_len(), 101);
+        assert_eq!(big.count_ones(), 1);
+    }
+
+    #[test]
+    fn mixed_representation_ordering() {
+        let small = BigInt::from(i64::MAX);
+        let big_pos = b(i64::MAX as i128 + 1);
+        let big_neg = b(i64::MIN as i128 - 1);
+        assert!(small < big_pos);
+        assert!(big_neg < small);
+        assert!(big_neg < big_pos);
     }
 }

@@ -111,3 +111,77 @@ proptest! {
         prop_assert_eq!(shifted, v.mul_ref(&u(1u128 << sh)));
     }
 }
+
+/// Values straddling the inline/heap boundary: `±(i64::MAX + offset)` and
+/// `±(i64::MIN − offset)` territory, where every arithmetic result may spill
+/// out of — or shrink back into — the inline `i64` representation.
+fn near_boundary() -> impl Strategy<Value = i128> {
+    (-4000i128..4000, 0usize..3).prop_map(|(offset, region)| match region {
+        0 => i64::MAX as i128 + offset,
+        1 => i64::MIN as i128 + offset,
+        _ => offset,
+    })
+}
+
+fn std_hash(v: &BigInt) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn inline_form_is_canonical_across_the_boundary(a in near_boundary()) {
+        let v = s(a);
+        prop_assert_eq!(v.is_inline(), i64::try_from(a).is_ok());
+    }
+
+    #[test]
+    fn arithmetic_agrees_with_i128_across_the_boundary(a in near_boundary(), b in near_boundary()) {
+        prop_assert_eq!((s(a) + s(b)).to_i128(), Some(a + b));
+        prop_assert_eq!((s(a) - s(b)).to_i128(), Some(a - b));
+        prop_assert_eq!((s(a) * s(3)).to_i128(), Some(a * 3));
+        prop_assert_eq!((-s(a)).to_i128(), Some(-a));
+    }
+
+    #[test]
+    fn ord_agrees_with_i128_across_the_boundary(a in near_boundary(), b in near_boundary()) {
+        prop_assert_eq!(s(a).cmp(&s(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn display_agrees_with_i128_across_the_boundary(a in near_boundary()) {
+        prop_assert_eq!(s(a).to_string(), a.to_string());
+        let back: BigInt = s(a).to_string().parse().unwrap();
+        prop_assert_eq!(back, s(a));
+    }
+
+    #[test]
+    fn hash_and_eq_are_construction_path_independent(a in near_boundary(), d in 1i128..(1i128 << 70)) {
+        // Reach the same value three ways: directly, via an excursion past
+        // the boundary and back, and via sign-magnitude parts. Canonical
+        // representation means all are equal AND hash equal AND agree on
+        // which form they use.
+        let direct = s(a);
+        let excursion = (s(a) + s(d)) - s(d);
+        let parts = {
+            use cbh_bigint::{BigUint, Sign};
+            let sign = if a < 0 { Sign::Minus } else { Sign::Plus };
+            BigInt::from_parts(sign, BigUint::from(a.unsigned_abs()))
+        };
+        prop_assert_eq!(&direct, &excursion);
+        prop_assert_eq!(&direct, &parts);
+        prop_assert_eq!(std_hash(&direct), std_hash(&excursion));
+        prop_assert_eq!(std_hash(&direct), std_hash(&parts));
+        prop_assert_eq!(direct.is_inline(), excursion.is_inline());
+        prop_assert_eq!(direct.is_inline(), parts.is_inline());
+    }
+
+    #[test]
+    fn euclid_division_agrees_across_the_boundary(a in near_boundary(), d in 1u64..1000) {
+        let (q, r) = s(a).div_rem_euclid_u64(d);
+        prop_assert!((r as u128) < d as u128);
+        prop_assert_eq!(q * s(d as i128) + s(r as i128), s(a));
+    }
+}

@@ -468,7 +468,7 @@ impl CounterSim for SetBitCounterSim {
                 let word = result.as_int().expect("counter word is an integer");
                 let stride = (self.m * self.n) as u64;
                 let mut counts = vec![0u64; self.m];
-                let bits = word.magnitude().bit_len() as u64;
+                let bits = word.bit_len() as u64;
                 for pos in 0..bits {
                     if word.bit(pos) {
                         let v = ((pos % stride) / self.n as u64) as usize;
@@ -608,7 +608,7 @@ mod tests {
         }
         let word = mem.cell(0).unwrap().as_word().unwrap().clone();
         let ones = match word {
-            Value::Int(v) => v.magnitude().count_ones(),
+            Value::Int(v) => v.count_ones(),
             _ => panic!(),
         };
         assert_eq!(ones, 4);

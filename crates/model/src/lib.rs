@@ -18,7 +18,10 @@
 //!   `ℓ`-buffers, max-register ordering);
 //! - [`Process`] / [`Protocol`] — deterministic processes as cloneable state
 //!   machines, so schedulers, adversaries and model checkers can replay and
-//!   branch configurations.
+//!   branch configurations;
+//! - [`fingerprint_of`] / [`Fp128Hasher`] — stable 128-bit fingerprints of
+//!   values, cells, memories and process states, the currency of the
+//!   state-space engine's seen-sets.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@
 
 mod cell;
 mod error;
+mod fingerprint;
 mod instruction;
 mod iset;
 mod memory;
@@ -48,9 +52,10 @@ mod value;
 
 pub use cell::CellState;
 pub use error::ModelError;
+pub use fingerprint::{fingerprint_of, Fp128Hasher};
 pub use instruction::{Instruction, InstructionKind, Op};
 pub use iset::InstructionSet;
-pub use memory::{Locations, Memory, MemorySpec};
+pub use memory::{Locations, Memory, MemorySpec, MemoryUndo};
 pub use process::{Action, ConsensusInput, Process, Protocol};
 pub use value::Value;
 

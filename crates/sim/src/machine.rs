@@ -2,8 +2,20 @@
 
 use crate::report::ConsensusReport;
 use crate::scheduler::Scheduler;
-use cbh_model::{Action, Memory, ModelError, Op, Process, Protocol, Value};
+use cbh_model::{Action, Memory, MemoryUndo, ModelError, Op, Process, Protocol, Value};
 use std::fmt;
+
+/// Undo token returned by [`Machine::step_undoable`]: the pre-step state of
+/// exactly what the step could have changed (one process, one decision slot,
+/// the targeted memory locations).
+#[derive(Debug, Clone)]
+pub struct StepUndo<P: Process> {
+    pid: usize,
+    prev_decided: Option<u64>,
+    /// `Some` iff the step executed an instruction (rather than only
+    /// recording a pending decision).
+    invoked: Option<(P, MemoryUndo)>,
+}
 
 /// An error raised while executing a protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -181,7 +193,16 @@ impl<P: Process> Machine<P> {
 
     /// Pids that have not yet decided.
     pub fn active(&self) -> Vec<usize> {
-        (0..self.n()).filter(|&p| self.decision(p).is_none()).collect()
+        self.active_iter().collect()
+    }
+
+    /// Iterator over undecided pids, without allocating.
+    ///
+    /// The frontier explorer visits every configuration once and asks this
+    /// question once per visit; the `Vec` that [`Machine::active`] builds is
+    /// pure overhead there.
+    pub fn active_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n()).filter(move |&p| self.decision(p).is_none())
     }
 
     /// Returns `true` once every process has decided.
@@ -221,6 +242,151 @@ impl<P: Process> Machine<P> {
                 Ok(StepOutcome::Invoked { op, result })
             }
         }
+    }
+
+    /// Executes one step of `pid` like [`Machine::step`], additionally
+    /// returning a token that [`Machine::undo_step`] consumes to restore the
+    /// pre-step configuration in place.
+    ///
+    /// This is the branch-light walk primitive of the state-space engine: an
+    /// edge of the configuration graph costs one cloned process state and the
+    /// touched memory cells — O(step footprint) — instead of a whole-machine
+    /// clone, and duplicate successors are detected and abandoned without
+    /// ever materialising a second `Machine`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Machine::step`]; on error the configuration is
+    /// fully rolled back.
+    pub fn step_undoable(&mut self, pid: usize) -> Result<(StepOutcome, StepUndo<P>), SimError> {
+        let prev_decided = self.decided[pid];
+        match self.procs[pid].action() {
+            Action::Decide(v) => {
+                self.decided[pid] = Some(v);
+                Ok((
+                    StepOutcome::AlreadyDecided(v),
+                    StepUndo {
+                        pid,
+                        prev_decided,
+                        invoked: None,
+                    },
+                ))
+            }
+            Action::Invoke(op) => {
+                let (result, memory_undo) =
+                    self.memory.apply_undoable(&op).map_err(|source| SimError::Model {
+                        pid,
+                        step: self.steps,
+                        source,
+                    })?;
+                let prev_proc = self.procs[pid].clone();
+                self.procs[pid].absorb(result.clone());
+                self.steps += 1;
+                self.proc_steps[pid] += 1;
+                if let Action::Decide(v) = self.procs[pid].action() {
+                    self.decided[pid] = Some(v);
+                }
+                Ok((
+                    StepOutcome::Invoked { op, result },
+                    StepUndo {
+                        pid,
+                        prev_decided,
+                        invoked: Some((prev_proc, memory_undo)),
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Reverts the step that produced `undo`. Tokens must be consumed in
+    /// reverse order of application (last step undone first).
+    pub fn undo_step(&mut self, undo: StepUndo<P>) {
+        let StepUndo {
+            pid,
+            prev_decided,
+            invoked,
+        } = undo;
+        if let Some((prev_proc, memory_undo)) = invoked {
+            self.procs[pid] = prev_proc;
+            self.memory.undo(memory_undo);
+            self.steps -= 1;
+            self.proc_steps[pid] -= 1;
+        }
+        self.decided[pid] = prev_decided;
+    }
+
+    /// The decision recorded for `pid` by a past step, without consulting the
+    /// process's poised action. [`Machine::decision`] is the semantic query;
+    /// this accessor exists so incremental fingerprints can hash exactly the
+    /// stored state.
+    pub fn recorded_decision(&self, pid: usize) -> Option<u64> {
+        self.decided[pid]
+    }
+
+    /// Clones this configuration and steps `pid` in the copy — the branching
+    /// primitive of the state-space engine.
+    ///
+    /// Exploration needs one child configuration per active process; with the
+    /// inline small-integer words this clone is a few flat `memcpy`s, and the
+    /// parent stays borrowed-shared so siblings can branch from it too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`Machine::step`].
+    pub fn branch_step(&self, pid: usize) -> Result<Machine<P>, SimError> {
+        let mut next = self.clone();
+        next.step(pid)?;
+        Ok(next)
+    }
+
+    /// Stable 128-bit fingerprint of the *semantic* configuration: process
+    /// states, decisions and memory. The step counters are deliberately
+    /// excluded — they are bookkeeping, not state: two configurations that
+    /// differ only in step counts behave identically under every future
+    /// schedule, so a state-space search that fingerprints them as equal
+    /// explores strictly fewer configurations with the same verdicts.
+    ///
+    /// Deterministic across runs and platforms (see
+    /// [`cbh_model::fingerprint_of`]).
+    pub fn fingerprint(&self) -> u128 {
+        use std::hash::Hash;
+        let mut hasher = cbh_model::Fp128Hasher::new();
+        self.procs.hash(&mut hasher);
+        self.decided.hash(&mut hasher);
+        self.memory.hash(&mut hasher);
+        hasher.finish128()
+    }
+
+    /// Fingerprint quotiented by process identity: configurations that differ
+    /// only by a permutation of (process state, decision) pairs fingerprint
+    /// identically.
+    ///
+    /// This is the one-shot API for the process-symmetry quotient. (The
+    /// checker's symmetry reduction computes the same quotient with its own
+    /// incrementally-updatable digest, so the two functions agree on *which*
+    /// configurations merge, not on digest values.) The quotient is **sound
+    /// only for anonymous protocols** — ones whose processes never consult
+    /// their pid, like the paper's Section 8 swap protocol — where any
+    /// reachable configuration's permutation is reachable by the permuted
+    /// schedule. For pid-aware protocols it may merge genuinely distinct
+    /// states.
+    pub fn fingerprint_symmetric(&self) -> u128 {
+        use std::hash::{Hash, Hasher};
+        let mut per_process: Vec<u128> = (0..self.n())
+            .map(|pid| {
+                let mut hasher = cbh_model::Fp128Hasher::new();
+                self.procs[pid].hash(&mut hasher);
+                self.decided[pid].hash(&mut hasher);
+                hasher.finish128()
+            })
+            .collect();
+        per_process.sort_unstable();
+        let mut hasher = cbh_model::Fp128Hasher::new();
+        for fp in per_process {
+            hasher.write_u128(fp);
+        }
+        self.memory.hash(&mut hasher);
+        hasher.finish128()
     }
 
     /// Executes one step of `pid` and records it into `trace`.
@@ -434,6 +600,109 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[1].result, Value::int(1));
         assert!(trace[0].to_string().contains("p0"));
+    }
+
+    /// Forever poised to write 0 over the 0 already there: every step leaves
+    /// the semantic configuration untouched and only advances step counters.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Spin;
+
+    impl Process for Spin {
+        fn action(&self) -> Action {
+            Action::Invoke(Op::single(0, Instruction::write(0)))
+        }
+        fn absorb(&mut self, _result: Value) {}
+    }
+
+    struct SpinProtocol;
+
+    impl Protocol for SpinProtocol {
+        type Proc = Spin;
+        fn name(&self) -> String {
+            "spin".into()
+        }
+        fn n(&self) -> usize {
+            2
+        }
+        fn domain(&self) -> u64 {
+            2
+        }
+        fn memory_spec(&self) -> MemorySpec {
+            MemorySpec::bounded(InstructionSet::ReadWrite, 1)
+        }
+        fn spawn(&self, _pid: usize, _input: u64) -> Spin {
+            Spin
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_step_counters() {
+        // One no-op write vs two: past the first touch, the only difference
+        // is the step counters. The machines are unequal but fingerprint
+        // identically, so a state-space search memoising fingerprints visits
+        // this configuration once, not once per path length.
+        let a = Machine::start(&SpinProtocol, &[0, 0])
+            .unwrap()
+            .branch_step(0)
+            .unwrap();
+        let b = a.branch_step(0).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A semantic change does move the fingerprint.
+        let p = AdderProtocol { n: 2, rounds: 2 };
+        let base = Machine::start(&p, &[0, 0]).unwrap();
+        assert_ne!(
+            base.fingerprint(),
+            base.branch_step(0).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn symmetric_fingerprint_quotients_process_permutations() {
+        let p = AdderProtocol { n: 2, rounds: 3 };
+        let a = Machine::start(&p, &[0, 0]).unwrap();
+        // p0 two steps vs p1 two steps: mirrored configurations.
+        let left = a.branch_step(0).unwrap().branch_step(0).unwrap();
+        let right = a.branch_step(1).unwrap().branch_step(1).unwrap();
+        assert_ne!(left.fingerprint(), right.fingerprint());
+        assert_eq!(left.fingerprint_symmetric(), right.fingerprint_symmetric());
+    }
+
+    #[test]
+    fn step_undoable_roundtrips_invokes_and_decisions() {
+        let p = AdderProtocol { n: 2, rounds: 1 };
+        let mut m = Machine::start(&p, &[0, 0]).unwrap();
+        let snapshot = m.clone();
+        // An instruction step: state moves, undo restores it exactly.
+        let (outcome, undo) = m.step_undoable(0).unwrap();
+        assert!(matches!(outcome, StepOutcome::Invoked { .. }));
+        assert_ne!(m, snapshot);
+        m.undo_step(undo);
+        assert_eq!(m, snapshot);
+        // Redo and let p0 reach its decision, then undo the decision record.
+        m.step(0).unwrap();
+        let decided = m.clone();
+        assert_eq!(m.recorded_decision(0), Some(0));
+        let (outcome, undo) = m.step_undoable(0).unwrap();
+        assert_eq!(outcome, StepOutcome::AlreadyDecided(0));
+        m.undo_step(undo);
+        assert_eq!(m, decided);
+        // Undo-stepping agrees with branch_step at every edge.
+        let (_, undo) = m.step_undoable(1).unwrap();
+        let via_undo = m.clone();
+        m.undo_step(undo);
+        assert_eq!(via_undo, m.branch_step(1).unwrap());
+    }
+
+    #[test]
+    fn branch_step_leaves_the_parent_untouched() {
+        let p = AdderProtocol { n: 2, rounds: 2 };
+        let parent = Machine::start(&p, &[0, 0]).unwrap();
+        let snapshot = parent.clone();
+        let child = parent.branch_step(1).unwrap();
+        assert_eq!(parent, snapshot);
+        assert_eq!(child.steps(), 1);
+        assert_eq!(parent.active(), parent.active_iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,19 +1,29 @@
 //! Bounded exhaustive model checking over schedules.
 //!
-//! For small numbers of processes and short horizons, *every* interleaving of
-//! a protocol can be explored. The checker walks the schedule tree of a
-//! [`Protocol`], memoising configurations (process states + memory, which are
-//! `Hash + Eq` by construction), and reports:
+//! For small numbers of processes and bounded horizons, *every* interleaving
+//! of a protocol can be explored. The checker walks the configuration graph
+//! of a [`Protocol`] breadth-first with an iterative frontier, memoises
+//! configurations by their stable 128-bit [fingerprint](Machine::fingerprint)
+//! (16 bytes per visited state instead of a deep-cloned `Machine`), and
+//! reports:
 //!
-//! - agreement/validity violations, with the schedule that produced them;
+//! - agreement/validity violations, with a shortest-in-steps schedule (pid
+//!   sequence) reconstructed from parent links;
 //! - valency information ("can value `v` still be decided from here?") — the
 //!   `can decide` relation the paper's covering arguments are built on;
 //! - obstruction-freedom failures (a reachable configuration from which some
 //!   process's solo run does not decide).
+//!
+//! The engine is exposed twice: [`explore`] is the plain sequential entry
+//! point, and [`Explorer`] adds worker-thread fan-out and an optional
+//! process-symmetry reduction. Both produce **identical** outcomes — the
+//! parallel merge is deterministic, so the verdict and any counterexample
+//! schedule are bit-for-bit the same at any worker count.
 
-use cbh_model::{Process, Protocol};
+use cbh_model::{Action, Fp128Hasher, Process, Protocol};
 use cbh_sim::{Machine, SimError};
 use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
 
 /// What the exhaustive exploration found.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +69,26 @@ impl ExploreOutcome {
 }
 
 /// Exploration limits.
+///
+/// # Picking limits
+///
+/// The engine visits each *semantically distinct* configuration once (step
+/// counters are excluded from the fingerprint), so the costs to budget for
+/// are:
+///
+/// - **`max_configs`** bounds memory: 16 bytes of fingerprint per visited
+///   configuration, plus one live `Machine` per *frontier* entry (the
+///   current breadth-first layer only, not the whole history). The default
+///   of one million configurations is a few hundred megabytes in the worst
+///   frontier-heavy case and explores in seconds.
+/// - **`depth`** bounds the schedule length. Terminating protocols stop
+///   growing the frontier on their own — a generous depth costs nothing
+///   extra once the space is exhausted (`complete: true`). For protocols
+///   that loop under contention (max-register rounds, swap laps), reachable
+///   states grow with depth, so `depth` is the knob that actually decides
+///   runtime; raise it until `max_configs` becomes the binding cutoff.
+/// - **`solo_check_budget`** multiplies the per-configuration cost by
+///   `n × budget` in the worst case; enable it on small horizons only.
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreLimits {
     /// Maximum schedule length explored.
@@ -72,15 +102,385 @@ pub struct ExploreLimits {
 
 impl Default for ExploreLimits {
     fn default() -> Self {
+        // Sized for the fingerprint-based frontier engine: the legacy
+        // recursive checker defaulted to depth 40 / 200k configurations of
+        // deep-cloned machines; fingerprints and inline integer words push
+        // the same memory budget past a million configurations.
         ExploreLimits {
-            depth: 40,
-            max_configs: 200_000,
+            depth: 64,
+            max_configs: 1_000_000,
             solo_check_budget: None,
         }
     }
 }
 
-/// Exhaustively explores all schedules of `protocol` on `inputs`.
+/// Sentinel for "no parent": the initial configuration's link.
+const NO_LINK: usize = usize::MAX;
+
+/// One admitted configuration's provenance: (parent link index, pid stepped).
+type Link = (usize, usize);
+
+/// A frontier entry: a live configuration, its incremental fingerprint, and
+/// its link for schedule reconstruction.
+struct FrontierNode<Proc: Process> {
+    machine: Machine<Proc>,
+    fp: u128,
+    link: usize,
+}
+
+/// What one layer pass must do per node.
+#[derive(Clone, Copy)]
+struct LayerJob {
+    expand: bool,
+    solo_budget: Option<u64>,
+    symmetric: bool,
+}
+
+/// What the expansion phase produced for one frontier node.
+struct Expansion {
+    /// First active pid whose solo run failed to decide, if solo checks ran.
+    solo_failure: Option<usize>,
+    /// `(pid, successor fingerprint)` per active process, in pid order. The
+    /// successor *machines* are deliberately absent: duplicates are filtered
+    /// by fingerprint first and only admitted children are materialised.
+    edges: Vec<(usize, u128)>,
+}
+
+type NodeOut = Result<Expansion, SimError>;
+
+// ---------------------------------------------------------------------------
+// Incremental configuration fingerprints.
+//
+// The explored fingerprint is a Zobrist-style wrapping sum of independent
+// 128-bit FNV components: one per (pid, process state, recorded decision),
+// one per (location, cell), one for the touched-location count. A step
+// changes one process and the cells its op targets, so a successor's
+// fingerprint is the parent's, minus the old components, plus the new ones —
+// O(step footprint) instead of a full-state hash per edge. In symmetric mode
+// the process components drop the pid tag, making the sum invariant under
+// process permutation (the multiset of process states is what's hashed).
+// ---------------------------------------------------------------------------
+
+fn comp_proc<Proc: Process>(machine: &Machine<Proc>, pid: usize, symmetric: bool) -> u128 {
+    let mut h = Fp128Hasher::new();
+    h.write_u8(b'p');
+    if !symmetric {
+        h.write_usize(pid);
+    }
+    machine.process(pid).hash(&mut h);
+    machine.recorded_decision(pid).hash(&mut h);
+    h.finish128()
+}
+
+fn comp_cell(loc: usize, cell: &cbh_model::CellState) -> u128 {
+    let mut h = Fp128Hasher::new();
+    h.write_u8(b'c');
+    h.write_usize(loc);
+    cell.hash(&mut h);
+    h.finish128()
+}
+
+fn comp_touched(touched: usize) -> u128 {
+    let mut h = Fp128Hasher::new();
+    h.write_u8(b't');
+    h.write_usize(touched);
+    h.finish128()
+}
+
+/// Full-scan fingerprint, used for the root (and as the debug cross-check
+/// that the incremental edge fingerprints stay in sync with it).
+fn full_fp<Proc: Process>(machine: &Machine<Proc>, symmetric: bool) -> u128 {
+    let mut fp = comp_touched(machine.memory().touched());
+    for pid in 0..machine.n() {
+        fp = fp.wrapping_add(comp_proc(machine, pid, symmetric));
+    }
+    for loc in 0..machine.memory().len() {
+        let cell = machine.memory().cell(loc).expect("loc < len");
+        fp = fp.wrapping_add(comp_cell(loc, cell));
+    }
+    fp
+}
+
+/// Walks every outgoing edge of `node` — step, fingerprint the successor
+/// incrementally, undo — without materialising any successor machine.
+fn edge_fingerprints<Proc: Process>(
+    node: &mut FrontierNode<Proc>,
+    symmetric: bool,
+) -> Result<Vec<(usize, u128)>, SimError> {
+    let active: Vec<usize> = node.machine.active_iter().collect();
+    let mut edges = Vec::with_capacity(active.len());
+    for pid in active {
+        let machine = &mut node.machine;
+        let mut fp = node.fp.wrapping_sub(comp_proc(machine, pid, symmetric));
+        let touched_locs = match machine.action(pid) {
+            Action::Invoke(op) => op.touches(),
+            Action::Decide(_) => Vec::new(),
+        };
+        let old_len = machine.memory().len();
+        let old_touched = machine.memory().touched();
+        for &loc in &touched_locs {
+            if let Some(cell) = machine.memory().cell(loc) {
+                fp = fp.wrapping_sub(comp_cell(loc, cell));
+            }
+        }
+        let (_, undo) = machine.step_undoable(pid)?;
+        fp = fp.wrapping_add(comp_proc(machine, pid, symmetric));
+        for &loc in &touched_locs {
+            if loc < old_len {
+                let cell = machine.memory().cell(loc).expect("touched loc exists");
+                fp = fp.wrapping_add(comp_cell(loc, cell));
+            }
+        }
+        // Cells the step grew into (unbounded memories) are pure additions.
+        for loc in old_len..machine.memory().len() {
+            let cell = machine.memory().cell(loc).expect("grown loc exists");
+            fp = fp.wrapping_add(comp_cell(loc, cell));
+        }
+        let new_touched = machine.memory().touched();
+        if new_touched != old_touched {
+            fp = fp
+                .wrapping_sub(comp_touched(old_touched))
+                .wrapping_add(comp_touched(new_touched));
+        }
+        machine.undo_step(undo);
+        edges.push((pid, fp));
+    }
+    Ok(edges)
+}
+
+/// Walks the schedule back through the parent links.
+fn schedule_of(links: &[Link], mut link: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    while link != NO_LINK {
+        let (parent, pid) = links[link];
+        out.push(pid);
+        link = parent;
+    }
+    out.reverse();
+    out
+}
+
+/// Validity/agreement check on one configuration, mirroring the paper's
+/// order: all decisions validated against the inputs first, then pairwise
+/// agreement.
+fn decision_violation<Proc: Process>(
+    machine: &Machine<Proc>,
+    inputs: &[u64],
+    link: usize,
+    links: &[Link],
+) -> Option<ExploreOutcome> {
+    let decisions: Vec<u64> = (0..machine.n()).filter_map(|p| machine.decision(p)).collect();
+    for &d in &decisions {
+        if !inputs.contains(&d) {
+            return Some(ExploreOutcome::ValidityViolation {
+                decided: d,
+                schedule: schedule_of(links, link),
+            });
+        }
+    }
+    if let Some((&a, &b)) = decisions
+        .iter()
+        .zip(decisions.iter().skip(1))
+        .find(|(a, b)| a != b)
+    {
+        return Some(ExploreOutcome::AgreementViolation {
+            decisions: (a, b),
+            schedule: schedule_of(links, link),
+        });
+    }
+    None
+}
+
+/// Expansion work for one admitted configuration: optional solo probes, then
+/// one fingerprinted edge per active process, in pid order. Walks each edge
+/// with step/undo, so the node's machine is unchanged on return.
+fn expand_node<Proc: Process>(node: &mut FrontierNode<Proc>, job: LayerJob) -> NodeOut {
+    if let Some(budget) = job.solo_budget {
+        for pid in node.machine.active_iter() {
+            let mut probe = node.machine.clone();
+            if probe.run_solo(pid, budget)?.is_none() {
+                return Ok(Expansion {
+                    solo_failure: Some(pid),
+                    edges: Vec::new(),
+                });
+            }
+        }
+    }
+    let edges = if job.expand {
+        edge_fingerprints(node, job.symmetric)?
+    } else {
+        Vec::new()
+    };
+    Ok(Expansion {
+        solo_failure: None,
+        edges,
+    })
+}
+
+/// Sequential layer pass: every node in frontier order. Takes and returns the
+/// nodes because edge-walking mutates (and restores) each machine in place.
+fn expand_sequential<Proc: Process>(
+    mut nodes: Vec<FrontierNode<Proc>>,
+    job: LayerJob,
+) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>) {
+    let outs = nodes.iter_mut().map(|n| expand_node(n, job)).collect();
+    (nodes, outs)
+}
+
+/// Parallel layer pass: the frontier is split into contiguous chunks, one
+/// scoped worker thread per chunk, and the per-chunk results are
+/// re-concatenated **in chunk order** — so the output is element-for-element
+/// identical to [`expand_sequential`] and every downstream decision (dedup
+/// order, violation choice, schedule shape) is independent of `workers`.
+fn expand_parallel<Proc>(
+    nodes: Vec<FrontierNode<Proc>>,
+    job: LayerJob,
+    workers: usize,
+) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>)
+where
+    Proc: Process + Send,
+{
+    // Below this many nodes per worker, thread spawn overhead dominates.
+    const MIN_NODES_PER_WORKER: usize = 16;
+    let workers = workers.min(nodes.len() / MIN_NODES_PER_WORKER);
+    if workers <= 1 {
+        return expand_sequential(nodes, job);
+    }
+    let chunk_size = nodes.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<FrontierNode<Proc>>> = Vec::with_capacity(workers);
+    let mut rest = nodes;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let mut nodes = Vec::new();
+    let mut outs = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|part| scope.spawn(move || expand_sequential(part, job)))
+            .collect();
+        for handle in handles {
+            let (part_nodes, part_outs) = handle.join().expect("frontier worker panicked");
+            nodes.extend(part_nodes);
+            outs.extend(part_outs);
+        }
+    });
+    (nodes, outs)
+}
+
+/// The frontier engine. `expand_layer` is the only pluggable part — it must
+/// return one [`NodeOut`] per frontier node *in frontier order*; everything
+/// order-sensitive (admission, violation selection, schedule links) happens
+/// here, sequentially, which is what makes outcomes worker-count-invariant.
+fn explore_core<Proc, F>(
+    root: Machine<Proc>,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    symmetry: bool,
+    mut expand_layer: F,
+) -> Result<ExploreOutcome, SimError>
+where
+    Proc: Process,
+    F: FnMut(Vec<FrontierNode<Proc>>, LayerJob) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>),
+{
+    let mut seen: HashSet<u128> = HashSet::new();
+    let mut links: Vec<Link> = Vec::new();
+    let mut complete = true;
+
+    let root_fp = full_fp(&root, symmetry);
+    seen.insert(root_fp);
+    if let Some(violation) = decision_violation(&root, inputs, NO_LINK, &links) {
+        return Ok(violation);
+    }
+    let mut frontier = vec![FrontierNode {
+        machine: root,
+        fp: root_fp,
+        link: NO_LINK,
+    }];
+
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        let expand = depth < limits.depth;
+        if !expand {
+            // Configurations at the horizon with moves left are the ones the
+            // cutoff hides from us.
+            if frontier
+                .iter()
+                .any(|n| n.machine.active_iter().next().is_some())
+            {
+                complete = false;
+            }
+            if limits.solo_check_budget.is_none() {
+                break; // nothing left to check at the horizon
+            }
+        }
+        let job = LayerJob {
+            expand,
+            solo_budget: limits.solo_check_budget,
+            symmetric: symmetry,
+        };
+        let (nodes, results) = expand_layer(std::mem::take(&mut frontier), job);
+        debug_assert_eq!(results.len(), nodes.len());
+
+        let mut next = Vec::new();
+        let mut over_cap = false;
+        'admit: for (node, result) in nodes.iter().zip(results) {
+            let expansion = result?;
+            if let Some(pid) = expansion.solo_failure {
+                return Ok(ExploreOutcome::ObstructionFailure {
+                    pid,
+                    schedule: schedule_of(&links, node.link),
+                });
+            }
+            for (pid, child_fp) in expansion.edges {
+                if !seen.insert(child_fp) {
+                    continue;
+                }
+                if seen.len() > limits.max_configs {
+                    complete = false;
+                    over_cap = true;
+                    break 'admit;
+                }
+                // Only now — the successor is new — materialise its machine.
+                let child = node.machine.branch_step(pid)?;
+                debug_assert_eq!(
+                    child_fp,
+                    full_fp(&child, symmetry),
+                    "incremental fingerprint out of sync with full scan"
+                );
+                let link = links.len();
+                links.push((node.link, pid));
+                if let Some(violation) = decision_violation(&child, inputs, link, &links) {
+                    return Ok(violation);
+                }
+                next.push(FrontierNode {
+                    machine: child,
+                    fp: child_fp,
+                    link,
+                });
+            }
+        }
+        if over_cap {
+            break;
+        }
+        frontier = next;
+        depth += 1;
+    }
+    Ok(ExploreOutcome::Clean {
+        configs: seen.len(),
+        complete,
+    })
+}
+
+/// Exhaustively explores all schedules of `protocol` on `inputs`,
+/// single-threaded.
+///
+/// Equivalent to [`Explorer::new().explore(..)`](Explorer::explore) with one
+/// worker and no symmetry reduction, but without the `Send` bound on the
+/// process type.
 ///
 /// # Errors
 ///
@@ -91,100 +491,114 @@ pub fn explore<P: Protocol>(
     limits: ExploreLimits,
 ) -> Result<ExploreOutcome, SimError> {
     let machine = Machine::start(protocol, inputs)?;
-    let mut seen: HashSet<Machine<P::Proc>> = HashSet::new();
-    let mut schedule = Vec::new();
-    let mut complete = true;
-    let outcome = explore_rec(
-        &machine,
-        inputs,
-        &limits,
-        &mut seen,
-        &mut schedule,
-        &mut complete,
-    )?;
-    Ok(match outcome {
-        Some(v) => v,
-        None => ExploreOutcome::Clean {
-            configs: seen.len(),
-            complete,
-        },
-    })
+    explore_core(machine, inputs, limits, false, expand_sequential)
 }
 
-fn explore_rec<Proc: Process>(
-    machine: &Machine<Proc>,
-    inputs: &[u64],
-    limits: &ExploreLimits,
-    seen: &mut HashSet<Machine<Proc>>,
-    schedule: &mut Vec<usize>,
-    complete: &mut bool,
-) -> Result<Option<ExploreOutcome>, SimError> {
-    if !seen.insert(machine.clone()) {
-        return Ok(None);
-    }
-    if seen.len() > limits.max_configs {
-        *complete = false;
-        return Ok(None);
-    }
+/// Configurable frontier exploration: worker-thread fan-out and optional
+/// process-symmetry reduction on top of [`explore`]'s engine.
+///
+/// Outcomes are **identical at any worker count**, including counterexample
+/// schedules: workers only parallelise the embarrassingly parallel expansion
+/// of one breadth-first layer, and their results are merged back in frontier
+/// order before any stateful decision is made.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_verify::checker::{ExploreLimits, Explorer};
+/// use cbh_verify::strawmen::OneMaxRegister;
+///
+/// let explorer = Explorer::new().workers(4);
+/// let outcome = explorer.explore(&OneMaxRegister::new(), &[0, 1]).unwrap();
+/// assert!(!outcome.is_clean()); // Theorem 4.1: one max-register fails
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    limits: ExploreLimits,
+    workers: usize,
+    symmetry: bool,
+}
 
-    // Check decided values at this configuration.
-    let decisions: Vec<(usize, u64)> = (0..machine.n())
-        .filter_map(|p| machine.decision(p).map(|d| (p, d)))
-        .collect();
-    for &(_, d) in &decisions {
-        if !inputs.contains(&d) {
-            return Ok(Some(ExploreOutcome::ValidityViolation {
-                decided: d,
-                schedule: schedule.clone(),
-            }));
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            limits: ExploreLimits::default(),
+            workers: 1,
+            symmetry: false,
         }
     }
-    if let Some((&(_, a), &(_, b))) = decisions
-        .iter()
-        .zip(decisions.iter().skip(1))
-        .find(|((_, a), (_, b))| a != b)
+}
+
+impl Explorer {
+    /// Default limits, one worker, no symmetry reduction.
+    pub fn new() -> Self {
+        Explorer::default()
+    }
+
+    /// Replaces the exploration limits.
+    pub fn limits(mut self, limits: ExploreLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Number of worker threads expanding each frontier layer. `1` (the
+    /// default) stays on the calling thread; the outcome is the same either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one worker is required");
+        self.workers = workers;
+        self
+    }
+
+    /// Enables the process-symmetry reduction: configurations differing only
+    /// by a permutation of process identities are merged. (The engine's
+    /// incremental fingerprint drops the pid tag from its per-process
+    /// components, making the digest permutation-invariant — the same
+    /// quotient [`Machine::fingerprint_symmetric`] computes one-shot.)
+    ///
+    /// Sound **only for anonymous protocols** — ones whose processes never
+    /// consult their pid, such as the paper's Section 8 swap protocol. For
+    /// such protocols it cuts the explored space by up to `n!` while
+    /// preserving verdicts; counterexample schedules remain genuine
+    /// executions of the unreduced machine.
+    pub fn symmetry_reduction(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
+    /// Runs the exhaustive exploration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] if the protocol steps outside the model.
+    pub fn explore<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+    ) -> Result<ExploreOutcome, SimError>
+    where
+        P::Proc: Send,
     {
-        return Ok(Some(ExploreOutcome::AgreementViolation {
-            decisions: (a, b),
-            schedule: schedule.clone(),
-        }));
+        let machine = Machine::start(protocol, inputs)?;
+        let workers = self.workers;
+        explore_core(machine, inputs, self.limits, self.symmetry, |nodes, job| {
+            expand_parallel(nodes, job, workers)
+        })
     }
-
-    if let Some(budget) = limits.solo_check_budget {
-        for pid in machine.active() {
-            let mut probe = machine.clone();
-            if probe.run_solo(pid, budget)?.is_none() {
-                return Ok(Some(ExploreOutcome::ObstructionFailure {
-                    pid,
-                    schedule: schedule.clone(),
-                }));
-            }
-        }
-    }
-
-    if schedule.len() >= limits.depth {
-        *complete = false;
-        return Ok(None);
-    }
-
-    for pid in machine.active() {
-        let mut next = machine.clone();
-        next.step(pid)?;
-        schedule.push(pid);
-        let out = explore_rec(&next, inputs, limits, seen, schedule, complete)?;
-        schedule.pop();
-        if out.is_some() {
-            return Ok(out);
-        }
-    }
-    Ok(None)
 }
 
 /// Valency probe: can the set of all processes still decide `v` from this
 /// configuration within `depth` further steps?
 ///
 /// This is the "`P` can decide `v` from `C`" relation of Section 6's covering
-/// argument, made executable for small horizons.
+/// argument, made executable for small horizons. Breadth-first with a
+/// fingerprint seen-set: each semantically distinct configuration is visited
+/// once, at its minimal distance — so unlike a depth-budgeted DFS, a state
+/// first reached on a long path can't shadow a short path through it.
 ///
 /// # Errors
 ///
@@ -194,28 +608,30 @@ pub fn can_decide<Proc: Process>(
     v: u64,
     depth: usize,
 ) -> Result<bool, SimError> {
-    let mut seen = HashSet::new();
-    can_decide_rec(machine, v, depth, &mut seen)
-}
-
-fn can_decide_rec<Proc: Process>(
-    machine: &Machine<Proc>,
-    v: u64,
-    depth: usize,
-    seen: &mut HashSet<Machine<Proc>>,
-) -> Result<bool, SimError> {
-    if (0..machine.n()).any(|p| machine.decision(p) == Some(v)) {
+    let decides = |m: &Machine<Proc>| (0..m.n()).any(|p| m.decision(p) == Some(v));
+    if decides(machine) {
         return Ok(true);
     }
-    if depth == 0 || !seen.insert(machine.clone()) {
-        return Ok(false);
-    }
-    for pid in machine.active() {
-        let mut next = machine.clone();
-        next.step(pid)?;
-        if can_decide_rec(&next, v, depth - 1, seen)? {
-            return Ok(true);
+    let mut seen: HashSet<u128> = HashSet::new();
+    seen.insert(machine.fingerprint());
+    let mut frontier = vec![machine.clone()];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for m in &frontier {
+            for pid in m.active_iter() {
+                let child = m.branch_step(pid)?;
+                if decides(&child) {
+                    return Ok(true);
+                }
+                if seen.insert(child.fingerprint()) {
+                    next.push(child);
+                }
+            }
         }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
     }
     Ok(false)
 }
@@ -338,6 +754,124 @@ mod tests {
             matches!(out, ExploreOutcome::AgreementViolation { .. }),
             "one plain register cannot do 2-process consensus: {out:?}"
         );
+    }
+
+    #[test]
+    fn counterexample_schedules_replay_to_the_violation() {
+        // The reconstructed parent-link schedule is a genuine execution: replay
+        // it step by step and watch the disagreement appear.
+        let out = explore(&OneRegister::new(2), &[0, 1], ExploreLimits::default()).unwrap();
+        let ExploreOutcome::AgreementViolation { decisions, schedule } = out else {
+            panic!("expected agreement violation");
+        };
+        let mut machine = Machine::start(&OneRegister::new(2), &[0, 1]).unwrap();
+        for &pid in &schedule {
+            machine.step(pid).unwrap();
+        }
+        let seen: Vec<u64> = (0..machine.n()).filter_map(|p| machine.decision(p)).collect();
+        assert!(seen.contains(&decisions.0) && seen.contains(&decisions.1), "{seen:?}");
+    }
+
+    #[test]
+    fn explorer_outcome_is_invariant_under_worker_count() {
+        for (clean, limits) in [
+            (false, ExploreLimits::default()),
+            (
+                true,
+                ExploreLimits {
+                    depth: 12,
+                    max_configs: 100_000,
+                    solo_check_budget: Some(12),
+                },
+            ),
+        ] {
+            let run = |workers| {
+                let explorer = Explorer::new().workers(workers).limits(limits);
+                if clean {
+                    explorer.explore(&CasConsensus::new(3), &[0, 1, 2]).unwrap()
+                } else {
+                    explorer.explore(&OneMaxRegister::new(), &[0, 1]).unwrap()
+                }
+            };
+            let reference = run(1);
+            assert_eq!(reference.is_clean(), clean);
+            for workers in [2, 3, 8] {
+                assert_eq!(run(workers), reference, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_reduction_shrinks_anonymous_state_spaces() {
+        // MaxRegConsensus processes never consult their pid, so with
+        // duplicated inputs the state graph has genuine process-permutation
+        // orbits: the quotiented space must be strictly smaller and reach
+        // the same verdict.
+        let limits = ExploreLimits {
+            depth: 10,
+            max_configs: 500_000,
+            solo_check_budget: None,
+        };
+        let protocol = MaxRegConsensus::new(3);
+        let inputs = [0, 0, 1];
+        let plain = Explorer::new().limits(limits).explore(&protocol, &inputs).unwrap();
+        let reduced = Explorer::new()
+            .limits(limits)
+            .symmetry_reduction(true)
+            .explore(&protocol, &inputs)
+            .unwrap();
+        let (ExploreOutcome::Clean { configs: full, .. }, ExploreOutcome::Clean { configs: quotiented, .. }) =
+            (&plain, &reduced)
+        else {
+            panic!("expected clean outcomes, got {plain:?} / {reduced:?}");
+        };
+        assert!(quotiented < full, "symmetry reduction must merge states: {quotiented} vs {full}");
+    }
+
+    #[test]
+    fn engine_counts_match_a_reference_clone_based_search() {
+        // Ground truth: a naive BFS that stores whole machines keyed by
+        // semantic state. The incremental-fingerprint engine must visit
+        // exactly the same number of distinct configurations — this is the
+        // guard against both fingerprint aliasing (undercount) and stale
+        // incremental updates (over- or undercount).
+        use std::collections::HashMap;
+        let protocol = MaxRegConsensus::new(3);
+        let inputs = [0u64, 1, 2];
+        let depth = 8;
+        let root = Machine::start(&protocol, &inputs).unwrap();
+        let mut seen: HashMap<u128, Machine<_>> = HashMap::new();
+        seen.insert(root.fingerprint(), root.clone());
+        let mut frontier = vec![root];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for m in &frontier {
+                for pid in m.active() {
+                    let child = m.branch_step(pid).unwrap();
+                    if let Some(prev) = seen.get(&child.fingerprint()) {
+                        assert_eq!(prev.memory(), child.memory(), "fingerprint collision");
+                    } else {
+                        seen.insert(child.fingerprint(), child.clone());
+                        next.push(child);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let out = explore(
+            &protocol,
+            &inputs,
+            ExploreLimits {
+                depth,
+                max_configs: 1_000_000,
+                solo_check_budget: None,
+            },
+        )
+        .unwrap();
+        let ExploreOutcome::Clean { configs, .. } = out else {
+            panic!("expected clean, got {out:?}");
+        };
+        assert_eq!(configs, seen.len());
     }
 
     #[test]

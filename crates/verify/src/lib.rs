@@ -13,7 +13,10 @@
 //!   write(1) memories need unboundedly many locations);
 //! - [`checker`] — a bounded exhaustive model checker over schedules
 //!   (agreement/validity violations, valency probes, obstruction-freedom
-//!   checks) for small configurations;
+//!   checks): an iterative frontier engine that memoises configurations by
+//!   128-bit fingerprint, walks edges with step/undo instead of cloning,
+//!   and optionally fans out across worker threads with deterministic
+//!   outcomes and an opt-in process-symmetry reduction;
 //! - [`packing`] — Lemma 7.1's `k`-packing repair algorithm (the Eulerian
 //!   multigraph argument) as a standalone combinatorial routine, plus
 //!   `k`-packing construction and the fully-packed-location computation used

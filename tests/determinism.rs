@@ -4,12 +4,15 @@
 //! makes every failure in this repository replayable from its seed.
 
 use space_hierarchy::protocols::buffer::buffer_consensus;
+use space_hierarchy::protocols::cas::CasConsensus;
 use space_hierarchy::protocols::maxreg::MaxRegConsensus;
 use space_hierarchy::protocols::swap::SwapConsensus;
 use space_hierarchy::random::{run_randomized, RandomizedConfig};
 use space_hierarchy::sim::{
     adversarial_then_solo, Machine, RandomScheduler, ScriptedScheduler,
 };
+use space_hierarchy::verify::checker::{explore, ExploreLimits, ExploreOutcome, Explorer};
+use space_hierarchy::verify::strawmen::OneMaxRegister;
 
 #[test]
 fn seeded_runs_replay_exactly() {
@@ -97,6 +100,51 @@ fn coin_seed_changes_run_but_schedule_seed_fixes_adversary() {
     // assert only the reports stay *valid* to avoid flakiness.)
     a.report.check(&inputs).unwrap();
     b.report.check(&inputs).unwrap();
+}
+
+#[test]
+fn parallel_explorer_outcomes_are_bit_identical_across_worker_counts() {
+    // The frontier explorer's parallel fan-out must be unobservable: the
+    // whole `ExploreOutcome` — verdict, configuration counts, and the exact
+    // counterexample schedule — is identical at 1, 2 and 8 workers, and
+    // identical to the plain sequential `explore` entry point.
+    //
+    // A violating workload (Theorem 4.1's one-max-register strawman) pins the
+    // counterexample schedule; a clean, solo-checked workload pins the
+    // configuration count and completeness flag.
+    let violating = ExploreLimits::default();
+    let reference = explore(&OneMaxRegister::new(), &[0, 1], violating).unwrap();
+    assert!(
+        matches!(reference, ExploreOutcome::AgreementViolation { .. }),
+        "{reference:?}"
+    );
+    for workers in [1, 2, 8] {
+        let outcome = Explorer::new()
+            .limits(violating)
+            .workers(workers)
+            .explore(&OneMaxRegister::new(), &[0, 1])
+            .unwrap();
+        assert_eq!(outcome, reference, "violation outcome at {workers} workers");
+    }
+
+    let clean = ExploreLimits {
+        depth: 12,
+        max_configs: 100_000,
+        solo_check_budget: Some(12),
+    };
+    let reference = explore(&CasConsensus::new(3), &[0, 1, 2], clean).unwrap();
+    assert!(
+        matches!(reference, ExploreOutcome::Clean { complete: true, .. }),
+        "{reference:?}"
+    );
+    for workers in [1, 2, 8] {
+        let outcome = Explorer::new()
+            .limits(clean)
+            .workers(workers)
+            .explore(&CasConsensus::new(3), &[0, 1, 2])
+            .unwrap();
+        assert_eq!(outcome, reference, "clean outcome at {workers} workers");
+    }
 }
 
 #[test]
