@@ -1,0 +1,151 @@
+//! Deliberate fault injection: proof the harness catches real divergences.
+//!
+//! A conformance suite that has never seen a failure proves nothing — maybe
+//! the oracles agree because they all work, maybe because the diff is
+//! vacuous. [`FaultyDecider`] is the control experiment: it wraps any
+//! protocol and corrupts the decision of process 0 **only when that process
+//! adopted someone else's value** (decided something different from its own
+//! input). A solo execution from the initial configuration decides the
+//! runner's own proposal, so the empty schedule — and every schedule that
+//! never lets another process influence p0 — stays bit-for-bit honest. The
+//! corruption fires exactly on the interleavings where information actually
+//! flowed between processes, which is why the shrunken reproducer the
+//! differential oracle produces is a *minimal adoption race*, not an empty
+//! schedule.
+
+use cbh_model::{Action, MemorySpec, Process, Protocol, Value};
+use cbh_sim::{adversarial_then_solo, ScriptedScheduler};
+
+/// A protocol wrapper whose process 0 decides wrongly whenever it would
+/// adopt a value other than its own input. Test-only by construction — it
+/// lives in the conformance crate and exists to be caught.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyDecider<'a, P> {
+    inner: &'a P,
+}
+
+impl<'a, P: Protocol> FaultyDecider<'a, P> {
+    /// Wraps `inner`, corrupting process 0's adopted decisions.
+    pub fn new(inner: &'a P) -> Self {
+        FaultyDecider { inner }
+    }
+}
+
+impl<P: Protocol> Protocol for FaultyDecider<'_, P> {
+    type Proc = FaultyProc<P::Proc>;
+
+    fn name(&self) -> String {
+        format!("faulty({})", self.inner.name())
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn domain(&self) -> u64 {
+        self.inner.domain()
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        self.inner.memory_spec()
+    }
+
+    fn spawn(&self, pid: usize, input: u64) -> FaultyProc<P::Proc> {
+        FaultyProc {
+            inner: self.inner.spawn(pid, input),
+            corrupt: pid == 0,
+            input,
+            domain: self.inner.domain(),
+        }
+    }
+}
+
+/// Process state of [`FaultyDecider`]: the wrapped process plus what it
+/// needs to recognise (and corrupt) an adopted decision.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FaultyProc<Q> {
+    inner: Q,
+    corrupt: bool,
+    input: u64,
+    domain: u64,
+}
+
+impl<Q: Process> Process for FaultyProc<Q> {
+    fn action(&self) -> Action {
+        match self.inner.action() {
+            Action::Decide(v) if self.corrupt && v != self.input => {
+                // Another value of the domain: breaks agreement when someone
+                // proposed it, validity when nobody did. Either way the
+                // oracle's checks fire.
+                Action::Decide((v + 1) % self.domain)
+            }
+            action => action,
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        self.inner.absorb(result);
+    }
+}
+
+/// The divergence predicate the oracle detects and shrinks against: `true`
+/// when replaying `schedule` (plus solo finish, with the oracle's solo
+/// budget) through the honest protocol and through its
+/// [`FaultyDecider`]-wrapped twin produces different decision vectors.
+///
+/// Exported so tests re-verifying a shrunken reproducer (divergence,
+/// 1-minimality) evaluate the *identical* predicate the shrinker minimized —
+/// a privately duplicated budget or replay recipe could silently drift.
+pub fn fault_diverges<P: Protocol>(protocol: &P, inputs: &[u64], schedule: &[usize]) -> bool {
+    let replay = |honest: bool| {
+        let scheduler = ScriptedScheduler::new(schedule.to_vec());
+        let steps = schedule.len() as u64;
+        let budget = crate::oracle::SOLO_BUDGET;
+        if honest {
+            adversarial_then_solo(protocol, inputs, scheduler, steps, budget)
+        } else {
+            adversarial_then_solo(&FaultyDecider::new(protocol), inputs, scheduler, steps, budget)
+        }
+    };
+    match (replay(true), replay(false)) {
+        (Ok(a), Ok(b)) => a.decisions != b.decisions,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_core::maxreg::MaxRegConsensus;
+    use cbh_sim::{run_consensus, SoloScheduler};
+
+    #[test]
+    fn solo_and_unanimous_runs_stay_honest() {
+        let inner = MaxRegConsensus::new(2);
+        let faulty = FaultyDecider::new(&inner);
+        // Solo: p0 decides its own input — no adoption, no corruption.
+        let honest = run_consensus(&inner, &[1, 0], SoloScheduler::new(0), 100).unwrap();
+        let wrapped = run_consensus(&faulty, &[1, 0], SoloScheduler::new(0), 100).unwrap();
+        assert_eq!(honest.decisions, wrapped.decisions);
+        // Unanimous proposals: every decision is p0's own input.
+        let report =
+            adversarial_then_solo(&faulty, &[1, 1], ScriptedScheduler::new([0, 1, 0, 1, 0, 1]), 6, 1_000)
+                .unwrap();
+        report.check(&[1, 1]).unwrap();
+    }
+
+    #[test]
+    fn adopted_decisions_are_corrupted() {
+        // p1 writes first and p0 runs second: p0 must adopt p1's value — and
+        // the wrapper corrupts exactly that.
+        let inner = MaxRegConsensus::new(2);
+        let faulty = FaultyDecider::new(&inner);
+        let honest =
+            adversarial_then_solo(&inner, &[0, 1], SoloScheduler::new(1), 1_000, 1_000).unwrap();
+        let wrapped =
+            adversarial_then_solo(&faulty, &[0, 1], SoloScheduler::new(1), 1_000, 1_000).unwrap();
+        assert_eq!(honest.decisions, vec![Some(1), Some(1)]);
+        assert_ne!(honest.decisions, wrapped.decisions);
+        assert!(wrapped.check(&[0, 1]).is_err(), "{wrapped:?}");
+    }
+}

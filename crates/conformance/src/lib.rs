@@ -1,0 +1,48 @@
+//! Differential conformance testing across execution backends.
+//!
+//! The workspace can execute the same protocol four independent ways: the
+//! fingerprint frontier explorer (`cbh-verify`), the clone-based reference
+//! BFS (`cbh-verify::reference`), the deterministic sequential schedulers
+//! (`cbh-sim`), and the real-thread runtime (`cbh-sync`). The paper's
+//! Table 1 claims are only as trustworthy as those engines — so this crate
+//! makes them check *each other*:
+//!
+//! - [`scenario`] — seeded scenario fuzzing: protocol row × process count ×
+//!   input vector × schedule, drawn deterministically from a master seed over
+//!   every family in [`cbh_core::registry`];
+//! - [`oracle`] — runs each scenario through every applicable backend and
+//!   diffs verdicts, decision vectors, `locations_touched` (against the
+//!   row's exact Table 1 bound) and reachable-configuration counts wherever
+//!   two backends are comparable;
+//! - [`shrink`] — delta-debugs any witness schedule to a 1-minimal
+//!   [`cbh_model::Schedule`] that still reproduces the divergence, ready to
+//!   replay through [`cbh_sim::ScriptedScheduler`];
+//! - [`faulty`] — deliberate fault injection (a decision-corrupting wrapper
+//!   protocol), proving the harness *catches* and *shrinks* real
+//!   divergences instead of vacuously passing.
+//!
+//! Everything is deterministic in the master seed: a failing scenario in CI
+//! replays locally from the seed printed in its finding.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbh_conformance::oracle::{run_suite, ConformanceConfig};
+//!
+//! let report = run_suite(&ConformanceConfig {
+//!     scenarios: 8,
+//!     threaded: false, // skip the OS-thread backend for a fast doc-test
+//!     ..ConformanceConfig::default()
+//! });
+//! assert_eq!(report.scenarios_run, 8);
+//! assert!(report.findings.is_empty(), "{:#?}", report.findings);
+//! ```
+
+pub mod faulty;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+
+pub use oracle::{run_scenario, run_suite, ConformanceConfig, Finding, SuiteReport};
+pub use scenario::{Scenario, ScenarioGen};
+pub use shrink::{replay_violates, shrink_schedule, shrink_violation};

@@ -1,0 +1,464 @@
+//! The differential backend oracle.
+//!
+//! [`run_scenario`] executes one fuzzed [`Scenario`] through every
+//! applicable backend and diffs everything two backends can be expected to
+//! agree on:
+//!
+//! | comparison | backends | must match |
+//! |---|---|---|
+//! | engine vs oracle | frontier `explore` vs clone-based reference BFS | outcome **and** stats, bit for bit |
+//! | worker fan-out | `Explorer` with 1 vs 4 workers | outcome and stats, bit for bit |
+//! | symmetry quotient | reduced 1 vs 4 workers; reduced vs plain | reduced runs identical; verdict equal; reduced configs ≤ plain |
+//! | property checks | scripted replay, round-robin, seeded random, bounded threads | agreement + validity; `locations_touched` ≤ the row's exact Table 1 bound |
+//! | fault injection | honest vs [`FaultyDecider`](crate::faulty::FaultyDecider) scripted replay | decision vectors equal (divergence ⇒ finding + shrunken reproducer) |
+//!
+//! Any mismatch becomes a [`Finding`]; findings that carry a schedule
+//! witness are delta-debugged ([`crate::shrink`]) to a 1-minimal
+//! [`Schedule`] reproducer that replays through
+//! [`cbh_sim::ScriptedScheduler`]. The whole suite is a pure function of
+//! [`ConformanceConfig`].
+
+use crate::scenario::{derive_inputs, derive_schedule, Scenario, ScenarioGen};
+use crate::shrink::{replay_violates, shrink_schedule, shrink_violation};
+use cbh_core::registry::{visit_row, RowSpec, RowVisitor};
+use cbh_model::{Protocol, Schedule};
+use cbh_sim::{
+    adversarial_then_solo, ConsensusReport, RandomScheduler, RoundRobinScheduler,
+    ScriptedScheduler, SimError,
+};
+use cbh_sync::run_threaded_bounded;
+use cbh_verify::checker::{explore_stats, ExploreLimits, Explorer};
+use cbh_verify::reference::reference_explore;
+use std::collections::BTreeSet;
+
+/// Solo budget for the sequential scheduler backends (same order of
+/// magnitude as the consensus matrix uses). Shared with
+/// [`crate::faulty::fault_diverges`] so shrinking and re-verification use
+/// the identical predicate.
+pub(crate) const SOLO_BUDGET: u64 = 50_000_000;
+
+/// Per-thread step budget for the real-thread backend: generous enough that
+/// correct protocols decide, bounded so fuzzing never hangs.
+const THREAD_BUDGET: u64 = 200_000;
+
+/// What the conformance suite runs and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConformanceConfig {
+    /// Master seed: the whole suite is a pure function of it.
+    pub master_seed: u64,
+    /// How many scenarios to draw (rows are covered round-robin).
+    pub scenarios: usize,
+    /// Config cap for the exhaustive backends.
+    pub max_configs: usize,
+    /// When `true`, additionally runs the test-only
+    /// [`FaultyDecider`](crate::faulty::FaultyDecider)-wrapped replay backend — the control experiment
+    /// proving divergences are caught and shrunk.
+    pub fault_injection: bool,
+    /// Run the OS-thread backend (`true` everywhere except speed-sensitive
+    /// inner loops of the harness's own tests).
+    pub threaded: bool,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            // PODC 2016 / Ellen — an arbitrary but documented default; CI
+            // pins its own via CONFORMANCE_SEED.
+            master_seed: 0x2016_E11E,
+            scenarios: 40,
+            max_configs: 20_000,
+            fault_injection: false,
+            threaded: true,
+        }
+    }
+}
+
+/// One detected divergence or property violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The scenario that exposed it (replayable from its seeds).
+    pub scenario: Scenario,
+    /// The concrete input vector the scenario derived.
+    pub inputs: Vec<u64>,
+    /// Which backend (or backend pair) disagreed.
+    pub backend: &'static str,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+    /// 1-minimal witness schedule, when the divergence carries one; replay
+    /// it with [`cbh_sim::replay_schedule`] / [`ScriptedScheduler`].
+    pub reproducer: Option<Schedule>,
+}
+
+/// The outcome of one scenario: which backends ran, what they disagreed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// The derived input vector.
+    pub inputs: Vec<u64>,
+    /// Backends exercised, in execution order.
+    pub backends: Vec<&'static str>,
+    /// Divergences and property violations (empty = fully conformant).
+    pub findings: Vec<Finding>,
+    /// Distinct configurations the frontier engine visited.
+    pub configs: usize,
+}
+
+/// Aggregated result of a conformance run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteReport {
+    /// Scenarios executed.
+    pub scenarios_run: usize,
+    /// Registry row ids covered.
+    pub rows_covered: BTreeSet<&'static str>,
+    /// Backends exercised at least once.
+    pub backends: BTreeSet<&'static str>,
+    /// Every divergence found, in scenario order.
+    pub findings: Vec<Finding>,
+    /// Total distinct configurations explored by the frontier engine.
+    pub configs_explored: usize,
+}
+
+/// Runs `cfg.scenarios` fuzzed scenarios and aggregates the findings.
+///
+/// Deterministic: equal configs produce equal reports (including every
+/// shrunken reproducer), so a CI failure replays locally from the seed.
+pub fn run_suite(cfg: &ConformanceConfig) -> SuiteReport {
+    let mut report = SuiteReport {
+        scenarios_run: 0,
+        rows_covered: BTreeSet::new(),
+        backends: BTreeSet::new(),
+        findings: Vec::new(),
+        configs_explored: 0,
+    };
+    for scenario in ScenarioGen::new(cfg.master_seed).take(cfg.scenarios) {
+        let outcome = run_scenario(&scenario, cfg);
+        report.scenarios_run += 1;
+        report.rows_covered.insert(scenario.row);
+        report.backends.extend(outcome.backends.iter().copied());
+        report.findings.extend(outcome.findings);
+        report.configs_explored += outcome.configs;
+    }
+    report
+}
+
+/// Runs one scenario through every applicable backend.
+///
+/// # Panics
+///
+/// Panics if the scenario names a row the registry does not know — scenarios
+/// produced by [`ScenarioGen`] never do.
+pub fn run_scenario(scenario: &Scenario, cfg: &ConformanceConfig) -> ScenarioOutcome {
+    let mut visitor = OracleVisitor { scenario, cfg };
+    visit_row(scenario.row, scenario.n, &mut visitor)
+        .unwrap_or_else(|| panic!("scenario names unregistered row {:?}", scenario.row))
+}
+
+struct OracleVisitor<'c> {
+    scenario: &'c Scenario,
+    cfg: &'c ConformanceConfig,
+}
+
+impl RowVisitor for OracleVisitor<'_> {
+    type Output = ScenarioOutcome;
+
+    fn visit<P>(&mut self, spec: &RowSpec, protocol: P) -> ScenarioOutcome
+    where
+        P: Protocol,
+        P::Proc: Send,
+    {
+        let scenario = self.scenario;
+        let inputs = derive_inputs(scenario, protocol.domain());
+        let limits = ExploreLimits {
+            depth: scenario.depth,
+            max_configs: self.cfg.max_configs,
+            solo_check_budget: None,
+        };
+        let mut out = ScenarioOutcome {
+            inputs: inputs.clone(),
+            backends: Vec::new(),
+            findings: Vec::new(),
+            configs: 0,
+        };
+        let finding = |backend, detail, reproducer| Finding {
+            scenario: scenario.clone(),
+            inputs: inputs.clone(),
+            backend,
+            detail,
+            reproducer,
+        };
+
+        // -- exhaustive backends -----------------------------------------
+        out.backends.push("explore");
+        let engine = match explore_stats(&protocol, &inputs, limits) {
+            Ok(engine) => engine,
+            Err(e) => {
+                out.findings
+                    .push(finding("explore", format!("SimError: {e}"), None));
+                return out;
+            }
+        };
+        out.configs = engine.1.configs;
+        // Shrinks a witness when its replay really violates consensus, and
+        // keeps the claimed schedule verbatim as evidence when it doesn't
+        // (obstruction witnesses, or a backend claiming a bogus violation).
+        let minimize_witness = |witness: &[usize]| -> Schedule {
+            if replay_violates(&protocol, &inputs, witness) {
+                shrink_violation(&protocol, &inputs, witness)
+            } else {
+                Schedule::new(witness.iter().copied())
+            }
+        };
+        if let Some(witness) = engine.0.schedule() {
+            // A Table-1 protocol violated consensus (or starved a solo run):
+            // a finding in its own right, independent of backend agreement.
+            out.findings.push(finding(
+                "explore",
+                format!("property violation: {:?}", engine.0),
+                Some(minimize_witness(witness)),
+            ));
+        }
+
+        out.backends.push("reference-bfs");
+        match reference_explore(&protocol, &inputs, limits) {
+            Ok(oracle) => {
+                if oracle != engine {
+                    let witness = oracle.0.schedule().or(engine.0.schedule());
+                    out.findings.push(finding(
+                        "reference-bfs",
+                        format!("engine {engine:?} != reference {oracle:?}"),
+                        witness.map(minimize_witness),
+                    ));
+                }
+            }
+            Err(e) => out
+                .findings
+                .push(finding("reference-bfs", format!("SimError: {e}"), None)),
+        }
+
+        out.backends.push("explorer-w4");
+        match Explorer::new()
+            .workers(4)
+            .limits(limits)
+            .explore_stats(&protocol, &inputs)
+        {
+            Ok(parallel) => {
+                if parallel != engine {
+                    out.findings.push(finding(
+                        "explorer-w4",
+                        format!("1-worker {engine:?} != 4-worker {parallel:?}"),
+                        None,
+                    ));
+                }
+            }
+            Err(e) => out
+                .findings
+                .push(finding("explorer-w4", format!("SimError: {e}"), None)),
+        }
+
+        if spec.anonymous {
+            out.backends.push("explorer-sym");
+            let reduced = |workers| {
+                Explorer::new()
+                    .workers(workers)
+                    .limits(limits)
+                    .symmetry_reduction(true)
+                    .explore_stats(&protocol, &inputs)
+            };
+            match (reduced(1), reduced(4)) {
+                (Ok(sym1), Ok(sym4)) => {
+                    if sym1 != sym4 {
+                        out.findings.push(finding(
+                            "explorer-sym",
+                            format!("reduced 1-worker {sym1:?} != 4-worker {sym4:?}"),
+                            None,
+                        ));
+                    }
+                    if sym1.0.is_clean() != engine.0.is_clean() {
+                        out.findings.push(finding(
+                            "explorer-sym",
+                            format!("reduced verdict {:?} != plain verdict {:?}", sym1.0, engine.0),
+                            None,
+                        ));
+                    }
+                    if sym1.1.configs > engine.1.configs {
+                        out.findings.push(finding(
+                            "explorer-sym",
+                            format!(
+                                "quotient explored more configs ({}) than the plain space ({})",
+                                sym1.1.configs, engine.1.configs
+                            ),
+                            None,
+                        ));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => out
+                    .findings
+                    .push(finding("explorer-sym", format!("SimError: {e}"), None)),
+            }
+        }
+
+        // -- sequential scheduler backends -------------------------------
+        let script = derive_schedule(scenario);
+        let space_check = |report: &ConsensusReport| -> Option<String> {
+            let bound = spec.space?(scenario.n);
+            (report.locations_touched > bound).then(|| {
+                format!(
+                    "locations_touched {} exceeds the Table 1 bound {bound}",
+                    report.locations_touched
+                )
+            })
+        };
+        type SeqRun<'r> = Box<dyn FnMut() -> Result<ConsensusReport, SimError> + 'r>;
+        let sequential: [(&'static str, SeqRun); 3] = [
+            (
+                "scripted-replay",
+                Box::new(|| {
+                    adversarial_then_solo(
+                        &protocol,
+                        &inputs,
+                        ScriptedScheduler::new(script.clone()),
+                        script.len() as u64,
+                        SOLO_BUDGET,
+                    )
+                }),
+            ),
+            (
+                "round-robin",
+                Box::new(|| {
+                    adversarial_then_solo(
+                        &protocol,
+                        &inputs,
+                        RoundRobinScheduler::new(),
+                        script.len() as u64,
+                        SOLO_BUDGET,
+                    )
+                }),
+            ),
+            (
+                "random-sched",
+                Box::new(|| {
+                    adversarial_then_solo(
+                        &protocol,
+                        &inputs,
+                        RandomScheduler::seeded(scenario.sched_seed),
+                        script.len() as u64,
+                        SOLO_BUDGET,
+                    )
+                }),
+            ),
+        ];
+        for (backend, mut run) in sequential {
+            out.backends.push(backend);
+            match run() {
+                Ok(report) => {
+                    // (A process failing to decide surfaces as a SimError —
+                    // `adversarial_then_solo` errors rather than returning a
+                    // partial report — so `check` passing means unanimity.)
+                    if let Err(violation) = report.check(&inputs) {
+                        // Schedulers can only witness-shrink the scripted run.
+                        let reproducer = (backend == "scripted-replay")
+                            .then(|| shrink_scripted_violation(&protocol, &inputs, &script));
+                        out.findings.push(finding(
+                            backend,
+                            format!("consensus violation: {violation}"),
+                            reproducer,
+                        ));
+                    }
+                    if let Some(detail) = space_check(&report) {
+                        out.findings.push(finding(backend, detail, None));
+                    }
+                }
+                Err(e) => out
+                    .findings
+                    .push(finding(backend, format!("SimError: {e}"), None)),
+            }
+        }
+
+        // -- real threads -------------------------------------------------
+        if self.cfg.threaded {
+            out.backends.push("threaded");
+            match run_threaded_bounded(&protocol, &inputs, THREAD_BUDGET) {
+                Ok(outcome) => {
+                    if let Err(violation) = outcome.report.check(&inputs) {
+                        out.findings.push(finding(
+                            "threaded",
+                            format!("consensus violation: {violation}"),
+                            None,
+                        ));
+                    }
+                    if let Some(detail) = space_check(&outcome.report) {
+                        out.findings.push(finding("threaded", detail, None));
+                    }
+                }
+                Err(e) => out
+                    .findings
+                    .push(finding("threaded", format!("ModelError: {e}"), None)),
+            }
+        }
+
+        // -- fault injection (control experiment) -------------------------
+        if self.cfg.fault_injection {
+            out.backends.push("faulty-replay");
+            let diverges = |s: &[usize]| crate::faulty::fault_diverges(&protocol, &inputs, s);
+            if diverges(&script) {
+                let minimal = Schedule::new(shrink_schedule(&script, diverges));
+                out.findings.push(finding(
+                    "faulty-replay",
+                    "decision vector diverges from honest scripted replay".to_string(),
+                    Some(minimal),
+                ));
+            }
+        }
+
+        out
+    }
+}
+
+/// Shrinks a scripted-replay consensus violation: minimal subsequence whose
+/// replay **plus solo finish** still violates agreement or validity.
+fn shrink_scripted_violation<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    script: &[usize],
+) -> Schedule {
+    Schedule::new(shrink_schedule(script, |s| {
+        adversarial_then_solo(
+            protocol,
+            inputs,
+            ScriptedScheduler::new(s.to_vec()),
+            s.len() as u64,
+            SOLO_BUDGET,
+        )
+        .map(|r| r.check(inputs).is_err())
+        .unwrap_or(false)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_single_scenario_runs_all_core_backends() {
+        let cfg = ConformanceConfig {
+            threaded: false,
+            ..ConformanceConfig::default()
+        };
+        let scenario = ScenarioGen::new(1).next_scenario();
+        let outcome = run_scenario(&scenario, &cfg);
+        assert!(outcome.findings.is_empty(), "{:#?}", outcome.findings);
+        for backend in ["explore", "reference-bfs", "explorer-w4", "scripted-replay"] {
+            assert!(outcome.backends.contains(&backend), "{backend} missing");
+        }
+        assert!(outcome.configs > 0);
+    }
+
+    #[test]
+    fn suite_reports_are_a_pure_function_of_the_config() {
+        let cfg = ConformanceConfig {
+            scenarios: 6,
+            threaded: false,
+            ..ConformanceConfig::default()
+        };
+        assert_eq!(run_suite(&cfg), run_suite(&cfg));
+    }
+}

@@ -1,0 +1,173 @@
+//! Delta-debugging counterexample schedules.
+//!
+//! When a backend divergence or a property violation surfaces, its witness is
+//! a schedule — often dozens of steps, most of them irrelevant. ddmin
+//! (Zeller & Hildebrandt's minimizing delta debugging) removes chunks of the
+//! schedule while the failure persists, then single steps, yielding a
+//! **1-minimal** reproducer: removing any one remaining step makes the
+//! failure disappear. Everything is deterministic, so the shrunken
+//! [`Schedule`] plus the scenario seed fully describe a bug.
+
+use cbh_model::{Protocol, Schedule};
+use cbh_sim::replay_schedule;
+
+/// Minimizes `schedule` to a 1-minimal subsequence on which `fails` still
+/// holds, using ddmin: coarse chunk removal first, then a single-step sweep.
+///
+/// `fails` must hold on `schedule` itself (asserted). The result is a
+/// subsequence of the input — relative step order is never permuted — and
+/// `fails` holds on it while failing on every proper single-removal.
+///
+/// # Panics
+///
+/// Panics if `fails(schedule)` is false: only failing schedules shrink.
+pub fn shrink_schedule(
+    schedule: &[usize],
+    mut fails: impl FnMut(&[usize]) -> bool,
+) -> Vec<usize> {
+    assert!(
+        fails(schedule),
+        "shrink_schedule needs a failing schedule to start from"
+    );
+    let mut current: Vec<usize> = schedule.to_vec();
+    // Phase 1: ddmin over complements — delete whole chunks while possible.
+    let mut granularity = 2usize;
+    while current.len() >= 2 && granularity <= current.len() {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<usize> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    // Phase 2: 1-minimality sweep — retry single removals to a fixpoint.
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if fails(&candidate) {
+                current = candidate;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    current
+}
+
+/// `true` when replaying `schedule` verbatim (via
+/// [`cbh_sim::ScriptedScheduler`]) reaches a configuration violating
+/// agreement or validity — the exact predicate [`shrink_violation`]
+/// minimizes. Replay errors ([`cbh_sim::SimError`]) count as non-failing,
+/// so shrinking never trades a property violation for a different bug.
+///
+/// Exported so pre-checks and re-verifications evaluate the identical
+/// predicate the shrinker ran against, rather than a private copy that
+/// could drift.
+pub fn replay_violates<P: Protocol>(protocol: &P, inputs: &[u64], schedule: &[usize]) -> bool {
+    replay_schedule(protocol, inputs, &Schedule::new(schedule.iter().copied()))
+        .map(|report| report.check(inputs).is_err())
+        .unwrap_or(false)
+}
+
+/// Shrinks a consensus-property witness: the minimal subsequence of
+/// `schedule` whose replay still satisfies [`replay_violates`].
+///
+/// The usual source of `schedule` is an
+/// [`ExploreOutcome`](cbh_verify::checker::ExploreOutcome) counterexample —
+/// already shortest *in steps taken*, but not necessarily minimal as a
+/// subsequence.
+pub fn shrink_violation<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    schedule: &[usize],
+) -> Schedule {
+    Schedule::new(shrink_schedule(schedule, |candidate| {
+        replay_violates(protocol, inputs, candidate)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_verify::checker::{explore, ExploreLimits};
+    use cbh_verify::strawmen::{OneMaxRegister, OneRegister};
+
+    /// 1-minimality: removing any single element breaks the predicate.
+    fn assert_one_minimal(schedule: &[usize], mut fails: impl FnMut(&[usize]) -> bool) {
+        assert!(fails(schedule));
+        for i in 0..schedule.len() {
+            let mut candidate = schedule.to_vec();
+            candidate.remove(i);
+            assert!(
+                !fails(&candidate),
+                "removing step {i} (pid {}) still fails: not 1-minimal",
+                schedule[i]
+            );
+        }
+    }
+
+    #[test]
+    fn shrinks_a_synthetic_predicate_to_its_core() {
+        // Failure: schedule contains a 1 somewhere before a 2.
+        let fails = |s: &[usize]| {
+            s.iter()
+                .position(|&x| x == 1)
+                .is_some_and(|i| s[i..].contains(&2))
+        };
+        let noisy = [0, 3, 1, 0, 0, 3, 2, 0, 1, 3, 0];
+        let minimal = shrink_schedule(&noisy, fails);
+        assert_eq!(minimal, vec![1, 2]);
+        assert_one_minimal(&minimal, fails);
+    }
+
+    #[test]
+    fn shrinks_to_empty_when_the_predicate_always_fails() {
+        assert_eq!(shrink_schedule(&[5, 5, 5], |_| true), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "failing schedule")]
+    fn refuses_passing_schedules() {
+        shrink_schedule(&[1, 2, 3], |_| false);
+    }
+
+    fn shrunken_witness_is_minimal<P: Protocol>(protocol: &P, inputs: &[u64]) {
+        let outcome = explore(protocol, inputs, ExploreLimits::default()).unwrap();
+        let witness = outcome.schedule().expect("strawman must violate").to_vec();
+        let minimal = shrink_violation(protocol, inputs, &witness);
+        assert!(minimal.len() <= witness.len());
+        assert_one_minimal(&minimal, |s| replay_violates(protocol, inputs, s));
+    }
+
+    #[test]
+    fn strawman_counterexamples_shrink_to_one_minimal_reproducers() {
+        shrunken_witness_is_minimal(&OneMaxRegister::new(), &[0, 1]);
+        shrunken_witness_is_minimal(&OneRegister::new(2), &[0, 1]);
+        shrunken_witness_is_minimal(&OneRegister::new(3), &[1, 0, 1]);
+    }
+}

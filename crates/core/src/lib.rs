@@ -19,6 +19,7 @@
 //! | compare-and-swap row | [`cas`] |
 //! | `{read, write(x)}` row (`n` registers) | [`registers`] |
 //! | Table 1 as data | [`hierarchy`] |
+//! | Table 1 as constructors (fuzzer registry) | [`registry`] |
 //!
 //! All protocols implement [`cbh_model::Protocol`] and run on `cbh-sim`'s
 //! machine — or on real threads via `cbh-sync`.
@@ -49,6 +50,7 @@ pub mod maxreg;
 pub mod primes;
 pub mod racing;
 pub mod registers;
+pub mod registry;
 pub mod swap;
 pub mod tracks;
 pub mod util;

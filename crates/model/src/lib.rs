@@ -21,7 +21,9 @@
 //!   branch configurations;
 //! - [`fingerprint_of`] / [`Fp128Hasher`] — stable 128-bit fingerprints of
 //!   values, cells, memories and process states, the currency of the
-//!   state-space engine's seen-sets.
+//!   state-space engine's seen-sets;
+//! - [`Schedule`] — pid sequences with a stable wire format, so
+//!   counterexamples and shrunken fuzzer reproducers replay across versions.
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@ mod instruction;
 mod iset;
 mod memory;
 mod process;
+mod schedule;
 mod value;
 
 pub use cell::CellState;
@@ -57,6 +60,7 @@ pub use instruction::{Instruction, InstructionKind, Op};
 pub use iset::InstructionSet;
 pub use memory::{Locations, Memory, MemorySpec, MemoryUndo};
 pub use process::{Action, ConsensusInput, Process, Protocol};
+pub use schedule::{Schedule, ScheduleParseError};
 pub use value::Value;
 
 /// Result alias for fallible model operations.

@@ -1,0 +1,178 @@
+//! Schedules as serializable values.
+//!
+//! A *schedule* is the adversary's complete decision record: the sequence of
+//! process ids stepped, in order. The model checker reconstructs one per
+//! counterexample, the conformance fuzzer shrinks them, and the scripted
+//! scheduler replays them. [`Schedule`] gives that pid sequence a stable,
+//! human-readable wire format — pids joined by commas (`"0,1,1,0"`), the
+//! empty schedule rendering as the empty string — so a shrunken reproducer
+//! saved in a test or a bug report today still parses and replays after
+//! refactors.
+
+use std::fmt;
+use std::ops::Deref;
+use std::str::FromStr;
+
+/// A pid sequence: which process steps, in order.
+///
+/// Dereferences to `[usize]`, so all slice combinators apply.
+///
+/// # Examples
+///
+/// ```
+/// use cbh_model::Schedule;
+///
+/// let schedule = Schedule::new([0, 1, 1, 0]);
+/// let wire = schedule.to_string();
+/// assert_eq!(wire, "0,1,1,0");
+/// assert_eq!(wire.parse::<Schedule>().unwrap(), schedule);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Schedule(Vec<usize>);
+
+impl Schedule {
+    /// Builds a schedule from a pid sequence.
+    pub fn new(pids: impl IntoIterator<Item = usize>) -> Self {
+        Schedule(pids.into_iter().collect())
+    }
+
+    /// The pid sequence as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Consumes the schedule, yielding the pid sequence.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.0
+    }
+
+    /// Appends one step.
+    pub fn push(&mut self, pid: usize) {
+        self.0.push(pid);
+    }
+}
+
+impl Deref for Schedule {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl From<Vec<usize>> for Schedule {
+    fn from(pids: Vec<usize>) -> Self {
+        Schedule(pids)
+    }
+}
+
+impl FromIterator<usize> for Schedule {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Schedule(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, pid) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{pid}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a schedule string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// Zero-based index of the offending comma-separated token.
+    pub index: usize,
+    /// The token that is not a pid.
+    pub token: String,
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule token #{} ({:?}) is not a process id",
+            self.index, self.token
+        )
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+impl FromStr for Schedule {
+    type Err = ScheduleParseError;
+
+    /// Parses the comma-separated wire format; surrounding whitespace per
+    /// token is tolerated, and the empty (or all-whitespace) string is the
+    /// empty schedule.
+    fn from_str(s: &str) -> Result<Self, ScheduleParseError> {
+        if s.trim().is_empty() {
+            return Ok(Schedule::default());
+        }
+        s.split(',')
+            .enumerate()
+            .map(|(index, token)| {
+                token.trim().parse::<usize>().map_err(|_| ScheduleParseError {
+                    index,
+                    token: token.trim().to_string(),
+                })
+            })
+            .collect::<Result<Vec<usize>, _>>()
+            .map(Schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_format_round_trips() {
+        for pids in [vec![], vec![0], vec![0, 1, 1, 0], vec![7, 0, 3, 3, 3]] {
+            let schedule = Schedule::new(pids.clone());
+            let parsed: Schedule = schedule.to_string().parse().unwrap();
+            assert_eq!(parsed, schedule);
+            assert_eq!(parsed.as_slice(), pids.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_parse_to_the_empty_schedule() {
+        assert!("".parse::<Schedule>().unwrap().is_empty());
+        assert!("  ".parse::<Schedule>().unwrap().is_empty());
+        assert_eq!(Schedule::default().to_string(), "");
+    }
+
+    #[test]
+    fn whitespace_around_tokens_is_tolerated() {
+        let parsed: Schedule = " 0, 1 ,2 ".parse().unwrap();
+        assert_eq!(parsed.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn bad_tokens_are_reported_with_position() {
+        let err = "0,x,2".parse::<Schedule>().unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.token, "x");
+        assert!(err.to_string().contains("token #1"));
+        assert!("0,,1".parse::<Schedule>().is_err());
+        assert!("0;1".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn slice_api_is_available_through_deref() {
+        let mut schedule = Schedule::from(vec![2, 0]);
+        schedule.push(1);
+        assert_eq!(schedule.len(), 3);
+        assert_eq!(schedule.iter().copied().max(), Some(2));
+        assert_eq!(schedule.clone().into_vec(), vec![2, 0, 1]);
+        let collected: Schedule = schedule.iter().copied().collect();
+        assert_eq!(collected, schedule);
+    }
+}

@@ -55,6 +55,10 @@ pub use scheduler::{
     SoloScheduler,
 };
 
+// Schedules are produced here (by runs) and consumed here (by replays), so
+// re-export the wire type alongside the schedulers that speak it.
+pub use cbh_model::Schedule;
+
 use cbh_model::Protocol;
 
 /// Runs a protocol with all `n` processes under `scheduler` for at most
@@ -106,4 +110,29 @@ pub fn run_consensus<P: Protocol>(
     max_steps: u64,
 ) -> Result<ConsensusReport, SimError> {
     adversarial_then_solo(protocol, inputs, scheduler, max_steps, max_steps)
+}
+
+/// Replays `schedule` verbatim from the initial configuration and reports the
+/// configuration it reaches — no solo suffix, no extra steps.
+///
+/// This is the replay half of the model checker's counterexamples and the
+/// conformance fuzzer's shrunken reproducers: the checker guarantees every
+/// scheduled pid is undecided when its turn comes, so the replay executes the
+/// schedule step for step and the returned report shows the exact decision
+/// vector (including poised decisions) at the violating configuration.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] if the protocol steps outside the model.
+pub fn replay_schedule<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    schedule: &Schedule,
+) -> Result<ConsensusReport, SimError> {
+    let mut machine = Machine::start(protocol, inputs)?;
+    machine.run(
+        ScriptedScheduler::from_schedule(schedule),
+        schedule.len() as u64,
+    )?;
+    Ok(machine.report())
 }

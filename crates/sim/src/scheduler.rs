@@ -1,5 +1,6 @@
 //! Adversarial schedulers.
 
+use cbh_model::Schedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -95,6 +96,18 @@ impl ScriptedScheduler {
             script: script.into_iter().collect::<Vec<_>>().into_iter(),
         }
     }
+
+    /// Builds a scheduler replaying a serialized [`Schedule`] — the replay
+    /// half of the counterexample/reproducer wire format.
+    pub fn from_schedule(schedule: &Schedule) -> Self {
+        ScriptedScheduler::new(schedule.iter().copied())
+    }
+}
+
+impl From<Schedule> for ScriptedScheduler {
+    fn from(schedule: Schedule) -> Self {
+        ScriptedScheduler::new(schedule.into_vec())
+    }
 }
 
 impl Scheduler for ScriptedScheduler {
@@ -176,6 +189,37 @@ mod tests {
         };
         assert_eq!(picks(7), picks(7));
         assert_ne!(picks(7), picks(8), "different seeds diverge (w.h.p.)");
+    }
+
+    #[test]
+    fn random_scheduler_stream_is_pinned() {
+        // Golden sequences: saved fuzzer seeds and shrunken reproducers
+        // reference RandomScheduler streams by seed, so the streams are part
+        // of the repository's stable interface. If this test breaks, the
+        // generator changed — every persisted seed in tests, docs and bug
+        // reports silently means something else. Do not update the constants;
+        // restore the generator (or introduce a *new* seeded constructor).
+        let picks = |seed: u64, active: &[usize], count: usize| {
+            let mut s = RandomScheduler::seeded(seed);
+            (0..count)
+                .map(|i| s.next(active, i as u64).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(0, &[0, 1, 2, 3], 10), [3, 0, 3, 0, 3, 2, 1, 0, 3, 2]);
+        assert_eq!(picks(42, &[0, 1, 2, 3], 10), [1, 3, 2, 0, 2, 2, 1, 0, 1, 2]);
+        assert_eq!(picks(7, &[0, 1, 2], 8), [0, 0, 0, 0, 1, 0, 1, 0]);
+        // Skewed active sets keep drawing from the *current* slice.
+        assert_eq!(picks(7, &[4, 9], 6), [9, 4, 4, 9, 4, 9]);
+    }
+
+    #[test]
+    fn scripted_replays_serialized_schedules() {
+        let schedule: cbh_model::Schedule = "1,0,1".parse().unwrap();
+        let mut s = ScriptedScheduler::from_schedule(&schedule);
+        assert_eq!(s.next(&[0, 1], 0), Some(1));
+        assert_eq!(s.next(&[0, 1], 1), Some(0));
+        let mut owned: ScriptedScheduler = schedule.into();
+        assert_eq!(owned.next(&[0, 1], 0), Some(1));
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub mod memory;
 pub mod objects;
 pub mod universal;
 
-pub use memory::{run_threaded, SharedMemory, ThreadOutcome};
+pub use memory::{run_threaded, run_threaded_bounded, SharedMemory, ThreadOutcome};

@@ -152,6 +152,35 @@ where
     P: Protocol,
     P::Proc: Send,
 {
+    run_threaded_bounded(protocol, inputs, u64::MAX)
+}
+
+/// [`run_threaded`] with a per-thread step budget: a thread that has applied
+/// `max_steps` instructions without deciding gives up and leaves its decision
+/// slot `None`.
+///
+/// This is the oracle-comparable form the conformance fuzzer runs: the
+/// returned [`ConsensusReport`] can always be `check`ed for agreement and
+/// validity among the processes that *did* decide (`check` ignores `None`
+/// slots), and the budget guarantees the backend terminates on every
+/// scenario, including adversarially contended ones.
+///
+/// # Errors
+///
+/// Returns the first [`ModelError`] any thread hits.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != protocol.n()`.
+pub fn run_threaded_bounded<P>(
+    protocol: &P,
+    inputs: &[u64],
+    max_steps: u64,
+) -> Result<ThreadOutcome, ModelError>
+where
+    P: Protocol,
+    P::Proc: Send,
+{
     assert_eq!(inputs.len(), protocol.n(), "one input per process");
     let memory = SharedMemory::new(&protocol.memory_spec());
     let decisions: Vec<Mutex<Option<u64>>> = (0..protocol.n()).map(|_| Mutex::new(None)).collect();
@@ -166,14 +195,19 @@ where
             scope.spawn(move || {
                 let mut since_backoff: u32 = 0;
                 let mut window_us: u64 = 1;
+                let mut taken: u64 = 0;
                 loop {
                     match proc.action() {
                         Action::Decide(v) => {
                             *decisions[pid].lock() = Some(v);
                             return;
                         }
+                        Action::Invoke(_) if taken >= max_steps => return,
                         Action::Invoke(op) => match memory.apply(&op) {
-                            Ok(result) => proc.absorb(result),
+                            Ok(result) => {
+                                taken += 1;
+                                proc.absorb(result);
+                            }
                             Err(e) => {
                                 let mut slot = error.lock();
                                 if slot.is_none() {
@@ -288,6 +322,19 @@ mod tests {
             "all threads decide: {:?}",
             outcome.report
         );
+    }
+
+    #[test]
+    fn bounded_threads_give_up_without_deciding() {
+        // Budget 0: no thread may take a step, so nobody decides — but the
+        // report is still checkable (check ignores undecided slots).
+        let outcome = run_threaded_bounded(&MaxRegConsensus::new(3), &[2, 0, 1], 0).unwrap();
+        assert_eq!(outcome.report.decisions, vec![None, None, None]);
+        outcome.report.check(&[2, 0, 1]).unwrap();
+        // A generous budget decides as usual.
+        let outcome = run_threaded_bounded(&MaxRegConsensus::new(3), &[2, 0, 1], 100_000).unwrap();
+        outcome.report.check(&[2, 0, 1]).unwrap();
+        assert!(outcome.report.unanimous().is_some());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! schedule are bit-for-bit the same at any worker count.
 
 use cbh_model::{Action, Fp128Hasher, Process, Protocol};
-use cbh_sim::{Machine, SimError};
+use cbh_sim::{Machine, SimError, StepUndo};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
@@ -66,6 +66,34 @@ impl ExploreOutcome {
     pub fn is_clean(&self) -> bool {
         matches!(self, ExploreOutcome::Clean { .. })
     }
+
+    /// The witness schedule, when the outcome carries one (violations and
+    /// obstruction failures do; clean outcomes don't).
+    pub fn schedule(&self) -> Option<&[usize]> {
+        match self {
+            ExploreOutcome::Clean { .. } => None,
+            ExploreOutcome::AgreementViolation { schedule, .. }
+            | ExploreOutcome::ValidityViolation { schedule, .. }
+            | ExploreOutcome::ObstructionFailure { schedule, .. } => Some(schedule),
+        }
+    }
+}
+
+/// Comparable exploration counters, reported for **every** outcome (the
+/// `configs` inside [`ExploreOutcome::Clean`] exists only on clean runs).
+///
+/// These are the numbers the conformance oracle diffs across independent
+/// engines: two backends exploring the same protocol under the same limits
+/// must agree on all three fields bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct configurations fingerprinted (including the root, and
+    /// including a final over-cap configuration if `max_configs` was hit).
+    pub configs: usize,
+    /// Largest breadth-first layer held live at once.
+    pub frontier_peak: usize,
+    /// Breadth-first layers fully expanded before the run ended.
+    pub depth_reached: usize,
 }
 
 /// Exploration limits.
@@ -115,10 +143,10 @@ impl Default for ExploreLimits {
 }
 
 /// Sentinel for "no parent": the initial configuration's link.
-const NO_LINK: usize = usize::MAX;
+pub(crate) const NO_LINK: usize = usize::MAX;
 
 /// One admitted configuration's provenance: (parent link index, pid stepped).
-type Link = (usize, usize);
+pub(crate) type Link = (usize, usize);
 
 /// A frontier entry: a live configuration, its incremental fingerprint, and
 /// its link for schedule reconstruction.
@@ -187,9 +215,16 @@ fn comp_touched(touched: usize) -> u128 {
     h.finish128()
 }
 
-/// Full-scan fingerprint, used for the root (and as the debug cross-check
-/// that the incremental edge fingerprints stay in sync with it).
-fn full_fp<Proc: Process>(machine: &Machine<Proc>, symmetric: bool) -> u128 {
+/// Full-scan Zobrist digest of a configuration — the engine computes this
+/// once for the root and maintains it incrementally along every edge.
+///
+/// Public so conformance tests can pin the incremental maintenance
+/// ([`zobrist_step`]) against a from-scratch re-hash after arbitrary
+/// step/undo sequences. Distinct from [`Machine::fingerprint`], which hashes
+/// the same semantic state through a different (non-incremental)
+/// construction; the reference oracle keys on that one, precisely so the two
+/// engines share no hashing code.
+pub fn zobrist_fingerprint<Proc: Process>(machine: &Machine<Proc>, symmetric: bool) -> u128 {
     let mut fp = comp_touched(machine.memory().touched());
     for pid in 0..machine.n() {
         fp = fp.wrapping_add(comp_proc(machine, pid, symmetric));
@@ -201,6 +236,60 @@ fn full_fp<Proc: Process>(machine: &Machine<Proc>, symmetric: bool) -> u128 {
     fp
 }
 
+/// Steps `machine` by `pid` and returns the successor's Zobrist digest,
+/// derived **incrementally** from the parent's `base_fp` (which must be
+/// `zobrist_fingerprint(machine, symmetric)` before the call): the parent's
+/// per-process and per-cell components for everything the step touches are
+/// subtracted and the successor's added, O(step footprint) instead of a full
+/// re-hash.
+///
+/// The returned [`StepUndo`] token reverts the step (after which `base_fp`
+/// is the machine's digest again), so callers can walk edges without cloning.
+///
+/// # Errors
+///
+/// Exactly those of [`Machine::step_undoable`]; the machine is unchanged on
+/// error.
+pub fn zobrist_step<Proc: Process>(
+    machine: &mut Machine<Proc>,
+    pid: usize,
+    base_fp: u128,
+    symmetric: bool,
+) -> Result<(u128, StepUndo<Proc>), SimError> {
+    let mut fp = base_fp.wrapping_sub(comp_proc(machine, pid, symmetric));
+    let touched_locs = match machine.action(pid) {
+        Action::Invoke(op) => op.touches(),
+        Action::Decide(_) => Vec::new(),
+    };
+    let old_len = machine.memory().len();
+    let old_touched = machine.memory().touched();
+    for &loc in &touched_locs {
+        if let Some(cell) = machine.memory().cell(loc) {
+            fp = fp.wrapping_sub(comp_cell(loc, cell));
+        }
+    }
+    let (_, undo) = machine.step_undoable(pid)?;
+    fp = fp.wrapping_add(comp_proc(machine, pid, symmetric));
+    for &loc in &touched_locs {
+        if loc < old_len {
+            let cell = machine.memory().cell(loc).expect("touched loc exists");
+            fp = fp.wrapping_add(comp_cell(loc, cell));
+        }
+    }
+    // Cells the step grew into (unbounded memories) are pure additions.
+    for loc in old_len..machine.memory().len() {
+        let cell = machine.memory().cell(loc).expect("grown loc exists");
+        fp = fp.wrapping_add(comp_cell(loc, cell));
+    }
+    let new_touched = machine.memory().touched();
+    if new_touched != old_touched {
+        fp = fp
+            .wrapping_sub(comp_touched(old_touched))
+            .wrapping_add(comp_touched(new_touched));
+    }
+    Ok((fp, undo))
+}
+
 /// Walks every outgoing edge of `node` — step, fingerprint the successor
 /// incrementally, undo — without materialising any successor machine.
 fn edge_fingerprints<Proc: Process>(
@@ -210,46 +299,15 @@ fn edge_fingerprints<Proc: Process>(
     let active: Vec<usize> = node.machine.active_iter().collect();
     let mut edges = Vec::with_capacity(active.len());
     for pid in active {
-        let machine = &mut node.machine;
-        let mut fp = node.fp.wrapping_sub(comp_proc(machine, pid, symmetric));
-        let touched_locs = match machine.action(pid) {
-            Action::Invoke(op) => op.touches(),
-            Action::Decide(_) => Vec::new(),
-        };
-        let old_len = machine.memory().len();
-        let old_touched = machine.memory().touched();
-        for &loc in &touched_locs {
-            if let Some(cell) = machine.memory().cell(loc) {
-                fp = fp.wrapping_sub(comp_cell(loc, cell));
-            }
-        }
-        let (_, undo) = machine.step_undoable(pid)?;
-        fp = fp.wrapping_add(comp_proc(machine, pid, symmetric));
-        for &loc in &touched_locs {
-            if loc < old_len {
-                let cell = machine.memory().cell(loc).expect("touched loc exists");
-                fp = fp.wrapping_add(comp_cell(loc, cell));
-            }
-        }
-        // Cells the step grew into (unbounded memories) are pure additions.
-        for loc in old_len..machine.memory().len() {
-            let cell = machine.memory().cell(loc).expect("grown loc exists");
-            fp = fp.wrapping_add(comp_cell(loc, cell));
-        }
-        let new_touched = machine.memory().touched();
-        if new_touched != old_touched {
-            fp = fp
-                .wrapping_sub(comp_touched(old_touched))
-                .wrapping_add(comp_touched(new_touched));
-        }
-        machine.undo_step(undo);
+        let (fp, undo) = zobrist_step(&mut node.machine, pid, node.fp, symmetric)?;
+        node.machine.undo_step(undo);
         edges.push((pid, fp));
     }
     Ok(edges)
 }
 
 /// Walks the schedule back through the parent links.
-fn schedule_of(links: &[Link], mut link: usize) -> Vec<usize> {
+pub(crate) fn schedule_of(links: &[Link], mut link: usize) -> Vec<usize> {
     let mut out = Vec::new();
     while link != NO_LINK {
         let (parent, pid) = links[link];
@@ -263,7 +321,7 @@ fn schedule_of(links: &[Link], mut link: usize) -> Vec<usize> {
 /// Validity/agreement check on one configuration, mirroring the paper's
 /// order: all decisions validated against the inputs first, then pairwise
 /// agreement.
-fn decision_violation<Proc: Process>(
+pub(crate) fn decision_violation<Proc: Process>(
     machine: &Machine<Proc>,
     inputs: &[u64],
     link: usize,
@@ -381,7 +439,7 @@ fn explore_core<Proc, F>(
     limits: ExploreLimits,
     symmetry: bool,
     mut expand_layer: F,
-) -> Result<ExploreOutcome, SimError>
+) -> Result<(ExploreOutcome, ExploreStats), SimError>
 where
     Proc: Process,
     F: FnMut(Vec<FrontierNode<Proc>>, LayerJob) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>),
@@ -389,11 +447,24 @@ where
     let mut seen: HashSet<u128> = HashSet::new();
     let mut links: Vec<Link> = Vec::new();
     let mut complete = true;
+    let mut frontier_peak = 1usize;
+    let mut depth = 0usize;
+    // Every exit path reports the same counters, so violations are just as
+    // comparable across engines as clean runs.
+    macro_rules! stats {
+        ($seen:expr) => {
+            ExploreStats {
+                configs: $seen.len(),
+                frontier_peak,
+                depth_reached: depth,
+            }
+        };
+    }
 
-    let root_fp = full_fp(&root, symmetry);
+    let root_fp = zobrist_fingerprint(&root, symmetry);
     seen.insert(root_fp);
     if let Some(violation) = decision_violation(&root, inputs, NO_LINK, &links) {
-        return Ok(violation);
+        return Ok((violation, stats!(seen)));
     }
     let mut frontier = vec![FrontierNode {
         machine: root,
@@ -401,8 +472,8 @@ where
         link: NO_LINK,
     }];
 
-    let mut depth = 0usize;
     while !frontier.is_empty() {
+        frontier_peak = frontier_peak.max(frontier.len());
         let expand = depth < limits.depth;
         if !expand {
             // Configurations at the horizon with moves left are the ones the
@@ -430,10 +501,13 @@ where
         'admit: for (node, result) in nodes.iter().zip(results) {
             let expansion = result?;
             if let Some(pid) = expansion.solo_failure {
-                return Ok(ExploreOutcome::ObstructionFailure {
-                    pid,
-                    schedule: schedule_of(&links, node.link),
-                });
+                return Ok((
+                    ExploreOutcome::ObstructionFailure {
+                        pid,
+                        schedule: schedule_of(&links, node.link),
+                    },
+                    stats!(seen),
+                ));
             }
             for (pid, child_fp) in expansion.edges {
                 if !seen.insert(child_fp) {
@@ -448,13 +522,13 @@ where
                 let child = node.machine.branch_step(pid)?;
                 debug_assert_eq!(
                     child_fp,
-                    full_fp(&child, symmetry),
+                    zobrist_fingerprint(&child, symmetry),
                     "incremental fingerprint out of sync with full scan"
                 );
                 let link = links.len();
                 links.push((node.link, pid));
                 if let Some(violation) = decision_violation(&child, inputs, link, &links) {
-                    return Ok(violation);
+                    return Ok((violation, stats!(seen)));
                 }
                 next.push(FrontierNode {
                     machine: child,
@@ -467,12 +541,17 @@ where
             break;
         }
         frontier = next;
-        depth += 1;
+        // A horizon pass that only ran solo checks expanded nothing:
+        // `depth_reached` counts expanded layers, not loop iterations.
+        if expand {
+            depth += 1;
+        }
     }
-    Ok(ExploreOutcome::Clean {
+    let outcome = ExploreOutcome::Clean {
         configs: seen.len(),
         complete,
-    })
+    };
+    Ok((outcome, stats!(seen)))
 }
 
 /// Exhaustively explores all schedules of `protocol` on `inputs`,
@@ -490,6 +569,22 @@ pub fn explore<P: Protocol>(
     inputs: &[u64],
     limits: ExploreLimits,
 ) -> Result<ExploreOutcome, SimError> {
+    explore_stats(protocol, inputs, limits).map(|(outcome, _)| outcome)
+}
+
+/// [`explore`], additionally reporting the engine's [`ExploreStats`] — the
+/// comparable counters the conformance oracle diffs against independent
+/// backends (the stats arrive for violating outcomes too, which the
+/// `configs` field of [`ExploreOutcome::Clean`] cannot).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] if the protocol steps outside the model.
+pub fn explore_stats<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+) -> Result<(ExploreOutcome, ExploreStats), SimError> {
     let machine = Machine::start(protocol, inputs)?;
     explore_core(machine, inputs, limits, false, expand_sequential)
 }
@@ -583,6 +678,24 @@ impl Explorer {
     where
         P::Proc: Send,
     {
+        self.explore_stats(protocol, inputs)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`Explorer::explore`], additionally reporting [`ExploreStats`]. Like
+    /// the outcome, the stats are bit-identical at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] if the protocol steps outside the model.
+    pub fn explore_stats<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+    ) -> Result<(ExploreOutcome, ExploreStats), SimError>
+    where
+        P::Proc: Send,
+    {
         let machine = Machine::start(protocol, inputs)?;
         let workers = self.workers;
         explore_core(machine, inputs, self.limits, self.symmetry, |nodes, job| {
@@ -608,9 +721,28 @@ pub fn can_decide<Proc: Process>(
     v: u64,
     depth: usize,
 ) -> Result<bool, SimError> {
+    can_decide_stats(machine, v, depth).map(|(decidable, _)| decidable)
+}
+
+/// [`can_decide`], additionally reporting how many distinct configurations
+/// the probe visited before answering — the comparable counter a conformance
+/// oracle diffs against an independent implementation of the same relation.
+///
+/// The count includes the starting configuration; a `true` answer reports the
+/// configurations visited up to (not including) the deciding successor, so
+/// equal-probe comparisons must compare counts only alongside equal answers.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn can_decide_stats<Proc: Process>(
+    machine: &Machine<Proc>,
+    v: u64,
+    depth: usize,
+) -> Result<(bool, usize), SimError> {
     let decides = |m: &Machine<Proc>| (0..m.n()).any(|p| m.decision(p) == Some(v));
     if decides(machine) {
-        return Ok(true);
+        return Ok((true, 1));
     }
     let mut seen: HashSet<u128> = HashSet::new();
     seen.insert(machine.fingerprint());
@@ -621,7 +753,7 @@ pub fn can_decide<Proc: Process>(
             for pid in m.active_iter() {
                 let child = m.branch_step(pid)?;
                 if decides(&child) {
-                    return Ok(true);
+                    return Ok((true, seen.len()));
                 }
                 if seen.insert(child.fingerprint()) {
                     next.push(child);
@@ -633,7 +765,7 @@ pub fn can_decide<Proc: Process>(
         }
         frontier = next;
     }
-    Ok(false)
+    Ok((false, seen.len()))
 }
 
 /// Bivalence probe: can both 0 and 1 still be decided from this

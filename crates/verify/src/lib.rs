@@ -23,6 +23,10 @@
 //!   by the multi-assignment lower bound (Theorem 7.5);
 //! - [`covering`] — Section 6.2's covering-configuration vocabulary (covers,
 //!   `k`-covered locations, block writes) computed on live configurations;
+//! - [`reference`] — a clone-everything BFS with independently implemented
+//!   hashing and traversal, mirroring the frontier engine's semantics
+//!   bit-for-bit: the differential-testing oracle the conformance fuzzer
+//!   diffs the fast engine against;
 //! - [`strawmen`] — deliberately undersized protocols (one max-register, one
 //!   fetch-and-increment word, one plain register) for the adversaries and
 //!   checker to defeat, witnessing each lower bound's claim *on code*.
@@ -31,4 +35,5 @@ pub mod adversary;
 pub mod checker;
 pub mod covering;
 pub mod packing;
+pub mod reference;
 pub mod strawmen;

@@ -13,7 +13,9 @@
 //! - [`sync`] — thread-backed runtime and native concurrent objects;
 //! - [`verify`] — executable lower-bound adversaries and bounded model
 //!   checking;
-//! - [`random`] — the obstruction-free → randomized wait-free transform.
+//! - [`random`] — the obstruction-free → randomized wait-free transform;
+//! - [`conformance`] — differential backend oracle: scenario fuzzing over
+//!   every Table-1 row, divergence detection, counterexample shrinking.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the paper-to-module map.
 //!
@@ -34,6 +36,7 @@
 //! ```
 
 pub use cbh_bigint as bigint;
+pub use cbh_conformance as conformance;
 pub use cbh_model as model;
 pub use cbh_random as random;
 pub use cbh_sim as sim;

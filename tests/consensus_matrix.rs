@@ -1,6 +1,8 @@
 //! The cross-crate correctness matrix: every protocol in the repository,
 //! exercised through the public facade under several adversaries, with its
-//! Table 1 space bound asserted.
+//! Table 1 space bound asserted — and every row cross-checked through the
+//! frontier `Explorer` with symmetry reduction on/off and 1 vs 4 workers,
+//! asserting bit-identical verdicts.
 
 use space_hierarchy::model::Protocol;
 use space_hierarchy::protocols::bitwise::{
@@ -23,6 +25,7 @@ use space_hierarchy::protocols::util::BitWrite;
 use space_hierarchy::sim::{
     adversarial_then_solo, ObstructionScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
 };
+use space_hierarchy::verify::checker::{ExploreLimits, Explorer};
 
 /// Runs `protocol` under a scheduler and asserts consensus correctness;
 /// returns the worst-case locations touched.
@@ -45,7 +48,52 @@ fn run_checked<P: Protocol>(
     report.locations_touched
 }
 
-fn matrix<P: Protocol>(protocol: &P, inputs: &[u64], expect_space: Option<usize>) {
+/// Cross-checks the row through the frontier `Explorer`: symmetry reduction
+/// on and off, 1 vs 4 workers. Within a symmetry mode the entire outcome
+/// (verdict, configuration count, completeness) must be bit-identical across
+/// worker counts; across modes the verdict must match. The horizon is kept
+/// shallow so the whole matrix stays fast in debug builds — divergence
+/// hunting at depth is the conformance fuzzer's job.
+fn explorer_cross_check<P>(protocol: &P, inputs: &[u64])
+where
+    P: Protocol,
+    P::Proc: Send,
+{
+    let limits = ExploreLimits {
+        depth: 5,
+        max_configs: 30_000,
+        solo_check_budget: None,
+    };
+    let run = |symmetry: bool, workers: usize| {
+        Explorer::new()
+            .limits(limits)
+            .workers(workers)
+            .symmetry_reduction(symmetry)
+            .explore(protocol, inputs)
+            .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()))
+    };
+    let plain = run(false, 1);
+    // A protocol regression must surface here, on the unreduced engine,
+    // before any cross-mode comparison: the reduction below is sound only
+    // for anonymous rows (a pid-aware row's quotient may merge genuinely
+    // distinct states and hide a violation the plain run would report).
+    assert!(plain.is_clean(), "{}: {plain:?}", protocol.name());
+    assert_eq!(plain, run(false, 4), "{}: workers, plain", protocol.name());
+    let reduced = run(true, 1);
+    assert_eq!(reduced, run(true, 4), "{}: workers, reduced", protocol.name());
+    assert!(
+        reduced.is_clean(),
+        "{}: clean plain space but reduced verdict {reduced:?}",
+        protocol.name()
+    );
+}
+
+fn matrix<P>(protocol: &P, inputs: &[u64], expect_space: Option<usize>)
+where
+    P: Protocol,
+    P::Proc: Send,
+{
+    explorer_cross_check(protocol, inputs);
     let steps = 3_000 * inputs.len() as u64;
     let mut worst = 0;
     for seed in 0..4 {
