@@ -2,18 +2,19 @@
 //!
 //! Each benchmark runs a *complete* bounded exploration of one Table-1
 //! protocol — a fixed workload, so time-per-iteration is directly
-//! comparable. For every workload two routines run:
+//! comparable. For every workload the routines are:
 //!
-//! - `frontier/…` — the fingerprint-based iterative explorer
-//!   (`cbh_verify::checker::explore` / `Explorer`);
-//! - `legacy/…` — the pre-refactor recursive checker, kept verbatim below
-//!   as the measured baseline: it memoises deep-cloned `Machine`s keyed by
+//! - `frontier/…` — the packed-state engine (`cbh_verify::checker::explore`
+//!   / `Explorer`), sequential;
+//! - `frontier_par/…` — the same engine with the work-stealing pool at
+//!   hardware parallelism;
+//! - `barrier_par/…` — the preserved PR-2 barrier engine
+//!   (`cbh_verify::legacy`) at the same worker count, the baseline the
+//!   packed engine's multi-worker speedup is measured against (the
+//!   `bench_explore` bin emits the machine-readable comparison);
+//! - `legacy/…` — the original recursive checker, kept verbatim below as
+//!   the deep-history baseline: it memoises deep-cloned `Machine`s keyed by
 //!   their full state (step counters included).
-//!
-//! The acceptance bar for the engine refactor is ≥ 5× configs/sec on at
-//! least one row; the printed `[workload]` lines record the configuration
-//! counts each side visits so the ratio can be reconstructed from the
-//! report.
 
 use cbh_core::bitwise::tas_reset_consensus;
 use cbh_core::cas::CasConsensus;
@@ -92,11 +93,16 @@ where
     g.bench_function(format!("frontier/{}", w.name), |b| {
         b.iter(|| frontier_configs(&w.protocol, &w.inputs, w.limits));
     });
-    let parallel = Explorer::new()
-        .limits(w.limits)
-        .workers(std::thread::available_parallelism().map_or(1, usize::from));
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    let parallel = Explorer::new().limits(w.limits).workers(hw);
     g.bench_function(format!("frontier_par/{}", w.name), |b| {
         b.iter(|| parallel.explore(&w.protocol, &w.inputs).unwrap());
+    });
+    g.bench_function(format!("barrier_par/{}", w.name), |b| {
+        b.iter(|| {
+            cbh_verify::legacy::legacy_explore_stats(&w.protocol, &w.inputs, w.limits, hw, false)
+                .unwrap()
+        });
     });
     g.bench_function(format!("legacy/{}", w.name), |b| {
         b.iter(|| legacy_explore(&w.protocol, &w.inputs, w.limits));

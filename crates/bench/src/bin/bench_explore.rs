@@ -1,0 +1,222 @@
+//! `bench_explore`: the explore-engine trajectory harness.
+//!
+//! Runs a fixed set of Table-1 exploration workloads through the packed
+//! work-stealing engine and the legacy barrier engine at 1/2/4/8 workers,
+//! and emits machine-readable `BENCH_explore.json` (configs/sec per row ×
+//! engine × worker count, plus packed-vs-legacy speedups). CI uploads the
+//! file as a non-gating artifact, so engine-throughput history accumulates
+//! per commit without making perf a flaky test.
+//!
+//! Every run first cross-checks that both engines produce bit-identical
+//! `(ExploreOutcome, ExploreStats)` on every workload — a measurement of two
+//! disagreeing engines would be meaningless.
+//!
+//! Usage: `bench_explore [--quick] [--out PATH]`
+//!   --quick   one timed iteration per cell (CI smoke) instead of three
+//!   --out     output path (default `BENCH_explore.json`)
+
+use cbh_core::bitwise::{tas_reset_consensus, write01_consensus};
+use cbh_core::cas::CasConsensus;
+use cbh_core::maxreg::MaxRegConsensus;
+use cbh_model::Protocol;
+use cbh_verify::checker::{ExploreLimits, ExploreOutcome, ExploreStats, Explorer};
+use cbh_verify::legacy::legacy_explore_stats;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured cell: engine × worker count on one workload.
+struct Cell {
+    engine: &'static str,
+    workers: usize,
+    secs: f64,
+    configs_per_sec: f64,
+}
+
+struct RowReport {
+    name: &'static str,
+    configs: usize,
+    cells: Vec<Cell>,
+}
+
+fn run_engine<P: Protocol>(
+    packed: bool,
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    workers: usize,
+) -> (ExploreOutcome, ExploreStats)
+where
+    P::Proc: Send + Sync,
+{
+    if packed {
+        Explorer::new()
+            .workers(workers)
+            .limits(limits)
+            .explore_stats(protocol, inputs)
+            .expect("workload explores cleanly")
+    } else {
+        legacy_explore_stats(protocol, inputs, limits, workers, false)
+            .expect("workload explores cleanly")
+    }
+}
+
+fn bench_row<P: Protocol>(
+    name: &'static str,
+    protocol: P,
+    inputs: &[u64],
+    depth: usize,
+    iters: usize,
+) -> RowReport
+where
+    P::Proc: Send + Sync,
+{
+    let limits = ExploreLimits {
+        depth,
+        max_configs: 1_000_000,
+        solo_check_budget: None,
+    };
+    // Conformance gate: a throughput number is only meaningful if the two
+    // engines are exploring the same space to the same verdict.
+    let packed = run_engine(true, &protocol, inputs, limits, 1);
+    let legacy = run_engine(false, &protocol, inputs, limits, 1);
+    assert_eq!(packed, legacy, "{name}: packed and legacy engines diverged");
+    let configs = packed.1.configs;
+
+    let mut cells = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        for (engine, is_packed) in [("packed", true), ("legacy", false)] {
+            // Warm-up once (thread pools, intern tables, allocator), then
+            // keep the best of `iters` timed runs: explorations are
+            // deterministic, so the minimum is the least-noise estimate.
+            run_engine(is_packed, &protocol, inputs, limits, workers);
+            let mut best = f64::MAX;
+            for _ in 0..iters {
+                let start = Instant::now();
+                let out = run_engine(is_packed, &protocol, inputs, limits, workers);
+                let secs = start.elapsed().as_secs_f64();
+                assert_eq!(out.1.configs, configs, "{name}: nondeterministic run");
+                best = best.min(secs);
+            }
+            cells.push(Cell {
+                engine,
+                workers,
+                secs: best,
+                configs_per_sec: configs as f64 / best,
+            });
+        }
+    }
+    RowReport {
+        name,
+        configs,
+        cells,
+    }
+}
+
+fn cps(report: &RowReport, engine: &str, workers: usize) -> f64 {
+    report
+        .cells
+        .iter()
+        .find(|c| c.engine == engine && c.workers == workers)
+        .map(|c| c.configs_per_sec)
+        .unwrap_or(f64::NAN)
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All emitted strings are static identifiers without quotes/backslashes.
+    debug_assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+fn render_json(rows: &[RowReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"bench_explore/v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"worker_counts\": [{}],",
+        WORKER_COUNTS.map(|w| w.to_string()).join(", ")
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_escape_free(row.name));
+        let _ = writeln!(out, "      \"configs\": {},", row.configs);
+        let _ = writeln!(
+            out,
+            "      \"speedup_packed_vs_legacy_w8\": {:.3},",
+            cps(row, "packed", 8) / cps(row, "legacy", 8)
+        );
+        let _ = writeln!(
+            out,
+            "      \"speedup_packed_vs_legacy_w1\": {:.3},",
+            cps(row, "packed", 1) / cps(row, "legacy", 1)
+        );
+        out.push_str("      \"cells\": [\n");
+        for (j, cell) in row.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"engine\": \"{}\", \"workers\": {}, \"secs\": {:.6}, \"configs_per_sec\": {:.1}}}",
+                json_escape_free(cell.engine),
+                cell.workers,
+                cell.secs,
+                cell.configs_per_sec
+            );
+            out.push_str(if j + 1 < row.cells.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_explore.json".to_string());
+    let iters = if quick { 1 } else { 3 };
+
+    let rows = vec![
+        bench_row("maxreg_n2_d18", MaxRegConsensus::new(2), &[0, 1], 18, iters),
+        bench_row("maxreg_n3_d12", MaxRegConsensus::new(3), &[0, 1, 2], 12, iters),
+        bench_row("cas_n3_d12", CasConsensus::new(3), &[0, 1, 2], 12, iters),
+        bench_row(
+            "tas_reset_n3_d16",
+            tas_reset_consensus(3),
+            &[0, 1, 2],
+            16,
+            iters,
+        ),
+        bench_row(
+            "write01_n3_d14",
+            write01_consensus(3),
+            &[0, 1, 2],
+            14,
+            iters,
+        ),
+    ];
+
+    eprintln!("row               configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8");
+    for row in &rows {
+        eprintln!(
+            "{:<17} {:>7}  {:>9.0}  {:>9.0}  {:>9.0}  {:>9.0}  {:>6.2}x",
+            row.name,
+            row.configs,
+            cps(row, "packed", 1),
+            cps(row, "packed", 8),
+            cps(row, "legacy", 1),
+            cps(row, "legacy", 8),
+            cps(row, "packed", 8) / cps(row, "legacy", 8),
+        );
+    }
+
+    let json = render_json(&rows);
+    std::fs::write(&out_path, &json).expect("write BENCH_explore.json");
+    eprintln!("wrote {out_path}");
+}

@@ -43,6 +43,8 @@ pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
-pub use oracle::{run_scenario, run_suite, ConformanceConfig, Finding, SuiteReport};
+pub use oracle::{
+    run_scenario, run_suite, worker_backend_name, ConformanceConfig, Finding, SuiteReport,
+};
 pub use scenario::{Scenario, ScenarioGen};
 pub use shrink::{replay_violates, shrink_schedule, shrink_violation};

@@ -6,9 +6,9 @@
 //!
 //! | comparison | backends | must match |
 //! |---|---|---|
-//! | engine vs oracle | frontier `explore` vs clone-based reference BFS | outcome **and** stats, bit for bit |
-//! | worker fan-out | `Explorer` with 1 vs 4 workers | outcome and stats, bit for bit |
-//! | symmetry quotient | reduced 1 vs 4 workers; reduced vs plain | reduced runs identical; verdict equal; reduced configs ≤ plain |
+//! | engine vs oracle | packed frontier `explore` vs clone-based reference BFS | outcome **and** stats, bit for bit |
+//! | worker fan-out | `Explorer` with 1 vs [`ConformanceConfig::explorer_workers`] workers (CI sweeps 1/4/8) | outcome and stats, bit for bit |
+//! | symmetry quotient | reduced 1 vs fan-out workers; reduced vs plain | reduced runs identical; verdict equal; reduced configs ≤ plain |
 //! | property checks | scripted replay, round-robin, seeded random, bounded threads | agreement + validity; `locations_touched` ≤ the row's exact Table 1 bound |
 //! | fault injection | honest vs [`FaultyDecider`](crate::faulty::FaultyDecider) scripted replay | decision vectors equal (divergence ⇒ finding + shrunken reproducer) |
 //!
@@ -57,6 +57,13 @@ pub struct ConformanceConfig {
     /// Run the OS-thread backend (`true` everywhere except speed-sensitive
     /// inner loops of the harness's own tests).
     pub threaded: bool,
+    /// Worker count for the fan-out explorer backend diffed against the
+    /// sequential engine (CI sweeps a `{1, 4, 8}` matrix via
+    /// `CONFORMANCE_WORKERS`).
+    pub explorer_workers: usize,
+    /// Run the symmetry-reduced explorer backends on anonymous rows (the
+    /// other axis of CI's worker/symmetry matrix).
+    pub symmetry: bool,
 }
 
 impl Default for ConformanceConfig {
@@ -69,7 +76,26 @@ impl Default for ConformanceConfig {
             max_configs: 20_000,
             fault_injection: false,
             threaded: true,
+            explorer_workers: 4,
+            symmetry: true,
         }
+    }
+}
+
+/// Stable backend label for a worker count (backend names are part of the
+/// findings' vocabulary, so they stay `'static`).
+///
+/// The table covers the documented CI matrix (1/4/8) plus the common 2 and
+/// 16; any other count shares the `"explorer-wN"` label, so record the
+/// exact `CONFORMANCE_WORKERS` alongside findings from off-matrix runs.
+pub fn worker_backend_name(workers: usize) -> &'static str {
+    match workers {
+        0 | 1 => "explorer-w1",
+        2 => "explorer-w2",
+        4 => "explorer-w4",
+        8 => "explorer-w8",
+        16 => "explorer-w16",
+        _ => "explorer-wN",
     }
 }
 
@@ -163,7 +189,7 @@ impl RowVisitor for OracleVisitor<'_> {
     fn visit<P>(&mut self, spec: &RowSpec, protocol: P) -> ScenarioOutcome
     where
         P: Protocol,
-        P::Proc: Send,
+        P::Proc: Send + Sync,
     {
         let scenario = self.scenario;
         let inputs = derive_inputs(scenario, protocol.domain());
@@ -234,27 +260,29 @@ impl RowVisitor for OracleVisitor<'_> {
                 .push(finding("reference-bfs", format!("SimError: {e}"), None)),
         }
 
-        out.backends.push("explorer-w4");
+        let fan_out = self.cfg.explorer_workers.max(1);
+        let fan_out_backend = worker_backend_name(fan_out);
+        out.backends.push(fan_out_backend);
         match Explorer::new()
-            .workers(4)
+            .workers(fan_out)
             .limits(limits)
             .explore_stats(&protocol, &inputs)
         {
             Ok(parallel) => {
                 if parallel != engine {
                     out.findings.push(finding(
-                        "explorer-w4",
-                        format!("1-worker {engine:?} != 4-worker {parallel:?}"),
+                        fan_out_backend,
+                        format!("1-worker {engine:?} != {fan_out}-worker {parallel:?}"),
                         None,
                     ));
                 }
             }
             Err(e) => out
                 .findings
-                .push(finding("explorer-w4", format!("SimError: {e}"), None)),
+                .push(finding(fan_out_backend, format!("SimError: {e}"), None)),
         }
 
-        if spec.anonymous {
+        if self.cfg.symmetry && spec.anonymous {
             out.backends.push("explorer-sym");
             let reduced = |workers| {
                 Explorer::new()
@@ -263,12 +291,15 @@ impl RowVisitor for OracleVisitor<'_> {
                     .symmetry_reduction(true)
                     .explore_stats(&protocol, &inputs)
             };
-            match (reduced(1), reduced(4)) {
+            match (reduced(1), reduced(fan_out.max(2))) {
                 (Ok(sym1), Ok(sym4)) => {
                     if sym1 != sym4 {
                         out.findings.push(finding(
                             "explorer-sym",
-                            format!("reduced 1-worker {sym1:?} != 4-worker {sym4:?}"),
+                            format!(
+                                "reduced 1-worker {sym1:?} != {}-worker {sym4:?}",
+                                fan_out.max(2)
+                            ),
                             None,
                         ));
                     }

@@ -54,8 +54,9 @@ pub struct RowSpec {
 
 /// A computation generic over the concrete protocol type a row constructs.
 ///
-/// The `P::Proc: Send` bound lets visitors hand the protocol to the
-/// worker-threaded explorer and the real-thread runtime.
+/// The `P::Proc: Send + Sync` bounds let visitors hand the protocol to the
+/// work-stealing packed explorer (whose workers share interned process
+/// states by reference) and the real-thread runtime.
 pub trait RowVisitor {
     /// What the visit produces.
     type Output;
@@ -64,7 +65,7 @@ pub trait RowVisitor {
     fn visit<P>(&mut self, spec: &RowSpec, protocol: P) -> Self::Output
     where
         P: Protocol,
-        P::Proc: Send;
+        P::Proc: Send + Sync;
 }
 
 const ROWS: &[RowSpec] = &[
@@ -329,7 +330,7 @@ mod tests {
         fn visit<P>(&mut self, _spec: &RowSpec, protocol: P) -> Self::Output
         where
             P: Protocol,
-            P::Proc: Send,
+            P::Proc: Send + Sync,
         {
             let n = protocol.n();
             let inputs: Vec<u64> = (0..n as u64).map(|i| i % protocol.domain()).collect();

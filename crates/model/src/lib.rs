@@ -49,6 +49,7 @@ mod fingerprint;
 mod instruction;
 mod iset;
 mod memory;
+pub mod packed;
 mod process;
 mod schedule;
 mod value;
@@ -59,6 +60,7 @@ pub use fingerprint::{fingerprint_of, Fp128Hasher};
 pub use instruction::{Instruction, InstructionKind, Op};
 pub use iset::InstructionSet;
 pub use memory::{Locations, Memory, MemorySpec, MemoryUndo};
+pub use packed::{PackedCtx, PackedState, PackedStepOutcome, PackedUndo};
 pub use process::{Action, ConsensusInput, Process, Protocol};
 pub use schedule::{Schedule, ScheduleParseError};
 pub use value::Value;

@@ -303,6 +303,36 @@ impl Memory {
         // saturating max for bounded ones.
         self.touched = self.touched.max(loc + 1);
     }
+
+    /// `true` if locations are allocated on first touch (the packed encoder
+    /// needs the growth policy and default cell to mirror [`Memory::apply`]).
+    pub(crate) fn growable(&self) -> bool {
+        self.growable
+    }
+
+    /// The cell a grown location starts as.
+    pub(crate) fn default_cell(&self) -> &CellState {
+        &self.default_cell
+    }
+
+    /// Rebuilds a memory from its semantic parts — the unpacking half of the
+    /// packed representation. `touched` must be a value [`Memory::apply`]
+    /// could have produced for these cells.
+    pub(crate) fn from_raw_parts(
+        iset: InstructionSet,
+        growable: bool,
+        cells: Vec<CellState>,
+        default_cell: CellState,
+        touched: usize,
+    ) -> Self {
+        Memory {
+            spec_iset: iset,
+            growable,
+            cells,
+            default_cell,
+            touched,
+        }
+    }
 }
 
 /// Undo token returned by [`Memory::apply_undoable`]: the pre-step contents

@@ -1,0 +1,882 @@
+//! Packed configurations: the flat, cache-friendly execution core.
+//!
+//! A [`crate::Memory`]-plus-processes configuration is a tree of heap values
+//! (`Vec<P>`, per-cell `BigInt`s and `VecDeque`s), so branching an execution
+//! costs a deep clone and hashing a configuration walks the whole tree. The
+//! state-space engine visits millions of configurations and branches at
+//! every edge; this module gives it a representation where both operations
+//! are flat:
+//!
+//! - **process states are interned**: every distinct `P` is stored once in a
+//!   sharded, append-only table together with its 128-bit content hash and
+//!   its poised decision; a configuration holds `u32` ids;
+//! - **memory cells are one tagged `u64` word each**: small integers and `⊥`
+//!   are stored inline, everything else (big integers, sequences, buffers)
+//!   is interned in a second table;
+//! - a [`PackedState`] is therefore three flat arrays (`u32` process ids,
+//!   `Option<u64>` recorded decisions, `u64` cell words) plus two counters —
+//!   cloning one is a few `memcpy`s, independent of how much heap the
+//!   semantic state owns.
+//!
+//! [`PackedCtx::step`] applies one atomic step **in place** and returns a
+//! [`PackedUndo`] that reverts it in O(step footprint);
+//! [`PackedCtx::edge_digest`] computes a successor's incremental Zobrist
+//! digest *without mutating anything* — the read-only preview the parallel
+//! explorer's workers run concurrently. Step semantics (uniformity checks,
+//! bounds, growth, multi-assignment validation, error values) are routed
+//! through the same [`CellState::apply`] the [`crate::Memory`] uses, so a
+//! packed step and a [`crate::Memory::apply`] step can never drift apart.
+//!
+//! Intern tables are sharded behind read-writer locks and append-only:
+//! entries are immutable once published, reads take a shard read lock, and
+//! ids are opaque (digests hash *content*, never ids, so outcomes are
+//! independent of interning order — the property that lets worker threads
+//! intern concurrently without affecting determinism).
+
+use crate::{
+    fingerprint_of, Action, CellState, Fp128Hasher, Instruction, InstructionSet, Memory,
+    ModelError, Op, Process, Value,
+};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::RwLock;
+
+// ---------------------------------------------------------------------------
+// Cell word encoding
+// ---------------------------------------------------------------------------
+
+/// Tag bits (low 2) of a packed cell word.
+const TAG_MASK: u64 = 0b11;
+/// Inline small integer: the high 62 bits are the value, two's complement.
+const TAG_INT: u64 = 0b00;
+/// The word `⊥`.
+const TAG_BOT: u64 = 0b01;
+/// Interned cell: the high bits are a table id.
+const TAG_REF: u64 = 0b10;
+
+/// Largest magnitude storable inline: signed 62-bit range.
+const INLINE_MAX: i64 = (1 << 61) - 1;
+const INLINE_MIN: i64 = -(1 << 61);
+
+/// Interner ids: low bit = "poised to decide" flag (process table only),
+/// next four bits = shard, rest = index within the shard.
+const ID_SHARD_BITS: u32 = 4;
+const ID_SHARDS: usize = 1 << ID_SHARD_BITS;
+const ID_FLAG_DECIDED: u32 = 1;
+
+fn make_id(local: usize, shard: usize, decided: bool) -> u32 {
+    let local = u32::try_from(local).expect("intern table overflow");
+    assert!(local < (1 << (31 - ID_SHARD_BITS)), "intern table overflow");
+    (local << (ID_SHARD_BITS + 1)) | ((shard as u32) << 1) | u32::from(decided)
+}
+
+fn id_shard(id: u32) -> usize {
+    ((id >> 1) & (ID_SHARDS as u32 - 1)) as usize
+}
+
+fn id_local(id: u32) -> usize {
+    (id >> (ID_SHARD_BITS + 1)) as usize
+}
+
+fn id_decided(id: u32) -> bool {
+    id & ID_FLAG_DECIDED != 0
+}
+
+// ---------------------------------------------------------------------------
+// Sharded append-only interner
+// ---------------------------------------------------------------------------
+
+/// One interner shard: content-hash → id plus the entry storage. Entries are
+/// never mutated after insertion, so readers only need the shard read lock
+/// for the duration of a lookup.
+struct Shard<T, M> {
+    ids: HashMap<u128, u32>,
+    entries: Vec<(T, M)>,
+}
+
+impl<T, M> Default for Shard<T, M> {
+    fn default() -> Self {
+        Shard {
+            ids: HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// Sharded intern table: `T` keyed by its 128-bit content fingerprint, with
+/// per-entry metadata `M` computed once at insertion.
+struct Interner<T, M> {
+    shards: Vec<RwLock<Shard<T, M>>>,
+}
+
+impl<T: Clone + Eq + Hash, M: Copy> Interner<T, M> {
+    fn new() -> Self {
+        Interner {
+            shards: (0..ID_SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+        }
+    }
+
+    /// Interns `value`, computing `meta(&value, hash)` on first sight.
+    /// `decided` becomes the id's flag bit.
+    fn intern(&self, value: T, decided: bool, meta: impl FnOnce(&T, u128) -> M) -> u32 {
+        let hash = fingerprint_of(&value);
+        let shard_index = (hash as usize) & (ID_SHARDS - 1);
+        let shard = &self.shards[shard_index];
+        {
+            // One read critical section for both the lookup and the
+            // collision check: re-acquiring the same RwLock recursively can
+            // deadlock against a queued writer.
+            let guard = shard.read().unwrap();
+            if let Some(&id) = guard.ids.get(&hash) {
+                debug_assert!(
+                    guard.entries[id_local(id)].0 == value,
+                    "128-bit content fingerprint collision in intern table"
+                );
+                return id;
+            }
+        }
+        let mut guard = shard.write().unwrap();
+        if let Some(&id) = guard.ids.get(&hash) {
+            return id; // another thread won the race
+        }
+        let m = meta(&value, hash);
+        let id = make_id(guard.entries.len(), shard_index, decided);
+        guard.entries.push((value, m));
+        guard.ids.insert(hash, id);
+        id
+    }
+
+    /// Reads the entry behind `id` under the shard read lock.
+    fn with<R>(&self, id: u32, f: impl FnOnce(&T, &M) -> R) -> R {
+        let guard = self.shards[id_shard(id)].read().unwrap();
+        let (value, meta) = &guard.entries[id_local(id)];
+        f(value, meta)
+    }
+}
+
+/// Cached per-process metadata: content hash and poised decision.
+#[derive(Clone, Copy)]
+struct ProcMeta {
+    hash: u128,
+    decision: Option<u64>,
+}
+
+/// Cached per-cell metadata: content hash.
+#[derive(Clone, Copy)]
+struct CellMeta {
+    hash: u128,
+}
+
+// ---------------------------------------------------------------------------
+// PackedState
+// ---------------------------------------------------------------------------
+
+/// A flat configuration: interned process ids, recorded decisions, tagged
+/// cell words, the touched-location high-water mark and a step counter.
+///
+/// Only meaningful relative to the [`PackedCtx`] that produced it (ids index
+/// that context's tables). Equality and hashing compare the flat encoding,
+/// which within one context coincides with semantic equality *plus* the
+/// step counter; the engine's [`PackedCtx::digest`] excludes the counter,
+/// mirroring [`crate::fingerprint_of`]-based machine fingerprints.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedState {
+    procs: Vec<u32>,
+    decided: Vec<Option<u64>>,
+    cells: Vec<u64>,
+    touched: usize,
+    steps: u64,
+}
+
+impl PackedState {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Steps applied since the state was packed (bookkeeping, not hashed by
+    /// [`PackedCtx::digest`]).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Locations ever targeted by an instruction — Table 1's space measure.
+    pub fn touched(&self) -> usize {
+        self.touched
+    }
+
+    /// Currently allocated locations.
+    pub fn cells_len(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Undo token for one [`PackedCtx::step`]: the pre-step words of exactly
+/// what the step could have changed.
+#[derive(Debug, Clone)]
+pub struct PackedUndo {
+    pid: usize,
+    prev_decided: Option<u64>,
+    invoked: Option<InvokeUndo>,
+}
+
+#[derive(Debug, Clone)]
+struct InvokeUndo {
+    prev_proc: u32,
+    prev_len: usize,
+    prev_touched: usize,
+    /// Pre-step words of changed cells that existed before the step
+    /// (grown-and-written locations are handled by the length truncate).
+    prev_words: Vec<(usize, u64)>,
+}
+
+/// What one packed step did — mirrors `cbh_sim`'s step outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackedStepOutcome {
+    /// The process performed its poised instruction and absorbed `Value`.
+    Invoked(Value),
+    /// The process was poised to decide; the decision was recorded and no
+    /// memory step was taken.
+    AlreadyDecided(u64),
+}
+
+/// One memory edit produced by the pure op-application routine: the cells to
+/// rewrite, the post-step allocation length and touch high-water mark.
+#[derive(Debug)]
+struct MemEdit {
+    changes: Vec<(usize, CellState)>,
+    new_len: usize,
+    new_touched: usize,
+}
+
+// ---------------------------------------------------------------------------
+// PackedCtx
+// ---------------------------------------------------------------------------
+
+/// The shared context packed states execute against: memory policy (uniform
+/// instruction set, growth, default cell) plus the intern tables.
+///
+/// Cheap to share behind an `Arc`; all methods take `&self`, including
+/// interning writes (shard locks serialize them), so a parallel explorer's
+/// workers and committer use one context concurrently.
+pub struct PackedCtx<P: Process> {
+    n: usize,
+    iset: InstructionSet,
+    growable: bool,
+    default_cell: CellState,
+    /// Pre-encoded word a grown location starts as.
+    default_word: u64,
+    /// Content hash of the default cell (grown-location digest components).
+    default_hash: u128,
+    /// Content hash of the `⊥` word cell, the other inline variant.
+    bot_hash: u128,
+    procs: Interner<P, ProcMeta>,
+    cells: Interner<CellState, CellMeta>,
+}
+
+impl<P: Process> PackedCtx<P> {
+    /// A context matching `memory`'s policy for `n` processes.
+    pub fn for_memory(memory: &Memory, n: usize) -> Self {
+        let default_cell = memory.default_cell().clone();
+        let procs = Interner::new();
+        let cells = Interner::new();
+        let mut ctx = PackedCtx {
+            n,
+            iset: memory.iset(),
+            growable: memory.growable(),
+            default_hash: fingerprint_of(&default_cell),
+            bot_hash: fingerprint_of(&CellState::word(Value::Bot)),
+            default_word: 0,
+            default_cell,
+            procs,
+            cells,
+        };
+        ctx.default_word = ctx.encode_cell(ctx.default_cell.clone());
+        ctx
+    }
+
+    /// A context for the memory `spec` describes.
+    pub fn for_spec(spec: &crate::MemorySpec, n: usize) -> Self {
+        Self::for_memory(&Memory::new(spec), n)
+    }
+
+    /// Number of processes states in this context pack.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    // -- encoding -----------------------------------------------------------
+
+    /// Canonical word for a cell: small integers and `⊥` inline, everything
+    /// else interned. Canonical means word equality ⟺ cell equality.
+    fn encode_cell(&self, cell: CellState) -> u64 {
+        match &cell {
+            CellState::Word(Value::Bot) => TAG_BOT,
+            CellState::Word(Value::Int(i)) => match i.to_i64() {
+                Some(v) if (INLINE_MIN..=INLINE_MAX).contains(&v) => {
+                    ((v << 2) as u64) | TAG_INT
+                }
+                _ => self.intern_cell(cell),
+            },
+            _ => self.intern_cell(cell),
+        }
+    }
+
+    fn intern_cell(&self, cell: CellState) -> u64 {
+        let id = self
+            .cells
+            .intern(cell, false, |_, hash| CellMeta { hash });
+        ((id as u64) << 2) | TAG_REF
+    }
+
+    /// Decodes a word back to its cell.
+    fn decode_cell(&self, word: u64) -> CellState {
+        match word & TAG_MASK {
+            TAG_BOT => CellState::word(Value::Bot),
+            TAG_INT => CellState::word(Value::int((word as i64) >> 2)),
+            TAG_REF => self
+                .cells
+                .with((word >> 2) as u32, |cell, _| cell.clone()),
+            _ => unreachable!("unused cell word tag"),
+        }
+    }
+
+    /// Content hash of the cell a word encodes, without decoding interned
+    /// entries (their hash is cached).
+    fn word_hash(&self, word: u64) -> u128 {
+        match word & TAG_MASK {
+            TAG_BOT => self.bot_hash,
+            TAG_INT => fingerprint_of(&CellState::word(Value::int((word as i64) >> 2))),
+            TAG_REF => self.cells.with((word >> 2) as u32, |_, meta| meta.hash),
+            _ => unreachable!("unused cell word tag"),
+        }
+    }
+
+    fn intern_proc(&self, p: P) -> u32 {
+        let decision = p.action().decision();
+        self.procs
+            .intern(p, decision.is_some(), |_, hash| ProcMeta { hash, decision })
+    }
+
+    /// The process state behind `id`, cloned out of the table.
+    pub fn proc_state(&self, id: u32) -> P {
+        self.procs.with(id, |p, _| p.clone())
+    }
+
+    fn proc_action(&self, id: u32) -> Action {
+        self.procs.with(id, |p, _| p.action())
+    }
+
+    fn proc_hash(&self, id: u32) -> u128 {
+        self.procs.with(id, |_, meta| meta.hash)
+    }
+
+    fn proc_decision(&self, id: u32) -> Option<u64> {
+        if !id_decided(id) {
+            return None; // fast path: flag bit avoids the table read
+        }
+        self.procs.with(id, |_, meta| meta.decision)
+    }
+
+    // -- semantic queries ----------------------------------------------------
+
+    /// The decision of `pid` — recorded, or poised (mirrors the machine's
+    /// semantic decision query).
+    pub fn decision(&self, state: &PackedState, pid: usize) -> Option<u64> {
+        state.decided[pid].or_else(|| self.proc_decision(state.procs[pid]))
+    }
+
+    /// `true` if `pid` has not decided.
+    pub fn is_active(&self, state: &PackedState, pid: usize) -> bool {
+        state.decided[pid].is_none() && !id_decided(state.procs[pid])
+    }
+
+    /// `true` if any process can still move.
+    pub fn has_active(&self, state: &PackedState) -> bool {
+        (0..state.n()).any(|pid| self.is_active(state, pid))
+    }
+
+    /// The id of `pid`'s process state (for callers that cache table reads).
+    pub fn proc_id(&self, state: &PackedState, pid: usize) -> u32 {
+        state.procs[pid]
+    }
+
+    // -- pack / unpack -------------------------------------------------------
+
+    /// Packs a configuration given as parts (the machine's fields).
+    pub fn pack(
+        &self,
+        procs: &[P],
+        decided: &[Option<u64>],
+        memory: &Memory,
+        steps: u64,
+    ) -> PackedState {
+        debug_assert_eq!(memory.iset(), self.iset, "context/memory mismatch");
+        PackedState {
+            procs: procs.iter().map(|p| self.intern_proc(p.clone())).collect(),
+            decided: decided.to_vec(),
+            cells: (0..memory.len())
+                .map(|loc| self.encode_cell(memory.cell(loc).expect("loc < len").clone()))
+                .collect(),
+            touched: memory.touched(),
+            steps,
+        }
+    }
+
+    /// Unpacks a configuration into its semantic parts: process states,
+    /// recorded decisions, a rebuilt [`Memory`], and the step counter.
+    pub fn unpack(&self, state: &PackedState) -> (Vec<P>, Vec<Option<u64>>, Memory, u64) {
+        let procs = state.procs.iter().map(|&id| self.proc_state(id)).collect();
+        let cells = state.cells.iter().map(|&w| self.decode_cell(w)).collect();
+        let memory = Memory::from_raw_parts(
+            self.iset,
+            self.growable,
+            cells,
+            self.default_cell.clone(),
+            state.touched,
+        );
+        (procs, state.decided.clone(), memory, state.steps)
+    }
+
+    // -- step application ----------------------------------------------------
+
+    /// Pure op application against the packed memory: computes the result
+    /// value and the cell edit without mutating anything, with exactly the
+    /// checks, ordering and error values of [`Memory::apply`].
+    fn apply_op(&self, state: &PackedState, op: &Op) -> Result<(Value, MemEdit), ModelError> {
+        let len = state.cells.len();
+        let ensure = |loc: usize| -> Result<(), ModelError> {
+            if loc < len || self.growable {
+                Ok(())
+            } else {
+                Err(ModelError::OutOfBounds { loc, len })
+            }
+        };
+        match op {
+            Op::Single { loc, instr } => {
+                self.iset.check(instr)?;
+                ensure(*loc)?;
+                let mut cell = if *loc < len {
+                    self.decode_cell(state.cells[*loc])
+                } else {
+                    self.default_cell.clone()
+                };
+                let result = cell.apply(instr)?;
+                let changes = if instr.is_trivial() && *loc < len {
+                    Vec::new() // a trivial op on an existing cell edits nothing
+                } else {
+                    vec![(*loc, cell)]
+                };
+                Ok((
+                    result,
+                    MemEdit {
+                        changes,
+                        new_len: len.max(loc + 1),
+                        new_touched: state.touched.max(loc + 1),
+                    },
+                ))
+            }
+            Op::MultiAssign(writes) => {
+                for (i, (loc, _)) in writes.iter().enumerate() {
+                    if writes[..i].iter().any(|(l, _)| l == loc) {
+                        return Err(ModelError::DuplicateMultiAssignTarget { loc: *loc });
+                    }
+                }
+                // Validate all targets before computing any write: the step
+                // is atomic and must fail atomically, like `Memory::apply`.
+                for (loc, v) in writes {
+                    let probe = if self.iset.buffer_capacity().is_some() {
+                        Instruction::BufferWrite(v.clone())
+                    } else {
+                        Instruction::Write(v.clone())
+                    };
+                    self.iset.check(&probe)?;
+                    ensure(*loc)?;
+                }
+                let mut new_len = len;
+                let mut new_touched = state.touched;
+                let mut changes = Vec::with_capacity(writes.len());
+                for (loc, v) in writes {
+                    let mut cell = if *loc < len {
+                        self.decode_cell(state.cells[*loc])
+                    } else {
+                        self.default_cell.clone()
+                    };
+                    cell.multi_assign_write(v.clone());
+                    changes.push((*loc, cell));
+                    new_len = new_len.max(loc + 1);
+                    new_touched = new_touched.max(loc + 1);
+                }
+                Ok((
+                    Value::Bot,
+                    MemEdit {
+                        changes,
+                        new_len,
+                        new_touched,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Applies one step of `pid` in place, mirroring the machine's step
+    /// semantics exactly: a poised decision is recorded (no memory step); an
+    /// invocation applies the op, absorbs the result and records any new
+    /// decision. Returns the outcome plus an undo token.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`ModelError`]s of [`Memory::apply`]; the state is
+    /// unchanged on error.
+    pub fn step(
+        &self,
+        state: &mut PackedState,
+        pid: usize,
+    ) -> Result<(PackedStepOutcome, PackedUndo), ModelError> {
+        let prev_decided = state.decided[pid];
+        match self.proc_action(state.procs[pid]) {
+            Action::Decide(v) => {
+                state.decided[pid] = Some(v);
+                Ok((
+                    PackedStepOutcome::AlreadyDecided(v),
+                    PackedUndo {
+                        pid,
+                        prev_decided,
+                        invoked: None,
+                    },
+                ))
+            }
+            Action::Invoke(op) => {
+                let (result, edit) = self.apply_op(state, &op)?;
+                let prev_len = state.cells.len();
+                let prev_touched = state.touched;
+                while state.cells.len() < edit.new_len {
+                    state.cells.push(self.default_word);
+                }
+                let mut prev_words = Vec::with_capacity(edit.changes.len());
+                for (loc, cell) in edit.changes {
+                    if loc < prev_len {
+                        prev_words.push((loc, state.cells[loc]));
+                    }
+                    state.cells[loc] = self.encode_cell(cell);
+                }
+                state.touched = edit.new_touched;
+                let prev_proc = state.procs[pid];
+                let mut p = self.proc_state(prev_proc);
+                p.absorb(result.clone());
+                let new_id = self.intern_proc(p);
+                state.procs[pid] = new_id;
+                state.steps += 1;
+                if let Some(v) = self.proc_decision(new_id) {
+                    state.decided[pid] = Some(v);
+                }
+                Ok((
+                    PackedStepOutcome::Invoked(result),
+                    PackedUndo {
+                        pid,
+                        prev_decided,
+                        invoked: Some(InvokeUndo {
+                            prev_proc,
+                            prev_len,
+                            prev_touched,
+                            prev_words,
+                        }),
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Reverts the step that produced `undo`. Tokens must be consumed in
+    /// reverse order of application.
+    pub fn undo(&self, state: &mut PackedState, undo: PackedUndo) {
+        let PackedUndo {
+            pid,
+            prev_decided,
+            invoked,
+        } = undo;
+        if let Some(inv) = invoked {
+            state.procs[pid] = inv.prev_proc;
+            state.cells.truncate(inv.prev_len);
+            for (loc, word) in inv.prev_words {
+                state.cells[loc] = word;
+            }
+            state.touched = inv.prev_touched;
+            state.steps -= 1;
+        }
+        state.decided[pid] = prev_decided;
+    }
+
+    /// Clones the state and steps `pid` in the copy — the branch primitive.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`PackedCtx::step`].
+    pub fn branch_step(&self, state: &PackedState, pid: usize) -> Result<PackedState, ModelError> {
+        let mut next = state.clone();
+        self.step(&mut next, pid)?;
+        Ok(next)
+    }
+
+    // -- digests -------------------------------------------------------------
+
+    /// Full-scan Zobrist digest: a wrapping sum of independent components,
+    /// one per (pid, process-state hash, recorded decision), one per
+    /// (location, cell hash), one for the touched count. In `symmetric` mode
+    /// the process components drop the pid tag, quotienting the digest by
+    /// process permutation. Step counters are excluded.
+    ///
+    /// Equality of digests coincides (up to 128-bit collisions) with
+    /// semantic-configuration equality — the same partition
+    /// `Machine::fingerprint` induces, through an independent construction.
+    pub fn digest(&self, state: &PackedState, symmetric: bool) -> u128 {
+        let mut fp = comp_touched(state.touched);
+        for pid in 0..state.n() {
+            fp = fp.wrapping_add(self.comp_proc(state, pid, symmetric));
+        }
+        for (loc, &word) in state.cells.iter().enumerate() {
+            fp = fp.wrapping_add(comp_cell(loc, self.word_hash(word)));
+        }
+        fp
+    }
+
+    fn comp_proc(&self, state: &PackedState, pid: usize, symmetric: bool) -> u128 {
+        comp_proc_raw(
+            pid,
+            self.proc_hash(state.procs[pid]),
+            state.decided[pid],
+            symmetric,
+        )
+    }
+
+    /// The digest of `pid`'s successor, derived incrementally from the
+    /// parent's digest `base` **without mutating the state or touching the
+    /// intern tables** — only the components the step changes are swapped.
+    /// This is the read-only edge walk the explorer's workers run in
+    /// parallel.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`PackedCtx::step`] on the same edge.
+    pub fn edge_digest(
+        &self,
+        state: &PackedState,
+        pid: usize,
+        base: u128,
+        symmetric: bool,
+    ) -> Result<u128, ModelError> {
+        let id = state.procs[pid];
+        let old_comp = self.comp_proc(state, pid, symmetric);
+        match self.proc_action(id) {
+            Action::Decide(v) => {
+                let new_comp = comp_proc_raw(pid, self.proc_hash(id), Some(v), symmetric);
+                Ok(base.wrapping_sub(old_comp).wrapping_add(new_comp))
+            }
+            Action::Invoke(op) => {
+                let (result, edit) = self.apply_op(state, &op)?;
+                let mut p = self.proc_state(id);
+                p.absorb(result);
+                let new_decided = p.action().decision().or(state.decided[pid]);
+                let mut fp = base
+                    .wrapping_sub(old_comp)
+                    .wrapping_add(comp_proc_raw(pid, fingerprint_of(&p), new_decided, symmetric));
+                let old_len = state.cells.len();
+                for (loc, cell) in &edit.changes {
+                    if *loc < old_len {
+                        fp = fp.wrapping_sub(comp_cell(*loc, self.word_hash(state.cells[*loc])));
+                    }
+                    fp = fp.wrapping_add(comp_cell(*loc, fingerprint_of(cell)));
+                }
+                // Locations the step grew into but did not write hold the
+                // default cell: pure component additions.
+                for loc in old_len..edit.new_len {
+                    if !edit.changes.iter().any(|(l, _)| l == &loc) {
+                        fp = fp.wrapping_add(comp_cell(loc, self.default_hash));
+                    }
+                }
+                if edit.new_touched != state.touched {
+                    fp = fp
+                        .wrapping_sub(comp_touched(state.touched))
+                        .wrapping_add(comp_touched(edit.new_touched));
+                }
+                Ok(fp)
+            }
+        }
+    }
+}
+
+fn comp_proc_raw(pid: usize, hash: u128, decided: Option<u64>, symmetric: bool) -> u128 {
+    let mut h = Fp128Hasher::new();
+    h.write_u8(b'p');
+    if !symmetric {
+        h.write_usize(pid);
+    }
+    h.write_u128(hash);
+    decided.hash(&mut h);
+    h.finish128()
+}
+
+fn comp_cell(loc: usize, hash: u128) -> u128 {
+    let mut h = Fp128Hasher::new();
+    h.write_u8(b'c');
+    h.write_usize(loc);
+    h.write_u128(hash);
+    h.finish128()
+}
+
+fn comp_touched(touched: usize) -> u128 {
+    let mut h = Fp128Hasher::new();
+    h.write_u8(b't');
+    h.write_usize(touched);
+    h.finish128()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instruction as I, MemorySpec};
+
+    /// Fetch-and-increments `rounds` times, then decides the last value mod 2.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Adder {
+        remaining: u32,
+        last: u64,
+    }
+
+    impl Process for Adder {
+        fn action(&self) -> Action {
+            if self.remaining == 0 {
+                Action::Decide(self.last % 2)
+            } else {
+                Action::Invoke(Op::single(0, I::FetchAndIncrement))
+            }
+        }
+        fn absorb(&mut self, result: Value) {
+            self.last = result.as_u64().unwrap();
+            self.remaining -= 1;
+        }
+    }
+
+    fn adder_setup(n: usize, rounds: u32) -> (PackedCtx<Adder>, PackedState) {
+        let spec = MemorySpec::bounded(InstructionSet::ReadWriteFetchIncrement, 1);
+        let memory = Memory::new(&spec);
+        let ctx = PackedCtx::for_spec(&spec, n);
+        let procs: Vec<Adder> = (0..n).map(|_| Adder { remaining: rounds, last: 0 }).collect();
+        let state = ctx.pack(&procs, &vec![None; n], &memory, 0);
+        (ctx, state)
+    }
+
+    #[test]
+    fn step_and_undo_roundtrip() {
+        let (ctx, mut state) = adder_setup(2, 2);
+        let snapshot = state.clone();
+        let fp = ctx.digest(&state, false);
+        let (outcome, undo) = ctx.step(&mut state, 0).unwrap();
+        assert_eq!(outcome, PackedStepOutcome::Invoked(Value::int(0)));
+        assert_ne!(state, snapshot);
+        assert_ne!(ctx.digest(&state, false), fp);
+        ctx.undo(&mut state, undo);
+        assert_eq!(state, snapshot);
+        assert_eq!(ctx.digest(&state, false), fp);
+    }
+
+    #[test]
+    fn edge_digest_matches_full_rehash_and_branch() {
+        let (ctx, state) = adder_setup(3, 3);
+        let base = ctx.digest(&state, false);
+        for sym in [false, true] {
+            let base = ctx.digest(&state, sym);
+            for pid in 0..3 {
+                let preview = ctx.edge_digest(&state, pid, base, sym).unwrap();
+                let child = ctx.branch_step(&state, pid).unwrap();
+                assert_eq!(preview, ctx.digest(&child, sym), "pid {pid} sym {sym}");
+            }
+        }
+        // The preview leaves the state untouched.
+        assert_eq!(base, ctx.digest(&state, false));
+    }
+
+    #[test]
+    fn decisions_are_recorded_and_tracked() {
+        let (ctx, mut state) = adder_setup(2, 1);
+        assert!(ctx.is_active(&state, 0));
+        ctx.step(&mut state, 0).unwrap();
+        // One round: the process decided after absorbing.
+        assert_eq!(ctx.decision(&state, 0), Some(0));
+        assert!(!ctx.is_active(&state, 0));
+        assert!(ctx.has_active(&state), "p1 still live");
+        assert_eq!(state.steps(), 1);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrips_semantics() {
+        let spec = MemorySpec::unbounded(InstructionSet::ReadWrite);
+        let mut memory = Memory::new(&spec);
+        memory.apply(&Op::single(5, I::write(1u64 << 62))).unwrap(); // non-inline int
+        let ctx: PackedCtx<Adder> = PackedCtx::for_spec(&spec, 1);
+        let procs = vec![Adder { remaining: 1, last: 7 }];
+        let state = ctx.pack(&procs, &[None], &memory, 9);
+        let (procs2, decided2, memory2, steps2) = ctx.unpack(&state);
+        assert_eq!(procs2, procs);
+        assert_eq!(decided2, vec![None]);
+        assert_eq!(memory2, memory);
+        assert_eq!(steps2, 9);
+    }
+
+    #[test]
+    fn inline_encoding_bounds() {
+        let spec = MemorySpec::bounded(InstructionSet::ReadWrite, 1);
+        let ctx: PackedCtx<Adder> = PackedCtx::for_spec(&spec, 1);
+        for v in [0i64, 1, -1, INLINE_MAX, INLINE_MIN] {
+            let word = ctx.encode_cell(CellState::word(Value::int(v)));
+            assert_eq!(word & TAG_MASK, TAG_INT, "{v} should be inline");
+            assert_eq!(ctx.decode_cell(word), CellState::word(Value::int(v)));
+        }
+        for cell in [
+            CellState::word(Value::int(INLINE_MAX as i128 + 1)),
+            CellState::word(Value::seq([Value::Bot])),
+            CellState::buffer(2),
+        ] {
+            let word = ctx.encode_cell(cell.clone());
+            assert_eq!(word & TAG_MASK, TAG_REF, "{cell:?} must be interned");
+            assert_eq!(ctx.decode_cell(word), cell);
+            // Canonical: re-encoding yields the identical word.
+            assert_eq!(ctx.encode_cell(cell), word);
+        }
+        assert_eq!(ctx.encode_cell(CellState::word(Value::Bot)), TAG_BOT);
+    }
+
+    #[test]
+    fn digest_excludes_steps_and_respects_symmetry() {
+        let (ctx, state) = adder_setup(2, 2);
+        let mut a = state.clone();
+        ctx.step(&mut a, 0).unwrap();
+        ctx.step(&mut a, 0).unwrap(); // p0 decided; decides are not memory steps
+        let mut b = state.clone();
+        ctx.step(&mut b, 1).unwrap();
+        ctx.step(&mut b, 1).unwrap();
+        assert_ne!(ctx.digest(&a, false), ctx.digest(&b, false));
+        assert_eq!(
+            ctx.digest(&a, true),
+            ctx.digest(&b, true),
+            "mirrored configurations merge under the symmetric digest"
+        );
+    }
+
+    #[test]
+    fn errors_match_memory_semantics() {
+        let spec = MemorySpec::bounded(InstructionSet::Cas, 1);
+        let ctx: PackedCtx<Adder> = PackedCtx::for_spec(&spec, 1);
+        let memory = Memory::new(&spec);
+        let state = ctx.pack(&[], &[], &memory, 0);
+        let op = Op::read(0); // read() is not in {compare-and-swap}
+        let packed_err = ctx.apply_op(&state, &op).unwrap_err();
+        let mut mem = Memory::new(&spec);
+        assert_eq!(packed_err, mem.apply(&op).unwrap_err());
+        let oob = Op::single(3, I::Read);
+        assert_eq!(
+            ctx.apply_op(&state, &oob).unwrap_err(),
+            mem.apply(&oob).unwrap_err()
+        );
+    }
+}

@@ -85,21 +85,54 @@ impl fmt::Display for Schedule {
 }
 
 /// Why a schedule string failed to parse.
+///
+/// Each malformation class gets its own variant, so tooling that ingests
+/// wire strings (shrinkers, bug-report replayers, CI artifacts) can
+/// distinguish a truncated file (`TrailingComma`), a corrupted pid
+/// (`Overflow`), and plain garbage (`InvalidToken`) instead of pattern
+/// matching on message text. Nothing is ever silently dropped or clamped:
+/// any malformed input is an error.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScheduleParseError {
-    /// Zero-based index of the offending comma-separated token.
-    pub index: usize,
-    /// The token that is not a pid.
-    pub token: String,
+pub enum ScheduleParseError {
+    /// Two adjacent commas (or a leading comma) left a segment empty.
+    EmptySegment {
+        /// Zero-based index of the empty comma-separated segment.
+        index: usize,
+    },
+    /// The string ends with a comma — the signature of a truncated write.
+    TrailingComma,
+    /// A segment is all digits but exceeds the pid range.
+    Overflow {
+        /// Zero-based index of the overflowing segment.
+        index: usize,
+        /// The digit run that does not fit a pid.
+        token: String,
+    },
+    /// A segment is not a pid at all.
+    InvalidToken {
+        /// Zero-based index of the offending segment.
+        index: usize,
+        /// The trimmed segment text.
+        token: String,
+    },
 }
 
 impl fmt::Display for ScheduleParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "schedule token #{} ({:?}) is not a process id",
-            self.index, self.token
-        )
+        match self {
+            ScheduleParseError::EmptySegment { index } => {
+                write!(f, "schedule token #{index} is empty")
+            }
+            ScheduleParseError::TrailingComma => {
+                write!(f, "schedule ends with a trailing comma")
+            }
+            ScheduleParseError::Overflow { index, token } => {
+                write!(f, "schedule token #{index} ({token:?}) overflows the pid range")
+            }
+            ScheduleParseError::InvalidToken { index, token } => {
+                write!(f, "schedule token #{index} ({token:?}) is not a process id")
+            }
+        }
     }
 }
 
@@ -115,16 +148,35 @@ impl FromStr for Schedule {
         if s.trim().is_empty() {
             return Ok(Schedule::default());
         }
-        s.split(',')
-            .enumerate()
-            .map(|(index, token)| {
-                token.trim().parse::<usize>().map_err(|_| ScheduleParseError {
-                    index,
-                    token: token.trim().to_string(),
-                })
-            })
-            .collect::<Result<Vec<usize>, _>>()
-            .map(Schedule)
+        let segments: Vec<&str> = s.split(',').collect();
+        let mut pids = Vec::with_capacity(segments.len());
+        for (index, raw) in segments.iter().enumerate() {
+            let token = raw.trim();
+            if token.is_empty() {
+                return Err(if index == segments.len() - 1 {
+                    ScheduleParseError::TrailingComma
+                } else {
+                    ScheduleParseError::EmptySegment { index }
+                });
+            }
+            match token.parse::<usize>() {
+                Ok(pid) => pids.push(pid),
+                Err(_) => {
+                    return Err(if token.bytes().all(|b| b.is_ascii_digit()) {
+                        ScheduleParseError::Overflow {
+                            index,
+                            token: token.to_string(),
+                        }
+                    } else {
+                        ScheduleParseError::InvalidToken {
+                            index,
+                            token: token.to_string(),
+                        }
+                    });
+                }
+            }
+        }
+        Ok(Schedule(pids))
     }
 }
 
@@ -156,13 +208,54 @@ mod tests {
     }
 
     #[test]
-    fn bad_tokens_are_reported_with_position() {
+    fn bad_tokens_are_reported_with_position_and_kind() {
         let err = "0,x,2".parse::<Schedule>().unwrap_err();
-        assert_eq!(err.index, 1);
-        assert_eq!(err.token, "x");
+        assert_eq!(
+            err,
+            ScheduleParseError::InvalidToken {
+                index: 1,
+                token: "x".into()
+            }
+        );
         assert!(err.to_string().contains("token #1"));
-        assert!("0,,1".parse::<Schedule>().is_err());
+        assert_eq!(
+            "0,,1".parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::EmptySegment { index: 1 }
+        );
+        assert_eq!(
+            ",0".parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::EmptySegment { index: 0 }
+        );
         assert!("0;1".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn trailing_commas_and_overflow_have_typed_errors() {
+        assert_eq!(
+            "0,1,".parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::TrailingComma
+        );
+        // A lone comma is an empty *first* segment — the leading hole is
+        // reported before the trailing one.
+        assert_eq!(
+            ",".parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::EmptySegment { index: 0 }
+        );
+        // One digit past usize::MAX must not silently truncate or wrap.
+        let over = format!("0,{}9", usize::MAX);
+        assert_eq!(
+            over.parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::Overflow {
+                index: 1,
+                token: format!("{}9", usize::MAX)
+            }
+        );
+        // The largest pid still parses.
+        let max = format!("{}", usize::MAX);
+        assert_eq!(
+            max.parse::<Schedule>().unwrap().as_slice(),
+            &[usize::MAX]
+        );
     }
 
     #[test]

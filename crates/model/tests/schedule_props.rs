@@ -1,0 +1,87 @@
+//! Property tests for the [`Schedule`] wire format: every pid sequence
+//! round-trips, and every malformed string is rejected with a typed error —
+//! never silently truncated.
+
+use cbh_model::{Schedule, ScheduleParseError};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn wire_format_round_trips(pids in proptest::collection::vec(0usize..1_000_000, 0..64)) {
+        let schedule = Schedule::new(pids.iter().copied());
+        let wire = schedule.to_string();
+        let parsed: Schedule = wire.parse().unwrap();
+        prop_assert_eq!(&parsed, &schedule);
+        prop_assert_eq!(parsed.as_slice(), pids.as_slice());
+        // Display is canonical: re-serialising the parse reproduces the wire.
+        prop_assert_eq!(parsed.to_string(), wire);
+    }
+
+    #[test]
+    fn whitespace_padding_never_changes_the_parse(
+        pids in proptest::collection::vec(0usize..10_000, 1..32),
+        pad in 0usize..4,
+    ) {
+        let padded: String = pids
+            .iter()
+            .map(|p| format!("{}{}{}", " ".repeat(pad), p, " ".repeat(pad % 3)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let parsed: Schedule = padded.parse().unwrap();
+        prop_assert_eq!(parsed.as_slice(), pids.as_slice());
+    }
+
+    #[test]
+    fn trailing_commas_are_typed_errors(
+        pids in proptest::collection::vec(0usize..10_000, 1..16),
+    ) {
+        let wire = format!("{},", Schedule::new(pids));
+        prop_assert_eq!(
+            wire.parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::TrailingComma
+        );
+    }
+
+    #[test]
+    fn doubled_commas_are_typed_errors(
+        left in proptest::collection::vec(0usize..10_000, 1..8),
+        right in proptest::collection::vec(0usize..10_000, 1..8),
+    ) {
+        let wire = format!("{},,{}", Schedule::new(left.iter().copied()), Schedule::new(right));
+        prop_assert_eq!(
+            wire.parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::EmptySegment { index: left.len() }
+        );
+    }
+
+    #[test]
+    fn oversized_digit_runs_overflow_instead_of_truncating(
+        pids in proptest::collection::vec(0usize..10_000, 0..8),
+        extra in 0u8..10,
+    ) {
+        // usize::MAX with one extra digit appended can never fit a pid.
+        let big = format!("{}{extra}", usize::MAX);
+        let mut parts: Vec<String> = pids.iter().map(ToString::to_string).collect();
+        parts.push(big.clone());
+        let wire = parts.join(",");
+        prop_assert_eq!(
+            wire.parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::Overflow { index: pids.len(), token: big }
+        );
+    }
+
+    #[test]
+    fn junk_tokens_are_rejected_with_their_position(
+        pids in proptest::collection::vec(0usize..10_000, 0..8),
+        junk_pick in 0usize..8,
+    ) {
+        let junk = ["x", "ab", ";", "#", "!q", "z;w", "1x2", "-3"][junk_pick].to_string();
+        let mut parts: Vec<String> = pids.iter().map(ToString::to_string).collect();
+        parts.push(junk.clone());
+        let wire = parts.join(",");
+        prop_assert_eq!(
+            wire.parse::<Schedule>().unwrap_err(),
+            ScheduleParseError::InvalidToken { index: pids.len(), token: junk }
+        );
+    }
+}

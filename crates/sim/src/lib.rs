@@ -56,8 +56,10 @@ pub use scheduler::{
 };
 
 // Schedules are produced here (by runs) and consumed here (by replays), so
-// re-export the wire type alongside the schedulers that speak it.
-pub use cbh_model::Schedule;
+// re-export the wire type alongside the schedulers that speak it. The packed
+// configuration types are re-exported for the same reason: machines pack
+// into and unpack from them.
+pub use cbh_model::{PackedCtx, PackedState, Schedule};
 
 use cbh_model::Protocol;
 

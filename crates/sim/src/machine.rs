@@ -2,7 +2,9 @@
 
 use crate::report::ConsensusReport;
 use crate::scheduler::Scheduler;
-use cbh_model::{Action, Memory, MemoryUndo, ModelError, Op, Process, Protocol, Value};
+use cbh_model::{
+    Action, Memory, MemoryUndo, ModelError, Op, PackedCtx, PackedState, Process, Protocol, Value,
+};
 use std::fmt;
 
 /// Undo token returned by [`Machine::step_undoable`]: the pre-step state of
@@ -451,6 +453,38 @@ impl<P: Process> Machine<P> {
         Ok(self.decision(pid))
     }
 
+    /// A [`PackedCtx`] matching this machine's memory policy — the execution
+    /// context its packed form runs against.
+    pub fn packed_ctx(&self) -> PackedCtx<P> {
+        PackedCtx::for_memory(&self.memory, self.n())
+    }
+
+    /// Packs this configuration into the flat representation the state-space
+    /// engine explores. Round-trips through [`Machine::from_packed`]: the
+    /// semantic state (process states, recorded decisions, memory, total
+    /// step count) is preserved exactly; only the per-process step counters
+    /// — bookkeeping outside every fingerprint — are dropped.
+    pub fn pack(&self, ctx: &PackedCtx<P>) -> PackedState {
+        ctx.pack(&self.procs, &self.decided, &self.memory, self.steps)
+    }
+
+    /// Rebuilds a full machine from a packed configuration — the debugging
+    /// and counterexample-reconstruction view of the packed engine (solo
+    /// probes, replays and reports all run on the unpacked machine).
+    ///
+    /// Per-process step counters restart at zero; everything semantic,
+    /// including [`Machine::fingerprint`], is restored exactly.
+    pub fn from_packed(ctx: &PackedCtx<P>, state: &PackedState) -> Machine<P> {
+        let (procs, decided, memory, steps) = ctx.unpack(state);
+        Machine {
+            proc_steps: vec![0; procs.len()],
+            procs,
+            decided,
+            memory,
+            steps,
+        }
+    }
+
     /// Summarises the configuration as a [`ConsensusReport`].
     pub fn report(&self) -> ConsensusReport {
         ConsensusReport {
@@ -692,6 +726,31 @@ mod tests {
         let via_undo = m.clone();
         m.undo_step(undo);
         assert_eq!(via_undo, m.branch_step(1).unwrap());
+    }
+
+    #[test]
+    fn pack_roundtrips_and_steps_in_lockstep() {
+        let p = AdderProtocol { n: 2, rounds: 2 };
+        let mut m = Machine::start(&p, &[0, 0]).unwrap();
+        m.step(0).unwrap();
+        let ctx = m.packed_ctx();
+        let mut packed = m.pack(&ctx);
+        // Unpack restores the semantic configuration and the step count.
+        let back = Machine::from_packed(&ctx, &packed);
+        assert_eq!(back.fingerprint(), m.fingerprint());
+        assert_eq!(back.steps(), m.steps());
+        assert_eq!(back.report(), m.report());
+        // Stepping the packed form tracks stepping the machine.
+        for pid in [1, 0, 1] {
+            ctx.step(&mut packed, pid).unwrap();
+            m.step(pid).unwrap();
+            let view = Machine::from_packed(&ctx, &packed);
+            assert_eq!(view.fingerprint(), m.fingerprint(), "after pid {pid}");
+            assert_eq!(
+                (0..2).map(|p| view.decision(p)).collect::<Vec<_>>(),
+                (0..2).map(|p| m.decision(p)).collect::<Vec<_>>(),
+            );
+        }
     }
 
     #[test]

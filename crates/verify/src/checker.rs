@@ -16,10 +16,21 @@
 //!
 //! The engine is exposed twice: [`explore`] is the plain sequential entry
 //! point, and [`Explorer`] adds worker-thread fan-out and an optional
-//! process-symmetry reduction. Both produce **identical** outcomes — the
-//! parallel merge is deterministic, so the verdict and any counterexample
+//! process-symmetry reduction. Both produce **identical** outcomes — every
+//! order-sensitive decision is made by a sequential committer consuming
+//! results in admission order, so the verdict and any counterexample
 //! schedule are bit-for-bit the same at any worker count.
+//!
+//! Since the packed-state refactor, exploration runs on the flat
+//! [`cbh_model::PackedState`] representation (see
+//! [`crate::packed_engine`]'s module docs for the work-stealing
+//! architecture); [`Machine`]s appear only at the edges — the root, solo
+//! probes, and counterexample reconstruction. The barrier-synchronised
+//! predecessor engine survives as [`crate::legacy`], and the clone-based
+//! [`crate::reference`] BFS remains the conformance oracle's ground truth;
+//! all three implementations must agree bit for bit.
 
+use crate::packed_engine;
 use cbh_model::{Action, Fp128Hasher, Process, Protocol};
 use cbh_sim::{Machine, SimError, StepUndo};
 use std::collections::HashSet;
@@ -148,34 +159,6 @@ pub(crate) const NO_LINK: usize = usize::MAX;
 /// One admitted configuration's provenance: (parent link index, pid stepped).
 pub(crate) type Link = (usize, usize);
 
-/// A frontier entry: a live configuration, its incremental fingerprint, and
-/// its link for schedule reconstruction.
-struct FrontierNode<Proc: Process> {
-    machine: Machine<Proc>,
-    fp: u128,
-    link: usize,
-}
-
-/// What one layer pass must do per node.
-#[derive(Clone, Copy)]
-struct LayerJob {
-    expand: bool,
-    solo_budget: Option<u64>,
-    symmetric: bool,
-}
-
-/// What the expansion phase produced for one frontier node.
-struct Expansion {
-    /// First active pid whose solo run failed to decide, if solo checks ran.
-    solo_failure: Option<usize>,
-    /// `(pid, successor fingerprint)` per active process, in pid order. The
-    /// successor *machines* are deliberately absent: duplicates are filtered
-    /// by fingerprint first and only admitted children are materialised.
-    edges: Vec<(usize, u128)>,
-}
-
-type NodeOut = Result<Expansion, SimError>;
-
 // ---------------------------------------------------------------------------
 // Incremental configuration fingerprints.
 //
@@ -290,22 +273,6 @@ pub fn zobrist_step<Proc: Process>(
     Ok((fp, undo))
 }
 
-/// Walks every outgoing edge of `node` — step, fingerprint the successor
-/// incrementally, undo — without materialising any successor machine.
-fn edge_fingerprints<Proc: Process>(
-    node: &mut FrontierNode<Proc>,
-    symmetric: bool,
-) -> Result<Vec<(usize, u128)>, SimError> {
-    let active: Vec<usize> = node.machine.active_iter().collect();
-    let mut edges = Vec::with_capacity(active.len());
-    for pid in active {
-        let (fp, undo) = zobrist_step(&mut node.machine, pid, node.fp, symmetric)?;
-        node.machine.undo_step(undo);
-        edges.push((pid, fp));
-    }
-    Ok(edges)
-}
-
 /// Walks the schedule back through the parent links.
 pub(crate) fn schedule_of(links: &[Link], mut link: usize) -> Vec<usize> {
     let mut out = Vec::new();
@@ -318,17 +285,18 @@ pub(crate) fn schedule_of(links: &[Link], mut link: usize) -> Vec<usize> {
     out
 }
 
-/// Validity/agreement check on one configuration, mirroring the paper's
-/// order: all decisions validated against the inputs first, then pairwise
-/// agreement.
-pub(crate) fn decision_violation<Proc: Process>(
-    machine: &Machine<Proc>,
+/// Validity/agreement check on a collected decision vector, mirroring the
+/// paper's order: all decisions validated against the inputs first, then
+/// pairwise agreement. Shared by every engine (packed, legacy, reference),
+/// so violation selection cannot drift between the backends the conformance
+/// oracle diffs.
+pub(crate) fn violation_from_decisions(
+    decisions: &[u64],
     inputs: &[u64],
     link: usize,
     links: &[Link],
 ) -> Option<ExploreOutcome> {
-    let decisions: Vec<u64> = (0..machine.n()).filter_map(|p| machine.decision(p)).collect();
-    for &d in &decisions {
+    for &d in decisions {
         if !inputs.contains(&d) {
             return Some(ExploreOutcome::ValidityViolation {
                 decided: d,
@@ -349,217 +317,23 @@ pub(crate) fn decision_violation<Proc: Process>(
     None
 }
 
-/// Expansion work for one admitted configuration: optional solo probes, then
-/// one fingerprinted edge per active process, in pid order. Walks each edge
-/// with step/undo, so the node's machine is unchanged on return.
-fn expand_node<Proc: Process>(node: &mut FrontierNode<Proc>, job: LayerJob) -> NodeOut {
-    if let Some(budget) = job.solo_budget {
-        for pid in node.machine.active_iter() {
-            let mut probe = node.machine.clone();
-            if probe.run_solo(pid, budget)?.is_none() {
-                return Ok(Expansion {
-                    solo_failure: Some(pid),
-                    edges: Vec::new(),
-                });
-            }
-        }
-    }
-    let edges = if job.expand {
-        edge_fingerprints(node, job.symmetric)?
-    } else {
-        Vec::new()
-    };
-    Ok(Expansion {
-        solo_failure: None,
-        edges,
-    })
-}
-
-/// Sequential layer pass: every node in frontier order. Takes and returns the
-/// nodes because edge-walking mutates (and restores) each machine in place.
-fn expand_sequential<Proc: Process>(
-    mut nodes: Vec<FrontierNode<Proc>>,
-    job: LayerJob,
-) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>) {
-    let outs = nodes.iter_mut().map(|n| expand_node(n, job)).collect();
-    (nodes, outs)
-}
-
-/// Parallel layer pass: the frontier is split into contiguous chunks, one
-/// scoped worker thread per chunk, and the per-chunk results are
-/// re-concatenated **in chunk order** — so the output is element-for-element
-/// identical to [`expand_sequential`] and every downstream decision (dedup
-/// order, violation choice, schedule shape) is independent of `workers`.
-fn expand_parallel<Proc>(
-    nodes: Vec<FrontierNode<Proc>>,
-    job: LayerJob,
-    workers: usize,
-) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>)
-where
-    Proc: Process + Send,
-{
-    // Below this many nodes per worker, thread spawn overhead dominates.
-    const MIN_NODES_PER_WORKER: usize = 16;
-    let workers = workers.min(nodes.len() / MIN_NODES_PER_WORKER);
-    if workers <= 1 {
-        return expand_sequential(nodes, job);
-    }
-    let chunk_size = nodes.len().div_ceil(workers);
-    let mut chunks: Vec<Vec<FrontierNode<Proc>>> = Vec::with_capacity(workers);
-    let mut rest = nodes;
-    while rest.len() > chunk_size {
-        let tail = rest.split_off(chunk_size);
-        chunks.push(rest);
-        rest = tail;
-    }
-    chunks.push(rest);
-    let mut nodes = Vec::new();
-    let mut outs = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|part| scope.spawn(move || expand_sequential(part, job)))
-            .collect();
-        for handle in handles {
-            let (part_nodes, part_outs) = handle.join().expect("frontier worker panicked");
-            nodes.extend(part_nodes);
-            outs.extend(part_outs);
-        }
-    });
-    (nodes, outs)
-}
-
-/// The frontier engine. `expand_layer` is the only pluggable part — it must
-/// return one [`NodeOut`] per frontier node *in frontier order*; everything
-/// order-sensitive (admission, violation selection, schedule links) happens
-/// here, sequentially, which is what makes outcomes worker-count-invariant.
-fn explore_core<Proc, F>(
-    root: Machine<Proc>,
+/// [`violation_from_decisions`] on a machine's semantic decision vector.
+pub(crate) fn decision_violation<Proc: Process>(
+    machine: &Machine<Proc>,
     inputs: &[u64],
-    limits: ExploreLimits,
-    symmetry: bool,
-    mut expand_layer: F,
-) -> Result<(ExploreOutcome, ExploreStats), SimError>
-where
-    Proc: Process,
-    F: FnMut(Vec<FrontierNode<Proc>>, LayerJob) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>),
-{
-    let mut seen: HashSet<u128> = HashSet::new();
-    let mut links: Vec<Link> = Vec::new();
-    let mut complete = true;
-    let mut frontier_peak = 1usize;
-    let mut depth = 0usize;
-    // Every exit path reports the same counters, so violations are just as
-    // comparable across engines as clean runs.
-    macro_rules! stats {
-        ($seen:expr) => {
-            ExploreStats {
-                configs: $seen.len(),
-                frontier_peak,
-                depth_reached: depth,
-            }
-        };
-    }
-
-    let root_fp = zobrist_fingerprint(&root, symmetry);
-    seen.insert(root_fp);
-    if let Some(violation) = decision_violation(&root, inputs, NO_LINK, &links) {
-        return Ok((violation, stats!(seen)));
-    }
-    let mut frontier = vec![FrontierNode {
-        machine: root,
-        fp: root_fp,
-        link: NO_LINK,
-    }];
-
-    while !frontier.is_empty() {
-        frontier_peak = frontier_peak.max(frontier.len());
-        let expand = depth < limits.depth;
-        if !expand {
-            // Configurations at the horizon with moves left are the ones the
-            // cutoff hides from us.
-            if frontier
-                .iter()
-                .any(|n| n.machine.active_iter().next().is_some())
-            {
-                complete = false;
-            }
-            if limits.solo_check_budget.is_none() {
-                break; // nothing left to check at the horizon
-            }
-        }
-        let job = LayerJob {
-            expand,
-            solo_budget: limits.solo_check_budget,
-            symmetric: symmetry,
-        };
-        let (nodes, results) = expand_layer(std::mem::take(&mut frontier), job);
-        debug_assert_eq!(results.len(), nodes.len());
-
-        let mut next = Vec::new();
-        let mut over_cap = false;
-        'admit: for (node, result) in nodes.iter().zip(results) {
-            let expansion = result?;
-            if let Some(pid) = expansion.solo_failure {
-                return Ok((
-                    ExploreOutcome::ObstructionFailure {
-                        pid,
-                        schedule: schedule_of(&links, node.link),
-                    },
-                    stats!(seen),
-                ));
-            }
-            for (pid, child_fp) in expansion.edges {
-                if !seen.insert(child_fp) {
-                    continue;
-                }
-                if seen.len() > limits.max_configs {
-                    complete = false;
-                    over_cap = true;
-                    break 'admit;
-                }
-                // Only now — the successor is new — materialise its machine.
-                let child = node.machine.branch_step(pid)?;
-                debug_assert_eq!(
-                    child_fp,
-                    zobrist_fingerprint(&child, symmetry),
-                    "incremental fingerprint out of sync with full scan"
-                );
-                let link = links.len();
-                links.push((node.link, pid));
-                if let Some(violation) = decision_violation(&child, inputs, link, &links) {
-                    return Ok((violation, stats!(seen)));
-                }
-                next.push(FrontierNode {
-                    machine: child,
-                    fp: child_fp,
-                    link,
-                });
-            }
-        }
-        if over_cap {
-            break;
-        }
-        frontier = next;
-        // A horizon pass that only ran solo checks expanded nothing:
-        // `depth_reached` counts expanded layers, not loop iterations.
-        if expand {
-            depth += 1;
-        }
-    }
-    let outcome = ExploreOutcome::Clean {
-        configs: seen.len(),
-        complete,
-    };
-    Ok((outcome, stats!(seen)))
+    link: usize,
+    links: &[Link],
+) -> Option<ExploreOutcome> {
+    let decisions: Vec<u64> = (0..machine.n()).filter_map(|p| machine.decision(p)).collect();
+    violation_from_decisions(&decisions, inputs, link, links)
 }
 
 /// Exhaustively explores all schedules of `protocol` on `inputs`,
 /// single-threaded.
 ///
 /// Equivalent to [`Explorer::new().explore(..)`](Explorer::explore) with one
-/// worker and no symmetry reduction, but without the `Send` bound on the
-/// process type.
+/// worker and no symmetry reduction, but without the `Send + Sync` bounds on
+/// the process type.
 ///
 /// # Errors
 ///
@@ -585,17 +359,18 @@ pub fn explore_stats<P: Protocol>(
     inputs: &[u64],
     limits: ExploreLimits,
 ) -> Result<(ExploreOutcome, ExploreStats), SimError> {
-    let machine = Machine::start(protocol, inputs)?;
-    explore_core(machine, inputs, limits, false, expand_sequential)
+    packed_engine::explore_packed_seq(protocol, inputs, limits, false)
 }
 
 /// Configurable frontier exploration: worker-thread fan-out and optional
 /// process-symmetry reduction on top of [`explore`]'s engine.
 ///
 /// Outcomes are **identical at any worker count**, including counterexample
-/// schedules: workers only parallelise the embarrassingly parallel expansion
-/// of one breadth-first layer, and their results are merged back in frontier
-/// order before any stateful decision is made.
+/// schedules: workers only expand configurations speculatively (read-only
+/// digest previews plus claimed successor materialisation), and a
+/// sequential committer consumes their results in admission order before
+/// any stateful decision is made. See [`crate::packed_engine`] for the
+/// work-stealing architecture and the determinism argument.
 ///
 /// # Examples
 ///
@@ -676,7 +451,7 @@ impl Explorer {
         inputs: &[u64],
     ) -> Result<ExploreOutcome, SimError>
     where
-        P::Proc: Send,
+        P::Proc: Send + Sync,
     {
         self.explore_stats(protocol, inputs)
             .map(|(outcome, _)| outcome)
@@ -694,13 +469,9 @@ impl Explorer {
         inputs: &[u64],
     ) -> Result<(ExploreOutcome, ExploreStats), SimError>
     where
-        P::Proc: Send,
+        P::Proc: Send + Sync,
     {
-        let machine = Machine::start(protocol, inputs)?;
-        let workers = self.workers;
-        explore_core(machine, inputs, self.limits, self.symmetry, |nodes, job| {
-            expand_parallel(nodes, job, workers)
-        })
+        packed_engine::explore_packed_par(protocol, inputs, self.limits, self.symmetry, self.workers)
     }
 }
 
@@ -740,22 +511,34 @@ pub fn can_decide_stats<Proc: Process>(
     v: u64,
     depth: usize,
 ) -> Result<(bool, usize), SimError> {
-    let decides = |m: &Machine<Proc>| (0..m.n()).any(|p| m.decision(p) == Some(v));
-    if decides(machine) {
+    // Packed BFS: the probe branches at every edge, so the flat clone is
+    // where the packed representation pays off hardest. The seen-set keys on
+    // the packed digest, which partitions configurations exactly like
+    // `Machine::fingerprint` — so the visited counts the conformance oracle
+    // compares are unchanged by the representation swap.
+    let ctx = machine.packed_ctx();
+    let root = machine.pack(&ctx);
+    let decides =
+        |s: &cbh_model::PackedState| (0..s.n()).any(|p| ctx.decision(s, p) == Some(v));
+    if decides(&root) {
         return Ok((true, 1));
     }
     let mut seen: HashSet<u128> = HashSet::new();
-    seen.insert(machine.fingerprint());
-    let mut frontier = vec![machine.clone()];
+    seen.insert(ctx.digest(&root, false));
+    let mut frontier = vec![root];
     for _ in 0..depth {
         let mut next = Vec::new();
-        for m in &frontier {
-            for pid in m.active_iter() {
-                let child = m.branch_step(pid)?;
+        for s in &frontier {
+            for pid in (0..s.n()).filter(|&p| ctx.is_active(s, p)) {
+                let child = ctx.branch_step(s, pid).map_err(|source| SimError::Model {
+                    pid,
+                    step: s.steps(),
+                    source,
+                })?;
                 if decides(&child) {
                     return Ok((true, seen.len()));
                 }
-                if seen.insert(child.fingerprint()) {
+                if seen.insert(ctx.digest(&child, false)) {
                     next.push(child);
                 }
             }

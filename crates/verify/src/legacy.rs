@@ -1,0 +1,349 @@
+//! The previous-generation frontier engine, preserved as a measured baseline
+//! and as one more independently implemented backend.
+//!
+//! This is the machine-walking explorer the packed engine replaced: an
+//! iterative breadth-first frontier of live [`Machine`]s that memoises
+//! incremental Zobrist digests ([`crate::checker::zobrist_step`]), walks
+//! edges with step/undo, and parallelises each layer with a **per-depth
+//! barrier** — the frontier is chunked, one scoped thread expands each
+//! chunk, and the results are re-concatenated in chunk order before the
+//! next layer starts.
+//!
+//! It is kept (rather than deleted) for two reasons:
+//!
+//! - the `bench_explore` harness measures the packed work-stealing engine
+//!   *against* it, so the claimed speedups stay reproducible from the repo
+//!   alone;
+//! - it is a third full implementation of the exploration semantics
+//!   (alongside the packed engine and the clone-based
+//!   [`crate::reference::reference_explore`]), and all three must produce
+//!   bit-identical `(ExploreOutcome, ExploreStats)` on every input.
+
+use crate::checker::{
+    decision_violation, schedule_of, zobrist_fingerprint, zobrist_step, ExploreLimits,
+    ExploreOutcome, ExploreStats, Link, NO_LINK,
+};
+use cbh_model::{Process, Protocol};
+use cbh_sim::{Machine, SimError};
+use std::collections::HashSet;
+
+/// A frontier entry: a live configuration, its incremental fingerprint, and
+/// its link for schedule reconstruction.
+struct FrontierNode<Proc: Process> {
+    machine: Machine<Proc>,
+    fp: u128,
+    link: usize,
+}
+
+/// What one layer pass must do per node.
+#[derive(Clone, Copy)]
+struct LayerJob {
+    expand: bool,
+    solo_budget: Option<u64>,
+    symmetric: bool,
+}
+
+/// What the expansion phase produced for one frontier node.
+struct Expansion {
+    /// First active pid whose solo run failed to decide, if solo checks ran.
+    solo_failure: Option<usize>,
+    /// `(pid, successor fingerprint)` per active process, in pid order.
+    edges: Vec<(usize, u128)>,
+}
+
+type NodeOut = Result<Expansion, SimError>;
+
+/// Walks every outgoing edge of `node` — step, fingerprint the successor
+/// incrementally, undo — without materialising any successor machine.
+fn edge_fingerprints<Proc: Process>(
+    node: &mut FrontierNode<Proc>,
+    symmetric: bool,
+) -> Result<Vec<(usize, u128)>, SimError> {
+    let active: Vec<usize> = node.machine.active_iter().collect();
+    let mut edges = Vec::with_capacity(active.len());
+    for pid in active {
+        let (fp, undo) = zobrist_step(&mut node.machine, pid, node.fp, symmetric)?;
+        node.machine.undo_step(undo);
+        edges.push((pid, fp));
+    }
+    Ok(edges)
+}
+
+/// Expansion work for one admitted configuration: optional solo probes, then
+/// one fingerprinted edge per active process, in pid order.
+fn expand_node<Proc: Process>(node: &mut FrontierNode<Proc>, job: LayerJob) -> NodeOut {
+    if let Some(budget) = job.solo_budget {
+        for pid in node.machine.active_iter() {
+            let mut probe = node.machine.clone();
+            if probe.run_solo(pid, budget)?.is_none() {
+                return Ok(Expansion {
+                    solo_failure: Some(pid),
+                    edges: Vec::new(),
+                });
+            }
+        }
+    }
+    let edges = if job.expand {
+        edge_fingerprints(node, job.symmetric)?
+    } else {
+        Vec::new()
+    };
+    Ok(Expansion {
+        solo_failure: None,
+        edges,
+    })
+}
+
+/// Sequential layer pass: every node in frontier order.
+fn expand_sequential<Proc: Process>(
+    mut nodes: Vec<FrontierNode<Proc>>,
+    job: LayerJob,
+) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>) {
+    let outs = nodes.iter_mut().map(|n| expand_node(n, job)).collect();
+    (nodes, outs)
+}
+
+/// Parallel layer pass: contiguous chunks, one scoped worker thread per
+/// chunk, results re-concatenated **in chunk order** — element-for-element
+/// identical to [`expand_sequential`]. This per-layer spawn-and-join barrier
+/// is exactly what the packed engine's persistent work-stealing pool
+/// removes.
+fn expand_parallel<Proc>(
+    nodes: Vec<FrontierNode<Proc>>,
+    job: LayerJob,
+    workers: usize,
+) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>)
+where
+    Proc: Process + Send,
+{
+    // Below this many nodes per worker, thread spawn overhead dominates.
+    const MIN_NODES_PER_WORKER: usize = 16;
+    let workers = workers.min(nodes.len() / MIN_NODES_PER_WORKER);
+    if workers <= 1 {
+        return expand_sequential(nodes, job);
+    }
+    let chunk_size = nodes.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<FrontierNode<Proc>>> = Vec::with_capacity(workers);
+    let mut rest = nodes;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let mut nodes = Vec::new();
+    let mut outs = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|part| scope.spawn(move || expand_sequential(part, job)))
+            .collect();
+        for handle in handles {
+            let (part_nodes, part_outs) = handle.join().expect("frontier worker panicked");
+            nodes.extend(part_nodes);
+            outs.extend(part_outs);
+        }
+    });
+    (nodes, outs)
+}
+
+/// The barrier-synchronised frontier engine, unchanged from its tour as the
+/// production explorer.
+fn explore_core<Proc, F>(
+    root: Machine<Proc>,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    symmetry: bool,
+    mut expand_layer: F,
+) -> Result<(ExploreOutcome, ExploreStats), SimError>
+where
+    Proc: Process,
+    F: FnMut(Vec<FrontierNode<Proc>>, LayerJob) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>),
+{
+    let mut seen: HashSet<u128> = HashSet::new();
+    let mut links: Vec<Link> = Vec::new();
+    let mut complete = true;
+    let mut frontier_peak = 1usize;
+    let mut depth = 0usize;
+    macro_rules! stats {
+        ($seen:expr) => {
+            ExploreStats {
+                configs: $seen.len(),
+                frontier_peak,
+                depth_reached: depth,
+            }
+        };
+    }
+
+    let root_fp = zobrist_fingerprint(&root, symmetry);
+    seen.insert(root_fp);
+    if let Some(violation) = decision_violation(&root, inputs, NO_LINK, &links) {
+        return Ok((violation, stats!(seen)));
+    }
+    let mut frontier = vec![FrontierNode {
+        machine: root,
+        fp: root_fp,
+        link: NO_LINK,
+    }];
+
+    while !frontier.is_empty() {
+        frontier_peak = frontier_peak.max(frontier.len());
+        let expand = depth < limits.depth;
+        if !expand {
+            if frontier
+                .iter()
+                .any(|n| n.machine.active_iter().next().is_some())
+            {
+                complete = false;
+            }
+            if limits.solo_check_budget.is_none() {
+                break; // nothing left to check at the horizon
+            }
+        }
+        let job = LayerJob {
+            expand,
+            solo_budget: limits.solo_check_budget,
+            symmetric: symmetry,
+        };
+        let (nodes, results) = expand_layer(std::mem::take(&mut frontier), job);
+        debug_assert_eq!(results.len(), nodes.len());
+
+        let mut next = Vec::new();
+        let mut over_cap = false;
+        'admit: for (node, result) in nodes.iter().zip(results) {
+            let expansion = result?;
+            if let Some(pid) = expansion.solo_failure {
+                return Ok((
+                    ExploreOutcome::ObstructionFailure {
+                        pid,
+                        schedule: schedule_of(&links, node.link),
+                    },
+                    stats!(seen),
+                ));
+            }
+            for (pid, child_fp) in expansion.edges {
+                if !seen.insert(child_fp) {
+                    continue;
+                }
+                if seen.len() > limits.max_configs {
+                    complete = false;
+                    over_cap = true;
+                    break 'admit;
+                }
+                let child = node.machine.branch_step(pid)?;
+                debug_assert_eq!(
+                    child_fp,
+                    zobrist_fingerprint(&child, symmetry),
+                    "incremental fingerprint out of sync with full scan"
+                );
+                let link = links.len();
+                links.push((node.link, pid));
+                if let Some(violation) = decision_violation(&child, inputs, link, &links) {
+                    return Ok((violation, stats!(seen)));
+                }
+                next.push(FrontierNode {
+                    machine: child,
+                    fp: child_fp,
+                    link,
+                });
+            }
+        }
+        if over_cap {
+            break;
+        }
+        frontier = next;
+        if expand {
+            depth += 1;
+        }
+    }
+    let outcome = ExploreOutcome::Clean {
+        configs: seen.len(),
+        complete,
+    };
+    Ok((outcome, stats!(seen)))
+}
+
+/// Runs the legacy barrier engine: `workers` threads per layer (1 = stay on
+/// the calling thread), optional symmetry reduction.
+///
+/// Outcomes and stats are bit-identical to [`crate::checker::explore_stats`]
+/// and to [`crate::reference::reference_explore`] on every input — the
+/// conformance suite holds all three engines to that bar.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] if the protocol steps outside the model.
+pub fn legacy_explore_stats<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    workers: usize,
+    symmetry: bool,
+) -> Result<(ExploreOutcome, ExploreStats), SimError>
+where
+    P::Proc: Send,
+{
+    let machine = Machine::start(protocol, inputs)?;
+    if workers <= 1 {
+        explore_core(machine, inputs, limits, symmetry, expand_sequential)
+    } else {
+        explore_core(machine, inputs, limits, symmetry, |nodes, job| {
+            expand_parallel(nodes, job, workers)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::explore_stats;
+    use crate::strawmen::{OneMaxRegister, OneRegister};
+    use cbh_core::cas::CasConsensus;
+    use cbh_core::maxreg::MaxRegConsensus;
+
+    #[test]
+    fn legacy_engine_matches_the_packed_engine_bit_for_bit() {
+        let limits = ExploreLimits {
+            depth: 10,
+            max_configs: 100_000,
+            solo_check_budget: None,
+        };
+        // Clean, violating, capped and shallow workloads; 1 and 4 workers.
+        for workers in [1, 4] {
+            for cap in [limits.max_configs, 37] {
+                let limits = ExploreLimits {
+                    max_configs: cap,
+                    ..limits
+                };
+                let packed = explore_stats(&MaxRegConsensus::new(2), &[0, 1], limits).unwrap();
+                let legacy =
+                    legacy_explore_stats(&MaxRegConsensus::new(2), &[0, 1], limits, workers, false)
+                        .unwrap();
+                assert_eq!(packed, legacy, "maxreg cap={cap} workers={workers}");
+            }
+            let packed = explore_stats(&CasConsensus::new(2), &[0, 1], limits).unwrap();
+            let legacy =
+                legacy_explore_stats(&CasConsensus::new(2), &[0, 1], limits, workers, false)
+                    .unwrap();
+            assert_eq!(packed, legacy, "cas workers={workers}");
+            // Symmetry-reduced runs quotient by the same partition (multiset
+            // of process states), so even the reduced engines must agree bit
+            // for bit.
+            let packed_sym = crate::checker::Explorer::new()
+                .limits(limits)
+                .symmetry_reduction(true)
+                .explore_stats(&MaxRegConsensus::new(3), &[0, 0, 1])
+                .unwrap();
+            let legacy_sym =
+                legacy_explore_stats(&MaxRegConsensus::new(3), &[0, 0, 1], limits, workers, true)
+                    .unwrap();
+            assert_eq!(packed_sym, legacy_sym, "symmetric quotient workers={workers}");
+        }
+        let packed = explore_stats(&OneMaxRegister::new(), &[0, 1], limits).unwrap();
+        let legacy = legacy_explore_stats(&OneMaxRegister::new(), &[0, 1], limits, 4, false).unwrap();
+        assert_eq!(packed, legacy, "violation outcome and schedule");
+        let packed = explore_stats(&OneRegister::new(3), &[0, 1, 1], limits).unwrap();
+        let legacy = legacy_explore_stats(&OneRegister::new(3), &[0, 1, 1], limits, 4, false).unwrap();
+        assert_eq!(packed, legacy);
+    }
+}

@@ -13,10 +13,15 @@
 //!   write(1) memories need unboundedly many locations);
 //! - [`checker`] — a bounded exhaustive model checker over schedules
 //!   (agreement/validity violations, valency probes, obstruction-freedom
-//!   checks): an iterative frontier engine that memoises configurations by
-//!   128-bit fingerprint, walks edges with step/undo instead of cloning,
-//!   and optionally fans out across worker threads with deterministic
-//!   outcomes and an opt-in process-symmetry reduction;
+//!   checks): since the packed-state refactor it runs on the flat
+//!   [`cbh_model::packed`] representation with a barrier-free
+//!   work-stealing worker pool ([`packed_engine`]) whose outcomes are
+//!   deterministic at any worker count, plus an opt-in process-symmetry
+//!   reduction;
+//! - [`legacy`] — the previous barrier-synchronised machine-walking
+//!   frontier engine, preserved as the measured baseline of the packed
+//!   engine's speedups and as a third independent implementation of the
+//!   exploration semantics;
 //! - [`packing`] — Lemma 7.1's `k`-packing repair algorithm (the Eulerian
 //!   multigraph argument) as a standalone combinatorial routine, plus
 //!   `k`-packing construction and the fully-packed-location computation used
@@ -34,6 +39,8 @@
 pub mod adversary;
 pub mod checker;
 pub mod covering;
+pub mod legacy;
+pub mod packed_engine;
 pub mod packing;
 pub mod reference;
 pub mod strawmen;

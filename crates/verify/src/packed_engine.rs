@@ -1,0 +1,757 @@
+//! The packed work-stealing explorer: the production state-space engine.
+//!
+//! # Architecture
+//!
+//! The engine splits exploration into a **speculative parallel phase** and a
+//! **deterministic sequential commit**:
+//!
+//! - **Workers** own per-worker deques of expansion tasks and steal from
+//!   each other when idle. A task is one admitted configuration (a flat
+//!   [`PackedState`]); the worker walks its outgoing edges with the
+//!   *read-only* [`PackedCtx::edge_digest`] preview (no mutation, no undo),
+//!   runs the optional solo probes, and — when an edge's successor digest is
+//!   new to the sharded **claim set** — speculatively materialises the
+//!   successor (a flat clone plus one in-place step) so the committer
+//!   usually receives admitted children ready-made.
+//! - The **committer** (the calling thread) consumes one result per node
+//!   *in admission-index order* and replays, verbatim, the sequential
+//!   algorithm of the clone-based reference BFS: authoritative seen-set
+//!   insertion, `max_configs` accounting, violation selection, parent-link
+//!   construction, layer bookkeeping. Every order-sensitive decision is made
+//!   here, single-threaded, on a totally ordered stream.
+//!
+//! # Determinism argument
+//!
+//! The admission index of a node is assigned by the committer, and a node's
+//! children are admitted only while committing that node — so index order
+//! equals the reference BFS's admission order (layer by layer, frontier
+//! order within a layer, pid order within a node) *by construction*,
+//! independent of how worker threads raced. Workers influence only *when* a
+//! result becomes available, never *what* the committer does with it;
+//! speculative work past the committer's stopping point (a violation, the
+//! config cap) is simply discarded. Hence `(ExploreOutcome, ExploreStats)`
+//! — verdict, counterexample schedule, configuration count, frontier peak,
+//! depth — are bit-identical at any worker count, and bit-identical to
+//! [`crate::reference::reference_explore`]. The conformance oracle enforces
+//! exactly this.
+//!
+//! The claim set is advisory: a duplicate claim merely means a child arrives
+//! unmaterialised and the committer derives it from the parent with one
+//! packed step. Intern-table ids race between threads, but digests hash
+//! *content*, never ids, so outcomes cannot observe interning order.
+
+use crate::checker::{schedule_of, ExploreLimits, ExploreOutcome, ExploreStats, Link, NO_LINK};
+use cbh_model::{PackedCtx, PackedState, Process, Protocol};
+use cbh_sim::{Machine, SimError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// Per-run constants every worker needs.
+#[derive(Clone, Copy)]
+struct RunCfg {
+    solo_budget: Option<u64>,
+    symmetric: bool,
+}
+
+/// One admitted configuration awaiting expansion.
+struct Node {
+    index: usize,
+    state: PackedState,
+    /// The node's own digest (base of the incremental edge previews).
+    fp: u128,
+    /// `false` for horizon nodes: only solo probes / activity reporting.
+    expand: bool,
+}
+
+/// One unit of pool work: a batch of nodes (admission siblings ride
+/// together, so the per-task synchronisation — deque push, wakeup, result
+/// insertion — is paid once per batch instead of once per node).
+type Batch = Vec<Node>;
+
+/// Nodes per batch. Large enough to amortise the pool's per-task mutex and
+/// condvar traffic, small enough that work still spreads across workers on
+/// narrow frontiers.
+const BATCH: usize = 8;
+
+/// One outgoing edge of an expanded node, in pid order.
+struct Edge {
+    pid: usize,
+    fp: u128,
+    /// Speculatively materialised successor, present iff this worker won the
+    /// claim on `fp`. `None` is always safe: the committer rematerialises
+    /// from the parent on demand.
+    child: Option<PackedState>,
+}
+
+/// What expanding one node produced.
+struct Expansion {
+    /// First active pid whose solo run failed to decide, if solo checks ran.
+    solo_failure: Option<usize>,
+    /// `true` if some process can still move (horizon completeness).
+    has_active: bool,
+    edges: Vec<Edge>,
+}
+
+struct NodeResult {
+    /// The node's state, returned so the committer can derive unclaimed
+    /// children from it.
+    state: PackedState,
+    out: Result<Expansion, SimError>,
+}
+
+/// Expands one node: solo probes first (mirroring the reference: a failure
+/// suppresses the edges), then one previewed edge per active pid.
+fn expand_node<P: Process>(
+    ctx: &PackedCtx<P>,
+    node: &Node,
+    cfg: RunCfg,
+    claims: Option<&ClaimSet>,
+) -> Result<Expansion, SimError> {
+    let state = &node.state;
+    let has_active = ctx.has_active(state);
+    if let Some(budget) = cfg.solo_budget {
+        // One unpack per node, one machine clone per probe — the same cost
+        // shape as the reference's per-pid `machine.clone()`.
+        let base = Machine::from_packed(ctx, state);
+        for pid in (0..state.n()).filter(|&p| ctx.is_active(state, p)) {
+            let mut probe = base.clone();
+            if probe.run_solo(pid, budget)?.is_none() {
+                return Ok(Expansion {
+                    solo_failure: Some(pid),
+                    has_active,
+                    edges: Vec::new(),
+                });
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    if node.expand {
+        for pid in (0..state.n()).filter(|&p| ctx.is_active(state, p)) {
+            let fp = ctx
+                .edge_digest(state, pid, node.fp, cfg.symmetric)
+                .map_err(|source| SimError::Model {
+                    pid,
+                    step: state.steps(),
+                    source,
+                })?;
+            let child = match claims {
+                Some(claims) if claims.claim(fp) => {
+                    Some(ctx.branch_step(state, pid).expect("previewed edge steps"))
+                }
+                _ => None,
+            };
+            edges.push(Edge { pid, fp, child });
+        }
+    }
+    Ok(Expansion {
+        solo_failure: None,
+        has_active,
+        edges,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sharded claim set
+// ---------------------------------------------------------------------------
+
+/// Sharded set of successor digests some worker has already materialised.
+/// Read-mostly: most edges re-reach old configurations, so `claim` usually
+/// exits on the shard read lock.
+struct ClaimSet {
+    shards: Vec<RwLock<HashSet<u128>>>,
+}
+
+const CLAIM_SHARDS: usize = 64;
+
+impl ClaimSet {
+    fn new(root_fp: u128) -> Self {
+        let set = ClaimSet {
+            shards: (0..CLAIM_SHARDS)
+                .map(|_| RwLock::new(HashSet::new()))
+                .collect(),
+        };
+        set.shard(root_fp).write().unwrap().insert(root_fp);
+        set
+    }
+
+    fn shard(&self, fp: u128) -> &RwLock<HashSet<u128>> {
+        &self.shards[(fp as usize) & (CLAIM_SHARDS - 1)]
+    }
+
+    /// `true` iff this caller is the first to claim `fp`.
+    fn claim(&self, fp: u128) -> bool {
+        let shard = self.shard(fp);
+        if shard.read().unwrap().contains(&fp) {
+            return false;
+        }
+        shard.write().unwrap().insert(fp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result sources: where the committer gets ordered node results from
+// ---------------------------------------------------------------------------
+
+/// The committer's view of the expansion machinery: it hands out tasks and
+/// asks for node results in admission order. Sequential and work-stealing
+/// implementations share the one committer, which is what makes them
+/// bit-identical.
+trait ResultSource<P: Process> {
+    fn dispatch(&mut self, node: Node);
+    fn take(&mut self, index: usize) -> NodeResult;
+}
+
+/// In-process source: tasks run inline, in dispatch order, on the calling
+/// thread. No claims — the committer materialises every admitted child.
+struct SeqSource<'c, P: Process> {
+    ctx: &'c PackedCtx<P>,
+    cfg: RunCfg,
+    queue: VecDeque<Node>,
+}
+
+impl<P: Process> ResultSource<P> for SeqSource<'_, P> {
+    fn dispatch(&mut self, node: Node) {
+        self.queue.push_back(node);
+    }
+
+    fn take(&mut self, index: usize) -> NodeResult {
+        let node = self.queue.pop_front().expect("take follows dispatch");
+        debug_assert_eq!(node.index, index);
+        let out = expand_node(self.ctx, &node, self.cfg, None);
+        NodeResult {
+            state: node.state,
+            out,
+        }
+    }
+}
+
+/// Everything the worker threads and the committer share.
+struct Pool {
+    /// One deque per worker: the committer deals node batches round-robin;
+    /// owners pop the front, idle workers steal from the front of other
+    /// deques (FIFO everywhere keeps completion roughly in admission order,
+    /// which keeps the committer's reorder buffer small).
+    deques: Vec<Mutex<VecDeque<Batch>>>,
+    /// Completed expansions, keyed by admission index.
+    results: Mutex<HashMap<usize, NodeResult>>,
+    results_ready: Condvar,
+    /// Parking lot for idle workers.
+    idle: Mutex<()>,
+    work_ready: Condvar,
+    stop: AtomicBool,
+    claims: ClaimSet,
+}
+
+impl Pool {
+    fn pop_batch(&self, home: usize) -> Option<Batch> {
+        let workers = self.deques.len();
+        for offset in 0..workers {
+            let deque = &self.deques[(home + offset) % workers];
+            if let Some(batch) = deque.lock().unwrap().pop_front() {
+                return Some(batch);
+            }
+        }
+        None
+    }
+
+    fn worker_loop<P: Process>(&self, ctx: &PackedCtx<P>, cfg: RunCfg, home: usize) {
+        let _guard = StopGuard(self);
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return; // abandon speculative leftovers: the run is decided
+            }
+            if let Some(batch) = self.pop_batch(home) {
+                // Expand the whole batch before taking the results lock
+                // once: one insertion burst, one committer wakeup.
+                let outs: Vec<(usize, NodeResult)> = batch
+                    .into_iter()
+                    .map(|node| {
+                        let out = expand_node(ctx, &node, cfg, Some(&self.claims));
+                        (
+                            node.index,
+                            NodeResult {
+                                state: node.state,
+                                out,
+                            },
+                        )
+                    })
+                    .collect();
+                let mut results = self.results.lock().unwrap();
+                results.extend(outs);
+                drop(results);
+                self.results_ready.notify_one();
+                continue;
+            }
+            // Nothing to run or steal: park. The re-check under the idle
+            // lock pairs with `dispatch` taking the same lock around its
+            // notify, so a task pushed between our failed pop and the wait
+            // cannot be missed; the timeout is pure belt-and-braces.
+            let guard = self.idle.lock().unwrap();
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if self.pop_would_succeed() {
+                continue;
+            }
+            let _ = self
+                .work_ready
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap();
+        }
+    }
+
+    fn pop_would_succeed(&self) -> bool {
+        self.deques
+            .iter()
+            .any(|deque| !deque.lock().unwrap().is_empty())
+    }
+}
+
+/// Sets the pool's stop flag and wakes everyone on drop — including during
+/// unwinding. Held by the committer (so a committer panic releases the
+/// workers instead of hanging `thread::scope`'s implicit join) and by every
+/// worker (so a worker panic wakes a committer blocked on the result that
+/// will now never arrive).
+struct StopGuard<'p>(&'p Pool);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.stop.store(true, Ordering::Release);
+        let guard = self.0.idle.lock().unwrap();
+        self.0.work_ready.notify_all();
+        drop(guard);
+        let results = self.0.results.lock().unwrap();
+        self.0.results_ready.notify_all();
+        drop(results);
+    }
+}
+
+/// Work-stealing source: the committer side of the pool.
+struct PoolSource<'p> {
+    pool: &'p Pool,
+    next_deque: usize,
+    /// Nodes admitted but not yet pushed to a deque; flushed as one batch.
+    pending: Batch,
+}
+
+impl PoolSource<'_> {
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let deques = &self.pool.deques;
+        deques[self.next_deque % deques.len()]
+            .lock()
+            .unwrap()
+            .push_back(batch);
+        self.next_deque += 1;
+        // Serialize the notify against the workers' park re-check: a worker
+        // either holds `idle` (and will observe the push above), or is
+        // already waiting (and receives this notification).
+        let _guard = self.pool.idle.lock().unwrap();
+        self.pool.work_ready.notify_one();
+    }
+}
+
+impl<P: Process> ResultSource<P> for PoolSource<'_> {
+    fn dispatch(&mut self, node: Node) {
+        self.pending.push(node);
+        if self.pending.len() >= BATCH {
+            self.flush();
+        }
+    }
+
+    fn take(&mut self, index: usize) -> NodeResult {
+        // Nodes buffer in admission order, so the buffer's first index is
+        // its minimum: flush iff the node we are about to wait for (or any
+        // earlier one) is still sitting in the buffer.
+        if self.pending.first().is_some_and(|node| node.index <= index) {
+            self.flush();
+        }
+        let mut results = self.pool.results.lock().unwrap();
+        loop {
+            if let Some(result) = results.remove(&index) {
+                return result;
+            }
+            // `stop` flips mid-run only when a worker unwound (its
+            // StopGuard); without this check the committer would wait
+            // forever for the result that worker was computing.
+            assert!(
+                !self.pool.stop.load(Ordering::Acquire),
+                "explorer worker terminated abnormally"
+            );
+            results = self.pool.results_ready.wait(results).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic committer
+// ---------------------------------------------------------------------------
+
+/// Validity/agreement check on one packed configuration: collects the
+/// semantic decision vector and defers to the engine-shared
+/// [`crate::checker::violation_from_decisions`], so both representations'
+/// checks can never drift apart.
+fn packed_violation<P: Process>(
+    ctx: &PackedCtx<P>,
+    state: &PackedState,
+    inputs: &[u64],
+    link: usize,
+    links: &[Link],
+) -> Option<ExploreOutcome> {
+    let decisions: Vec<u64> = (0..state.n()).filter_map(|p| ctx.decision(state, p)).collect();
+    crate::checker::violation_from_decisions(&decisions, inputs, link, links)
+}
+
+/// The sequential commit loop: consumes node results in admission order and
+/// makes every stateful decision exactly the way the clone-based reference
+/// BFS does. This is the *only* place the seen-set, links, counters and
+/// outcome are touched, which is the whole determinism argument.
+fn drive<P, S>(
+    ctx: &PackedCtx<P>,
+    root: PackedState,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    symmetric: bool,
+    source: &mut S,
+) -> Result<(ExploreOutcome, ExploreStats), SimError>
+where
+    P: Process,
+    S: ResultSource<P>,
+{
+    let mut seen: HashSet<u128> = HashSet::new();
+    let mut links: Vec<Link> = Vec::new();
+    // (parent link, depth) per admitted node, in admission order.
+    let mut meta: Vec<(usize, usize)> = Vec::new();
+    let mut complete = true;
+    let mut frontier_peak = 1usize;
+    let mut depth_reached = 0usize;
+    // Admitted / committed node counts per breadth-first layer. A layer's
+    // admissions close when the previous layer is fully committed; indices
+    // are therefore grouped by layer, in layer order.
+    let mut layer_total: Vec<usize> = vec![1];
+    let mut layer_done: Vec<usize> = vec![0];
+    macro_rules! stats {
+        () => {
+            ExploreStats {
+                configs: seen.len(),
+                frontier_peak,
+                depth_reached,
+            }
+        };
+    }
+
+    // Horizon nodes with no solo checks to run have a fixed, edge-free
+    // expansion; computing their `has_active` bit inline at admission (flag
+    // reads only, no table locks) spares the biggest layer of a
+    // depth-limited run a pool round-trip per node.
+    let mut inline_active: HashMap<usize, bool> = HashMap::new();
+    let solo = limits.solo_check_budget.is_some();
+
+    let root_fp = ctx.digest(&root, symmetric);
+    seen.insert(root_fp);
+    if let Some(violation) = packed_violation(ctx, &root, inputs, NO_LINK, &links) {
+        return Ok((violation, stats!()));
+    }
+    meta.push((NO_LINK, 0));
+    if limits.depth > 0 || solo {
+        source.dispatch(Node {
+            index: 0,
+            state: root,
+            fp: root_fp,
+            expand: limits.depth > 0,
+        });
+    } else {
+        inline_active.insert(0, ctx.has_active(&root));
+    }
+
+    let mut next_commit = 0usize;
+    while next_commit < meta.len() {
+        let (parent_link, d) = meta[next_commit];
+        let (expansion, parent_state) = match inline_active.remove(&next_commit) {
+            Some(has_active) => (
+                Expansion {
+                    solo_failure: None,
+                    has_active,
+                    edges: Vec::new(),
+                },
+                None,
+            ),
+            None => {
+                let result = source.take(next_commit);
+                (result.out?, Some(result.state))
+            }
+        };
+        if let Some(pid) = expansion.solo_failure {
+            return Ok((
+                ExploreOutcome::ObstructionFailure {
+                    pid,
+                    schedule: schedule_of(&links, parent_link),
+                },
+                stats!(),
+            ));
+        }
+        // A horizon node with moves left is what the depth cutoff hides.
+        if d >= limits.depth && expansion.has_active {
+            complete = false;
+        }
+        for Edge { pid, fp, child } in expansion.edges {
+            if !seen.insert(fp) {
+                continue;
+            }
+            if seen.len() > limits.max_configs {
+                // Mirror of the reference: the over-cap configuration stays
+                // counted, nothing else of the partial layer does.
+                complete = false;
+                return Ok((
+                    ExploreOutcome::Clean {
+                        configs: seen.len(),
+                        complete,
+                    },
+                    stats!(),
+                ));
+            }
+            let child_state = match child {
+                Some(state) => state,
+                // The claim raced to another edge (or this is the
+                // sequential path): derive the child from the parent. Edges
+                // only come from dispatched nodes, so the state is present.
+                None => ctx
+                    .branch_step(parent_state.as_ref().expect("expanded node state"), pid)
+                    .expect("previewed edge steps"),
+            };
+            debug_assert_eq!(
+                fp,
+                ctx.digest(&child_state, symmetric),
+                "incremental digest out of sync with full scan"
+            );
+            let link = links.len();
+            links.push((parent_link, pid));
+            if let Some(violation) = packed_violation(ctx, &child_state, inputs, link, &links) {
+                return Ok((violation, stats!()));
+            }
+            let child_depth = d + 1;
+            let index = meta.len();
+            meta.push((link, child_depth));
+            if layer_total.len() <= child_depth {
+                layer_total.push(0);
+                layer_done.push(0);
+            }
+            layer_total[child_depth] += 1;
+            let expand = child_depth < limits.depth;
+            if expand || solo {
+                source.dispatch(Node {
+                    index,
+                    state: child_state,
+                    fp,
+                    expand,
+                });
+            } else {
+                inline_active.insert(index, ctx.has_active(&child_state));
+            }
+        }
+        next_commit += 1;
+        layer_done[d] += 1;
+        // Commits run in index order and layers are index-contiguous, so
+        // this fires exactly when layer `d`'s last node commits.
+        if layer_done[d] == layer_total[d] {
+            // Layer `d` fully expanded...
+            if d < limits.depth {
+                depth_reached = d + 1;
+            }
+            // ...and layer `d+1`'s admissions are closed — it is exactly the
+            // breadth-first frontier the reference would hold live next.
+            if let Some(&next_layer) = layer_total.get(d + 1) {
+                if next_layer > 0 {
+                    frontier_peak = frontier_peak.max(next_layer);
+                }
+            }
+        }
+    }
+    Ok((
+        ExploreOutcome::Clean {
+            configs: seen.len(),
+            complete,
+        },
+        stats!(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Sequential packed exploration (no thread bounds on the process type).
+pub(crate) fn explore_packed_seq<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    symmetric: bool,
+) -> Result<(ExploreOutcome, ExploreStats), SimError> {
+    let machine = Machine::start(protocol, inputs)?;
+    let ctx = machine.packed_ctx();
+    let root = machine.pack(&ctx);
+    let cfg = RunCfg {
+        solo_budget: limits.solo_check_budget,
+        symmetric,
+    };
+    let mut source = SeqSource {
+        ctx: &ctx,
+        cfg,
+        queue: VecDeque::new(),
+    };
+    drive(&ctx, root, inputs, limits, symmetric, &mut source)
+}
+
+/// Parallel packed exploration with a persistent work-stealing pool.
+pub(crate) fn explore_packed_par<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    symmetric: bool,
+    workers: usize,
+) -> Result<(ExploreOutcome, ExploreStats), SimError>
+where
+    P::Proc: Send + Sync,
+{
+    // Below this many configurations the pool's thread spawns and batch
+    // hand-offs dominate real work; the sequential path is bit-identical by
+    // construction, so serving small spaces from it is unobservable.
+    const MIN_PARALLEL_CONFIGS: usize = 1024;
+    if workers <= 1 || limits.max_configs <= MIN_PARALLEL_CONFIGS {
+        return explore_packed_seq(protocol, inputs, limits, symmetric);
+    }
+    // Probe: run sequentially with the cap clamped to the threshold. The
+    // cap fires only at `configs == cap + 1`, so a probe that comes back at
+    // or under the threshold never hit it — its outcome (clean, violating,
+    // depth-cut or obstruction) is exactly what the uncapped run would
+    // produce, and no thread was ever spawned for a small space. Only when
+    // the probe overflows (the space is genuinely big) do we pay the pool,
+    // re-exploring the ≤`MIN_PARALLEL_CONFIGS`-node prefix — noise at that
+    // size.
+    let probe_limits = ExploreLimits {
+        max_configs: MIN_PARALLEL_CONFIGS,
+        ..limits
+    };
+    let probe = explore_packed_seq(protocol, inputs, probe_limits, symmetric)?;
+    if probe.1.configs <= MIN_PARALLEL_CONFIGS {
+        return Ok(probe);
+    }
+    let machine = Machine::start(protocol, inputs)?;
+    let ctx = machine.packed_ctx();
+    let root = machine.pack(&ctx);
+    let root_fp = ctx.digest(&root, symmetric);
+    let cfg = RunCfg {
+        solo_budget: limits.solo_check_budget,
+        symmetric,
+    };
+    let pool = Pool {
+        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        results: Mutex::new(HashMap::new()),
+        results_ready: Condvar::new(),
+        idle: Mutex::new(()),
+        work_ready: Condvar::new(),
+        stop: AtomicBool::new(false),
+        claims: ClaimSet::new(root_fp),
+    };
+    std::thread::scope(|scope| {
+        for home in 0..workers {
+            let pool = &pool;
+            let ctx = &ctx;
+            scope.spawn(move || pool.worker_loop(ctx, cfg, home));
+        }
+        let mut source = PoolSource {
+            pool: &pool,
+            next_deque: 0,
+            pending: Vec::new(),
+        };
+        // The guard (not explicit code) stops the pool, so the workers are
+        // released even if `drive` panics mid-commit — otherwise the scope's
+        // implicit join would turn the panic into a deadlock.
+        let _stop = StopGuard(&pool);
+        drive(&ctx, root, inputs, limits, symmetric, &mut source)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_explore;
+    use crate::strawmen::{OneMaxRegister, OneRegister};
+    use cbh_core::cas::CasConsensus;
+    use cbh_core::maxreg::MaxRegConsensus;
+
+    fn agree<P: Protocol>(protocol: &P, inputs: &[u64], limits: ExploreLimits)
+    where
+        P::Proc: Send + Sync,
+    {
+        let oracle = reference_explore(protocol, inputs, limits).unwrap();
+        let seq = explore_packed_seq(protocol, inputs, limits, false).unwrap();
+        assert_eq!(seq, oracle, "sequential packed engine vs reference");
+        for workers in [2, 4, 8] {
+            let par = explore_packed_par(protocol, inputs, limits, false, workers).unwrap();
+            assert_eq!(par, oracle, "packed engine at {workers} workers vs reference");
+        }
+    }
+
+    #[test]
+    fn packed_engine_matches_reference_on_clean_and_violating_runs() {
+        agree(
+            &CasConsensus::new(3),
+            &[0, 1, 2],
+            ExploreLimits {
+                depth: 10,
+                max_configs: 100_000,
+                solo_check_budget: Some(10),
+            },
+        );
+        agree(&OneMaxRegister::new(), &[0, 1], ExploreLimits::default());
+        agree(&OneRegister::new(3), &[0, 1, 1], ExploreLimits::default());
+    }
+
+    #[test]
+    fn packed_engine_matches_reference_under_caps_and_horizons() {
+        // Small caps cover the sequential over-cap path (the parallel entry
+        // falls back below MIN_PARALLEL_CONFIGS)...
+        for cap in [1, 2, 7, 50, 400] {
+            agree(
+                &MaxRegConsensus::new(2),
+                &[1, 0],
+                ExploreLimits {
+                    depth: 12,
+                    max_configs: cap,
+                    solo_check_budget: None,
+                },
+            );
+        }
+        // ...so caps above the fallback threshold are needed to exercise the
+        // work-stealing committer's over-cap shutdown (early return while
+        // workers still speculate) against the reference.
+        for cap in [1_200, 2_048] {
+            agree(
+                &MaxRegConsensus::new(3),
+                &[0, 1, 2],
+                ExploreLimits {
+                    depth: 14,
+                    max_configs: cap,
+                    solo_check_budget: None,
+                },
+            );
+        }
+        for depth in 0..8 {
+            agree(
+                &MaxRegConsensus::new(3),
+                &[0, 1, 2],
+                ExploreLimits {
+                    depth,
+                    max_configs: 100_000,
+                    solo_check_budget: None,
+                },
+            );
+        }
+    }
+}

@@ -21,7 +21,7 @@ use space_hierarchy::verify::checker::{ExploreLimits, ExploreOutcome, Explorer};
 
 fn row<P: Protocol>(name: &str, protocol: &P, inputs: &[u64], depth: usize)
 where
-    P::Proc: Send,
+    P::Proc: Send + Sync,
 {
     let limits = ExploreLimits {
         depth,

@@ -8,12 +8,16 @@
 //! test-only faulty backend proves divergences are *caught* and shrunk to
 //! 1-minimal `ScriptedScheduler` reproducers.
 //!
-//! Budget knobs (both plain integers, both optional):
+//! Budget knobs (plain integers, all optional):
 //! - `CONFORMANCE_SCENARIOS` — scenario count (default 40 = two laps over
 //!   the registry; clamped up to one full lap so the coverage assertions
 //!   below stay meaningful);
 //! - `CONFORMANCE_SEED` — master seed (default from
-//!   `ConformanceConfig::default`). Every run is a pure function of these.
+//!   `ConformanceConfig::default`);
+//! - `CONFORMANCE_WORKERS` — fan-out worker count diffed against the
+//!   sequential engine (default 4; CI sweeps 1 and 8 too);
+//! - `CONFORMANCE_SYM` — `0` disables the symmetry-reduced backends (the
+//!   other axis of CI's matrix). Every run is a pure function of these.
 
 use proptest::prelude::*;
 use space_hierarchy::conformance::{
@@ -45,6 +49,9 @@ fn suite_config() -> ConformanceConfig {
         // backend-coverage assertions below hold for any budget.
         scenarios: (env_u64("CONFORMANCE_SCENARIOS", defaults.scenarios as u64) as usize)
             .max(registry::all_rows().len()),
+        explorer_workers: env_u64("CONFORMANCE_WORKERS", defaults.explorer_workers as u64)
+            as usize,
+        symmetry: env_u64("CONFORMANCE_SYM", 1) != 0,
         ..defaults
     }
 }
@@ -55,7 +62,8 @@ fn suite_config() -> ConformanceConfig {
 
 #[test]
 fn differential_suite_is_clean_and_covers_the_table() {
-    let report = run_suite(&suite_config());
+    let cfg = suite_config();
+    let report = run_suite(&cfg);
     assert!(
         report.findings.is_empty(),
         "conformance divergences:\n{:#?}",
@@ -67,16 +75,22 @@ fn differential_suite_is_clean_and_covers_the_table() {
         report.rows_covered.len(),
         report.rows_covered
     );
-    for backend in [
+    let mut expected = vec![
         "explore",
         "reference-bfs",
-        "explorer-w4",
-        "explorer-sym",
         "scripted-replay",
         "round-robin",
         "random-sched",
         "threaded",
-    ] {
+    ];
+    if cfg.symmetry {
+        expected.push("explorer-sym");
+    }
+    // The fan-out backend's name tracks the worker matrix axis.
+    expected.push(space_hierarchy::conformance::worker_backend_name(
+        cfg.explorer_workers.max(1),
+    ));
+    for backend in expected {
         assert!(
             report.backends.contains(backend),
             "backend {backend} never ran; ran: {:?}",
@@ -126,7 +140,7 @@ impl RowVisitor for VerifyFaultFinding {
     fn visit<P>(&mut self, _spec: &RowSpec, protocol: P)
     where
         P: Protocol,
-        P::Proc: Send,
+        P::Proc: Send + Sync,
     {
         // The shrunken reproducer still diverges...
         assert!(

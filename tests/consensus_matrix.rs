@@ -57,7 +57,7 @@ fn run_checked<P: Protocol>(
 fn explorer_cross_check<P>(protocol: &P, inputs: &[u64])
 where
     P: Protocol,
-    P::Proc: Send,
+    P::Proc: Send + Sync,
 {
     let limits = ExploreLimits {
         depth: 5,
@@ -91,7 +91,7 @@ where
 fn matrix<P>(protocol: &P, inputs: &[u64], expect_space: Option<usize>)
 where
     P: Protocol,
-    P::Proc: Send,
+    P::Proc: Send + Sync,
 {
     explorer_cross_check(protocol, inputs);
     let steps = 3_000 * inputs.len() as u64;
