@@ -121,6 +121,7 @@ fn maxreg_row(c: &mut Criterion) {
                 depth: 18,
                 max_configs: 1_000_000,
                 solo_check_budget: None,
+                memory_budget: None,
             },
         },
     );
@@ -137,6 +138,7 @@ fn maxreg3_row(c: &mut Criterion) {
                 depth: 12,
                 max_configs: 1_000_000,
                 solo_check_budget: None,
+                memory_budget: None,
             },
         },
     );
@@ -157,6 +159,7 @@ fn tas_reset_row(c: &mut Criterion) {
                 depth: 14,
                 max_configs: 1_000_000,
                 solo_check_budget: None,
+                memory_budget: None,
             },
         },
     );
@@ -173,9 +176,47 @@ fn cas_row(c: &mut Criterion) {
                 depth: 12,
                 max_configs: 1_000_000,
                 solo_check_budget: None,
+                memory_budget: None,
             },
         },
     );
+}
+
+fn frontier_spill(c: &mut Criterion) {
+    // Memory-bounded frontier ablation: the same workload fully in RAM vs
+    // with the frontier budget pinned to ~10% of its observed resident peak
+    // (every layer delta-compresses into the spill arena and streams back).
+    // Outcomes are bit-identical by construction — the quotient of the two
+    // routines is the price of running past RAM.
+    let protocol = MaxRegConsensus::new(3);
+    let inputs = [0u64, 1, 2];
+    let limits = ExploreLimits {
+        depth: 12,
+        max_configs: 1_000_000,
+        solo_check_budget: None,
+        memory_budget: None,
+    };
+    let in_memory = Explorer::new().limits(limits);
+    let baseline = in_memory
+        .explore_stats(&protocol, &inputs)
+        .expect("workload explores");
+    let budget = (baseline.1.peak_resident_bytes / 10).max(1);
+    let spilling = Explorer::new().limits(limits).memory_budget(Some(budget));
+    {
+        let check = spilling
+            .explore_stats(&protocol, &inputs)
+            .expect("budgeted workload explores");
+        assert_eq!(check, baseline, "spilling run diverged from in-memory");
+        assert!(check.1.bytes_spilled > 0, "budget never forced a spill");
+    }
+    let mut g = c.benchmark_group("frontier_spill");
+    g.bench_function("in_memory/maxreg_n3_d12", |b| {
+        b.iter(|| in_memory.explore(&protocol, &inputs).unwrap());
+    });
+    g.bench_function("spilling_10pct/maxreg_n3_d12", |b| {
+        b.iter(|| spilling.explore(&protocol, &inputs).unwrap());
+    });
+    g.finish();
 }
 
 fn symmetry_reduction(c: &mut Criterion) {
@@ -187,6 +228,7 @@ fn symmetry_reduction(c: &mut Criterion) {
         depth: 10,
         max_configs: 1_000_000,
         solo_check_budget: None,
+        memory_budget: None,
     };
     let mut g = c.benchmark_group("explore_symmetry");
     g.bench_function("plain/maxreg_n3_d10", |b| {
@@ -203,6 +245,7 @@ fn symmetry_reduction(c: &mut Criterion) {
 criterion_group! {
     name = explore_group;
     config = configure(&mut Criterion::default());
-    targets = maxreg_row, maxreg3_row, tas_reset_row, cas_row, symmetry_reduction,
+    targets = maxreg_row, maxreg3_row, tas_reset_row, cas_row, frontier_spill,
+        symmetry_reduction,
 }
 criterion_main!(explore_group);

@@ -2,14 +2,18 @@
 //!
 //! Runs a fixed set of Table-1 exploration workloads through the packed
 //! work-stealing engine and the legacy barrier engine at 1/2/4/8 workers,
-//! and emits machine-readable `BENCH_explore.json` (configs/sec per row ×
-//! engine × worker count, plus packed-vs-legacy speedups). CI uploads the
-//! file as a non-gating artifact, so engine-throughput history accumulates
-//! per commit without making perf a flaky test.
+//! plus a **spilling** packed run (frontier memory budget pinned to 10% of
+//! the unbounded run's observed resident peak), and emits machine-readable
+//! `BENCH_explore.json` (configs/sec per row × engine × worker count,
+//! packed-vs-legacy speedups, and per-row memory telemetry:
+//! `peak_resident_bytes`, `bytes_spilled`, `spill_slowdown_w1`). CI uploads
+//! the file as a non-gating artifact, so engine-throughput history
+//! accumulates per commit without making perf a flaky test.
 //!
 //! Every run first cross-checks that both engines produce bit-identical
 //! `(ExploreOutcome, ExploreStats)` on every workload — a measurement of two
-//! disagreeing engines would be meaningless.
+//! disagreeing engines would be meaningless — and the spilling run is held
+//! to the same bar against the unbounded one.
 //!
 //! Usage: `bench_explore [--quick] [--out PATH]`
 //!   --quick   one timed iteration per cell (CI smoke) instead of three
@@ -37,6 +41,14 @@ struct Cell {
 struct RowReport {
     name: &'static str,
     configs: usize,
+    /// Frontier-resident peak of the unbounded 1-worker run — the figure
+    /// spill budgets are derived from.
+    peak_resident_bytes: usize,
+    /// The ~10%-of-peak budget the spilling cells ran under.
+    spill_budget: usize,
+    /// Arena bytes the budgeted 1-worker run wrote (nonzero = the spill
+    /// path really ran; silently-in-memory "spill" rows would be a lie).
+    bytes_spilled: u64,
     cells: Vec<Cell>,
 }
 
@@ -76,6 +88,7 @@ where
         depth,
         max_configs: 1_000_000,
         solo_check_budget: None,
+        memory_budget: None,
     };
     // Conformance gate: a throughput number is only meaningful if the two
     // engines are exploring the same space to the same verdict.
@@ -107,9 +120,56 @@ where
             });
         }
     }
+
+    // Spill trajectory: the same workload with the frontier budget pinned to
+    // ~10% of the unbounded run's resident peak. Bit-identical outcomes are
+    // asserted (the budget may only move bytes, never change the space), and
+    // the slowdown vs the in-memory cells above is the number the
+    // memory-bounded frontier is accountable for. Rows whose entire frontier
+    // peaks below a few KB are skipped (`spill_slowdown_w1: null`): there a
+    // "budget" is all constant arena-setup cost and the quotient measures
+    // the filesystem, not the engine.
+    const SPILL_MEASURABLE: usize = 4 * 1024;
+    let peak_resident_bytes = packed.1.peak_resident_bytes;
+    let spill_budget = if peak_resident_bytes >= SPILL_MEASURABLE {
+        (peak_resident_bytes / 10).max(1)
+    } else {
+        0
+    };
+    let spill_limits = ExploreLimits {
+        memory_budget: Some(spill_budget),
+        ..limits
+    };
+    let mut bytes_spilled = 0u64;
+    let spill_workers: &[usize] = if spill_budget > 0 { &[1, 8] } else { &[] };
+    for &workers in spill_workers {
+        run_engine(true, &protocol, inputs, spill_limits, workers);
+        let mut best = f64::MAX;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let out = run_engine(true, &protocol, inputs, spill_limits, workers);
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(out, packed, "{name}: spilling run diverged");
+            assert!(out.1.bytes_spilled > 0, "{name}: spill cell never spilled");
+            if workers == 1 {
+                bytes_spilled = out.1.bytes_spilled;
+            }
+            best = best.min(secs);
+        }
+        cells.push(Cell {
+            engine: "packed-spill",
+            workers,
+            secs: best,
+            configs_per_sec: configs as f64 / best,
+        });
+    }
+
     RowReport {
         name,
         configs,
+        peak_resident_bytes,
+        spill_budget,
+        bytes_spilled,
         cells,
     }
 }
@@ -131,7 +191,7 @@ fn json_escape_free(s: &str) -> &str {
 
 fn render_json(rows: &[RowReport]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"bench_explore/v1\",\n");
+    out.push_str("{\n  \"schema\": \"bench_explore/v2\",\n");
     let _ = writeln!(
         out,
         "  \"worker_counts\": [{}],",
@@ -142,6 +202,19 @@ fn render_json(rows: &[RowReport]) -> String {
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"name\": \"{}\",", json_escape_free(row.name));
         let _ = writeln!(out, "      \"configs\": {},", row.configs);
+        let _ = writeln!(
+            out,
+            "      \"peak_resident_bytes\": {},",
+            row.peak_resident_bytes
+        );
+        let _ = writeln!(out, "      \"spill_budget\": {},", row.spill_budget);
+        let _ = writeln!(out, "      \"bytes_spilled\": {},", row.bytes_spilled);
+        let slowdown = cps(row, "packed", 1) / cps(row, "packed-spill", 1);
+        if slowdown.is_finite() {
+            let _ = writeln!(out, "      \"spill_slowdown_w1\": {slowdown:.3},");
+        } else {
+            let _ = writeln!(out, "      \"spill_slowdown_w1\": null,");
+        }
         let _ = writeln!(
             out,
             "      \"speedup_packed_vs_legacy_w8\": {:.3},",
@@ -202,10 +275,21 @@ fn main() {
         ),
     ];
 
-    eprintln!("row               configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8");
+    eprintln!(
+        "row               configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8  spill-w1  slow  spilledKB"
+    );
     for row in &rows {
+        let spill_cps = cps(row, "packed-spill", 1);
+        let (spill_col, slow_col) = if spill_cps.is_finite() {
+            (
+                format!("{spill_cps:.0}"),
+                format!("{:.2}x", cps(row, "packed", 1) / spill_cps),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
         eprintln!(
-            "{:<17} {:>7}  {:>9.0}  {:>9.0}  {:>9.0}  {:>9.0}  {:>6.2}x",
+            "{:<17} {:>7}  {:>9.0}  {:>9.0}  {:>9.0}  {:>9.0}  {:>6.2}x {:>9} {:>5} {:>9}",
             row.name,
             row.configs,
             cps(row, "packed", 1),
@@ -213,6 +297,9 @@ fn main() {
             cps(row, "legacy", 1),
             cps(row, "legacy", 8),
             cps(row, "packed", 8) / cps(row, "legacy", 8),
+            spill_col,
+            slow_col,
+            row.bytes_spilled / 1024,
         );
     }
 

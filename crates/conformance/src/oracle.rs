@@ -64,6 +64,13 @@ pub struct ConformanceConfig {
     /// Run the symmetry-reduced explorer backends on anonymous rows (the
     /// other axis of CI's worker/symmetry matrix).
     pub symmetry: bool,
+    /// Frontier memory budget (bytes) for the exhaustive backends
+    /// ([`ExploreLimits::memory_budget`]). `None` (the default) never
+    /// spills; CI's tiny-budget columns pin `CONFORMANCE_MEM_BUDGET` low
+    /// enough that every scenario exercises the spill paths — and the oracle
+    /// still demands bit-identical outcomes and semantic stats against the
+    /// never-spilling reference BFS.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for ConformanceConfig {
@@ -78,6 +85,7 @@ impl Default for ConformanceConfig {
             threaded: true,
             explorer_workers: 4,
             symmetry: true,
+            memory_budget: None,
         }
     }
 }
@@ -197,6 +205,7 @@ impl RowVisitor for OracleVisitor<'_> {
             depth: scenario.depth,
             max_configs: self.cfg.max_configs,
             solo_check_budget: None,
+            memory_budget: self.cfg.memory_budget,
         };
         let mut out = ScenarioOutcome {
             inputs: inputs.clone(),

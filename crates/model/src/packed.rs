@@ -41,6 +41,8 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::RwLock;
 
+pub mod delta;
+
 // ---------------------------------------------------------------------------
 // Cell word encoding
 // ---------------------------------------------------------------------------
@@ -208,6 +210,17 @@ impl PackedState {
     /// Currently allocated locations.
     pub fn cells_len(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Approximate heap-plus-inline footprint of this state in bytes — the
+    /// cost a memory-budgeted frontier accounts per resident entry. Computed
+    /// from lengths (not capacities) so the figure is a deterministic
+    /// function of the semantic configuration.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<PackedState>()
+            + self.procs.len() * std::mem::size_of::<u32>()
+            + self.decided.len() * std::mem::size_of::<Option<u64>>()
+            + self.cells.len() * std::mem::size_of::<u64>()
     }
 }
 
@@ -738,7 +751,7 @@ mod tests {
 
     /// Fetch-and-increments `rounds` times, then decides the last value mod 2.
     #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-    struct Adder {
+    pub(crate) struct Adder {
         remaining: u32,
         last: u64,
     }
@@ -757,7 +770,7 @@ mod tests {
         }
     }
 
-    fn adder_setup(n: usize, rounds: u32) -> (PackedCtx<Adder>, PackedState) {
+    pub(crate) fn adder_setup(n: usize, rounds: u32) -> (PackedCtx<Adder>, PackedState) {
         let spec = MemorySpec::bounded(InstructionSet::ReadWriteFetchIncrement, 1);
         let memory = Memory::new(&spec);
         let ctx = PackedCtx::for_spec(&spec, n);

@@ -1,0 +1,221 @@
+//! Property tests for the packed-state delta codec — the wire format the
+//! disk-spillable frontier trusts with its configurations.
+//!
+//! Random schedules over **every Table-1 registry row** produce real
+//! parent/child `PackedState` pairs (exactly the pairs a spill run chains),
+//! and for each pair:
+//!
+//! - `encode_delta` → `apply_delta` reproduces the child bit for bit: field
+//!   equality, byte equality of a re-encode, and context-digest equality in
+//!   both digest modes (the engine's actual seen-set keys);
+//! - the flat record round-trips the same way;
+//! - a delta chain along the whole schedule replays to the same final state;
+//! - corrupting or truncating any encoding makes decoding return a typed
+//!   [`DeltaError`] or (for value-level corruption the positional format
+//!   cannot distinguish from honest data) a decoded state — but never a
+//!   panic, and never a silent half-write.
+
+use cbh_core::registry::{self, RowSpec, RowVisitor};
+use cbh_model::packed::delta::{apply_delta, decode_flat, encode_delta, encode_flat, DeltaError};
+use cbh_model::{PackedCtx, PackedState, Process, Protocol};
+use cbh_sim::Machine;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy)]
+enum Check {
+    Roundtrips,
+    Chain,
+    Corruption,
+}
+
+/// Drives `schedule` (pid stream, modulo `n`, inactive pids skipped) through
+/// one row's packed representation and runs `check` on the visited chain.
+struct ScheduleWalk<'a> {
+    schedule: &'a [usize],
+    check: Check,
+}
+
+impl RowVisitor for ScheduleWalk<'_> {
+    type Output = ();
+
+    fn visit<P>(&mut self, _spec: &RowSpec, protocol: P)
+    where
+        P: Protocol,
+        P::Proc: Send + Sync,
+    {
+        let n = protocol.n();
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % protocol.domain()).collect();
+        let machine = Machine::start(&protocol, &inputs).expect("row starts");
+        let ctx = machine.packed_ctx();
+        let mut state = machine.pack(&ctx);
+        let mut states = vec![state.clone()];
+        for &raw in self.schedule {
+            let pid = raw % n;
+            if !ctx.is_active(&state, pid) {
+                continue;
+            }
+            ctx.step(&mut state, pid).expect("active pid steps");
+            states.push(state.clone());
+        }
+        match self.check {
+            Check::Roundtrips => check_roundtrips(&ctx, &states),
+            Check::Chain => check_delta_chain(&states),
+            Check::Corruption => check_corruption_is_typed(&states),
+        }
+    }
+}
+
+fn walk_all_rows(schedule: &[usize], check: Check) {
+    for row in registry::all_rows() {
+        registry::visit_row(row.id, 3, &mut ScheduleWalk { schedule, check })
+            .expect("registered row");
+    }
+}
+
+/// Exactness in three currencies: fields, encoded bytes, and both engine
+/// digests — the decoded state must be indistinguishable from the original.
+fn assert_exact<P: Process>(
+    ctx: &PackedCtx<P>,
+    original: &PackedState,
+    decoded: &PackedState,
+    what: &str,
+) {
+    assert_eq!(original, decoded, "{what}: field mismatch");
+    let mut a = Vec::new();
+    encode_flat(original, &mut a);
+    let mut b = Vec::new();
+    encode_flat(decoded, &mut b);
+    assert_eq!(a, b, "{what}: byte mismatch");
+    for symmetric in [false, true] {
+        assert_eq!(
+            ctx.digest(original, symmetric),
+            ctx.digest(decoded, symmetric),
+            "{what}: digest mismatch (symmetric={symmetric})"
+        );
+    }
+}
+
+fn check_roundtrips<P: Process>(ctx: &PackedCtx<P>, states: &[PackedState]) {
+    for (index, state) in states.iter().enumerate() {
+        let mut flat = Vec::new();
+        encode_flat(state, &mut flat);
+        let decoded = decode_flat(&flat).expect("honest flat record decodes");
+        assert_exact(ctx, state, &decoded, "flat round-trip");
+        let _ = index;
+    }
+    for pair in states.windows(2) {
+        let (parent, child) = (&pair[0], &pair[1]);
+        let mut delta = Vec::new();
+        encode_delta(parent, child, &mut delta);
+        let decoded = apply_delta(parent, &delta).expect("honest delta applies");
+        assert_exact(ctx, child, &decoded, "delta round-trip");
+        // And the reverse edge (undo direction) round-trips as well.
+        let mut back = Vec::new();
+        encode_delta(child, parent, &mut back);
+        let reverted = apply_delta(child, &back).expect("reverse delta applies");
+        assert_exact(ctx, parent, &reverted, "reverse delta round-trip");
+    }
+}
+
+fn check_delta_chain(states: &[PackedState]) {
+    // A spill run is exactly this: flat head, then deltas against the
+    // previous record. Replaying the chain must land on the final state.
+    let mut head = Vec::new();
+    encode_flat(&states[0], &mut head);
+    let mut current = decode_flat(&head).expect("chain head decodes");
+    for child in &states[1..] {
+        let mut delta = Vec::new();
+        encode_delta(&current, child, &mut delta);
+        current = apply_delta(&current, &delta).expect("chain record applies");
+    }
+    assert_eq!(&current, states.last().unwrap(), "delta chain replay");
+}
+
+fn check_corruption_is_typed(states: &[PackedState]) {
+    let parent = &states[0];
+    let child = states.last().unwrap();
+    let mut delta = Vec::new();
+    encode_delta(parent, child, &mut delta);
+    let mut flat = Vec::new();
+    encode_flat(child, &mut flat);
+    // Every strict prefix of either encoding is a typed error — truncation
+    // can never produce a state.
+    for cut in 0..delta.len() {
+        assert!(
+            apply_delta(parent, &delta[..cut]).is_err(),
+            "truncated delta at {cut} decoded"
+        );
+    }
+    for cut in 0..flat.len() {
+        assert!(decode_flat(&flat[..cut]).is_err(), "truncated flat at {cut}");
+    }
+    // Trailing garbage is the TrailingBytes error, not a silent ignore.
+    let mut padded = flat.clone();
+    padded.extend_from_slice(&[0, 0, 0]);
+    assert_eq!(
+        decode_flat(&padded),
+        Err(DeltaError::TrailingBytes { remaining: 3 })
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn records_roundtrip_exactly_on_every_row(
+        schedule in proptest::collection::vec(0usize..3, 1..24),
+    ) {
+        walk_all_rows(&schedule, Check::Roundtrips);
+    }
+
+    #[test]
+    fn delta_chains_replay_whole_schedules_on_every_row(
+        schedule in proptest::collection::vec(0usize..3, 1..24),
+    ) {
+        walk_all_rows(&schedule, Check::Chain);
+    }
+
+    #[test]
+    fn truncation_and_padding_are_typed_errors_on_every_row(
+        schedule in proptest::collection::vec(0usize..3, 1..12),
+    ) {
+        walk_all_rows(&schedule, Check::Corruption);
+    }
+
+    #[test]
+    fn fuzzed_byte_mutations_never_panic(
+        schedule in proptest::collection::vec(0usize..3, 1..16),
+        flips in proptest::collection::vec((0usize..4096, 0u8..255), 1..16),
+    ) {
+        // Byte-level fuzz on one representative dense row: any mutation of a
+        // valid record either decodes to *some* state (positional formats
+        // cannot authenticate values) or fails with a typed error. What it
+        // must never do is panic or allocate absurdly — decoding runs under
+        // the codec's length plausibility guard.
+        let protocol = cbh_core::bitwise::tas_reset_consensus(3);
+        let machine = Machine::start(&protocol, &[0, 1, 2]).unwrap();
+        let ctx: PackedCtx<_> = machine.packed_ctx();
+        let parent = machine.pack(&ctx);
+        let mut state = parent.clone();
+        for &raw in &schedule {
+            let pid = raw % 3;
+            if ctx.is_active(&state, pid) {
+                ctx.step(&mut state, pid).unwrap();
+            }
+        }
+        let mut flat = Vec::new();
+        encode_flat(&state, &mut flat);
+        let mut delta = Vec::new();
+        encode_delta(&parent, &state, &mut delta);
+        for &(pos, value) in &flips {
+            let mut corrupt = flat.clone();
+            let at = pos % corrupt.len();
+            corrupt[at] ^= value | 1;
+            let _ = decode_flat(&corrupt); // must return, Ok or Err
+            let mut corrupt = delta.clone();
+            let at = pos % corrupt.len();
+            corrupt[at] ^= value | 1;
+            let _ = apply_delta(&parent, &corrupt);
+        }
+    }
+}

@@ -93,10 +93,18 @@ impl ExploreOutcome {
 /// Comparable exploration counters, reported for **every** outcome (the
 /// `configs` inside [`ExploreOutcome::Clean`] exists only on clean runs).
 ///
-/// These are the numbers the conformance oracle diffs across independent
-/// engines: two backends exploring the same protocol under the same limits
-/// must agree on all three fields bit for bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The first three fields are the numbers the conformance oracle diffs
+/// across independent engines: two backends exploring the same protocol
+/// under the same limits must agree on them bit for bit — at any worker
+/// count and under any [`ExploreLimits::memory_budget`].
+///
+/// The last two are **resource telemetry**: they describe how this engine
+/// happened to hold the frontier (RAM vs spill runs), not the explored
+/// space, so they vary across engines, budgets and worker interleavings.
+/// They are deliberately **excluded from `PartialEq`/`Eq`** — that is what
+/// lets a budgeted run compare bit-identical to an unbounded one while
+/// still reporting that it spilled.
+#[derive(Debug, Clone, Copy)]
 pub struct ExploreStats {
     /// Distinct configurations fingerprinted (including the root, and
     /// including a final over-cap configuration if `max_configs` was hit).
@@ -105,7 +113,26 @@ pub struct ExploreStats {
     pub frontier_peak: usize,
     /// Breadth-first layers fully expanded before the run ended.
     pub depth_reached: usize,
+    /// Encoded bytes the frontier stores wrote to the spill arena
+    /// (telemetry; `0` on unbounded runs and for the clone-based reference).
+    pub bytes_spilled: u64,
+    /// High-water mark of frontier-resident bytes across the run's queues,
+    /// deques and reorder buffer (telemetry; the figure to derive a
+    /// [`ExploreLimits::memory_budget`] from).
+    pub peak_resident_bytes: usize,
 }
+
+/// Semantic counters only: `bytes_spilled` / `peak_resident_bytes` are
+/// engine-strategy telemetry and never part of backend conformance.
+impl PartialEq for ExploreStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.configs == other.configs
+            && self.frontier_peak == other.frontier_peak
+            && self.depth_reached == other.depth_reached
+    }
+}
+
+impl Eq for ExploreStats {}
 
 /// Exploration limits.
 ///
@@ -128,6 +155,17 @@ pub struct ExploreStats {
 ///   runtime; raise it until `max_configs` becomes the binding cutoff.
 /// - **`solo_check_budget`** multiplies the per-configuration cost by
 ///   `n × budget` in the worst case; enable it on small horizons only.
+/// - **`memory_budget`** caps the bytes the engines keep *frontier-resident*
+///   (queued configurations awaiting expansion or in-order commit — not the
+///   16-bytes-per-config seen-set, which `max_configs` already bounds). Past
+///   the budget, frontier entries are delta-compressed and spilled to a
+///   temp-file arena, and streamed back in admission order — outcomes and
+///   the semantic stats are bit-identical at any budget, only wall-clock and
+///   `ExploreStats::bytes_spilled` change. The default `None` never spills.
+///   To pick a value: run once unbounded, read
+///   [`ExploreStats::peak_resident_bytes`], and budget the fraction of it
+///   you can afford to keep in RAM (the stress suite runs at 10%); the
+///   budget is soft — the engines may overshoot by one in-flight spill run.
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreLimits {
     /// Maximum schedule length explored.
@@ -137,6 +175,9 @@ pub struct ExploreLimits {
     /// If set, every visited configuration is also checked for solo
     /// termination within this many steps (expensive).
     pub solo_check_budget: Option<u64>,
+    /// If set, frontier bytes beyond this budget spill to disk (see the
+    /// struct docs for how to size it).
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for ExploreLimits {
@@ -144,11 +185,13 @@ impl Default for ExploreLimits {
         // Sized for the fingerprint-based frontier engine: the legacy
         // recursive checker defaulted to depth 40 / 200k configurations of
         // deep-cloned machines; fingerprints and inline integer words push
-        // the same memory budget past a million configurations.
+        // the same memory budget past a million configurations. Frontier
+        // memory is unbounded by default: spilling is strictly opt-in.
         ExploreLimits {
             depth: 64,
             max_configs: 1_000_000,
             solo_check_budget: None,
+            memory_budget: None,
         }
     }
 }
@@ -411,6 +454,16 @@ impl Explorer {
         self
     }
 
+    /// Caps frontier-resident memory at `budget` bytes (`None`, the default,
+    /// never spills). Shorthand for setting
+    /// [`ExploreLimits::memory_budget`]; outcomes and semantic stats are
+    /// bit-identical at any budget — only wall-clock and the
+    /// [`ExploreStats`] spill telemetry change.
+    pub fn memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.limits.memory_budget = budget;
+        self
+    }
+
     /// Number of worker threads expanding each frontier layer. `1` (the
     /// default) stays on the calling thread; the outcome is the same either
     /// way.
@@ -584,6 +637,7 @@ mod tests {
                     depth: 10,
                     max_configs: 10_000,
                     solo_check_budget: Some(10),
+                    memory_budget: None,
                 },
             )
             .unwrap();
@@ -602,6 +656,7 @@ mod tests {
                     depth: 12,
                     max_configs: 100_000,
                     solo_check_budget: Some(12),
+                    memory_budget: None,
                 },
             )
             .unwrap();
@@ -619,6 +674,7 @@ mod tests {
                     depth: 10,
                     max_configs: 10_000,
                     solo_check_budget: Some(10),
+                    memory_budget: None,
                 },
             )
             .unwrap();
@@ -637,6 +693,7 @@ mod tests {
                 depth: 18,
                 max_configs: 400_000,
                 solo_check_budget: None,
+                memory_budget: None,
             },
         )
         .unwrap();
@@ -697,6 +754,7 @@ mod tests {
                     depth: 12,
                     max_configs: 100_000,
                     solo_check_budget: Some(12),
+                    memory_budget: None,
                 },
             ),
         ] {
@@ -726,6 +784,7 @@ mod tests {
             depth: 10,
             max_configs: 500_000,
             solo_check_budget: None,
+            memory_budget: None,
         };
         let protocol = MaxRegConsensus::new(3);
         let inputs = [0, 0, 1];
@@ -780,6 +839,7 @@ mod tests {
                 depth,
                 max_configs: 1_000_000,
                 solo_check_budget: None,
+                memory_budget: None,
             },
         )
         .unwrap();

@@ -23,16 +23,67 @@ use crate::checker::{
     decision_violation, schedule_of, zobrist_fingerprint, zobrist_step, ExploreLimits,
     ExploreOutcome, ExploreStats, Link, NO_LINK,
 };
-use cbh_model::{Process, Protocol};
+use crate::frontier::{FrontierStore, SpillCodec, SpillContext};
+use cbh_model::packed::delta::{read_varint, write_varint};
+use cbh_model::{decode_flat, encode_flat, PackedCtx, Process, Protocol};
 use cbh_sim::{Machine, SimError};
 use std::collections::HashSet;
 
 /// A frontier entry: a live configuration, its incremental fingerprint, and
 /// its link for schedule reconstruction.
+#[derive(Clone)]
 struct FrontierNode<Proc: Process> {
     machine: Machine<Proc>,
     fp: u128,
     link: usize,
+}
+
+/// Spill codec for machine-walking frontier nodes: the machine is packed
+/// into the flat [`cbh_model::PackedState`] wire form and rebuilt on the way
+/// back in. Storage-only coupling — the engine itself still walks live
+/// machines with step/undo; packing is how a budgeted layer leaves RAM.
+/// Records are flat (no delta chaining): the machine would have to be packed
+/// twice per record to recover a delta base, which costs more than the bytes
+/// it saves.
+struct MachineCodec<'c, P: Process> {
+    ctx: &'c PackedCtx<P>,
+}
+
+impl<P: Process> Clone for MachineCodec<'_, P> {
+    fn clone(&self) -> Self {
+        MachineCodec { ctx: self.ctx }
+    }
+}
+
+impl<P: Process> SpillCodec for MachineCodec<'_, P> {
+    type Item = FrontierNode<P>;
+
+    fn encode(&self, node: &FrontierNode<P>, _prev: Option<&FrontierNode<P>>, out: &mut Vec<u8>) {
+        write_varint(out, node.link as u64);
+        out.extend_from_slice(&node.fp.to_le_bytes());
+        encode_flat(&node.machine.pack(self.ctx), out);
+    }
+
+    fn decode(&self, mut bytes: &[u8], _prev: Option<&FrontierNode<P>>) -> FrontierNode<P> {
+        let link = read_varint(&mut bytes).expect("legacy record: link") as usize;
+        let (fp_bytes, state_bytes) = bytes.split_at(16);
+        let fp = u128::from_le_bytes(fp_bytes.try_into().expect("16-byte digest"));
+        let state = decode_flat(state_bytes).expect("legacy record: state");
+        FrontierNode {
+            machine: Machine::from_packed(self.ctx, &state),
+            fp,
+            link,
+        }
+    }
+
+    fn cost(&self, node: &FrontierNode<P>) -> usize {
+        // Approximate: inline process states plus a nominal per-cell and
+        // per-decision footprint (heap owned by `P` is invisible from here).
+        let n = node.machine.n();
+        std::mem::size_of::<FrontierNode<P>>()
+            + n * (std::mem::size_of::<P>() + std::mem::size_of::<Option<u64>>())
+            + node.machine.memory().len() * 24
+    }
 }
 
 /// What one layer pass must do per node.
@@ -147,13 +198,20 @@ where
     (nodes, outs)
 }
 
-/// The barrier-synchronised frontier engine, unchanged from its tour as the
-/// production explorer.
+/// The barrier-synchronised frontier engine. The per-depth barrier is
+/// unchanged from its tour as the production explorer; what changed is where
+/// a layer *lives*: both the current and the next layer are budgeted
+/// [`FrontierStore`]s, and a layer is materialised for expansion in frontier-
+/// order blocks of at most `block_cap` nodes, so a spilling run never holds
+/// more than a block of live machines (plus the admissions in flight).
+/// Block partitioning preserves frontier order exactly, which keeps the
+/// outcome bit-identical to the unbounded whole-layer pass.
 fn explore_core<Proc, F>(
     root: Machine<Proc>,
     inputs: &[u64],
     limits: ExploreLimits,
     symmetry: bool,
+    block_cap: usize,
     mut expand_layer: F,
 ) -> Result<(ExploreOutcome, ExploreStats), SimError>
 where
@@ -165,12 +223,17 @@ where
     let mut complete = true;
     let mut frontier_peak = 1usize;
     let mut depth = 0usize;
+    let ctx = root.packed_ctx();
+    let mem = SpillContext::new(limits.memory_budget);
+    let codec = MachineCodec { ctx: &ctx };
     macro_rules! stats {
-        ($seen:expr) => {
+        () => {
             ExploreStats {
-                configs: $seen.len(),
+                configs: seen.len(),
                 frontier_peak,
                 depth_reached: depth,
+                bytes_spilled: mem.tracker().bytes_spilled(),
+                peak_resident_bytes: mem.tracker().peak_resident_bytes(),
             }
         };
     }
@@ -178,78 +241,83 @@ where
     let root_fp = zobrist_fingerprint(&root, symmetry);
     seen.insert(root_fp);
     if let Some(violation) = decision_violation(&root, inputs, NO_LINK, &links) {
-        return Ok((violation, stats!(seen)));
+        return Ok((violation, stats!()));
     }
-    let mut frontier = vec![FrontierNode {
+    let mut frontier = FrontierStore::new(codec.clone(), mem.clone());
+    frontier.push(FrontierNode {
         machine: root,
         fp: root_fp,
         link: NO_LINK,
-    }];
+    });
 
-    while !frontier.is_empty() {
+    'layers: while !frontier.is_empty() {
         frontier_peak = frontier_peak.max(frontier.len());
         let expand = depth < limits.depth;
-        if !expand {
-            if frontier
-                .iter()
-                .any(|n| n.machine.active_iter().next().is_some())
-            {
-                complete = false;
+        if !expand && limits.solo_check_budget.is_none() {
+            // Nothing left to check at the horizon: the cutoff hides exactly
+            // the nodes with moves remaining.
+            while let Some(node) = frontier.pop() {
+                if node.machine.active_iter().next().is_some() {
+                    complete = false;
+                    break;
+                }
             }
-            if limits.solo_check_budget.is_none() {
-                break; // nothing left to check at the horizon
-            }
+            break;
         }
         let job = LayerJob {
             expand,
             solo_budget: limits.solo_check_budget,
             symmetric: symmetry,
         };
-        let (nodes, results) = expand_layer(std::mem::take(&mut frontier), job);
-        debug_assert_eq!(results.len(), nodes.len());
-
-        let mut next = Vec::new();
-        let mut over_cap = false;
-        'admit: for (node, result) in nodes.iter().zip(results) {
-            let expansion = result?;
-            if let Some(pid) = expansion.solo_failure {
-                return Ok((
-                    ExploreOutcome::ObstructionFailure {
-                        pid,
-                        schedule: schedule_of(&links, node.link),
-                    },
-                    stats!(seen),
-                ));
+        let mut next = FrontierStore::new(codec.clone(), mem.clone());
+        while !frontier.is_empty() {
+            let block = frontier.pop_block(block_cap);
+            if !expand
+                && block
+                    .iter()
+                    .any(|n| n.machine.active_iter().next().is_some())
+            {
+                complete = false;
             }
-            for (pid, child_fp) in expansion.edges {
-                if !seen.insert(child_fp) {
-                    continue;
+            let (nodes, results) = expand_layer(block, job);
+            debug_assert_eq!(results.len(), nodes.len());
+            for (node, result) in nodes.iter().zip(results) {
+                let expansion = result?;
+                if let Some(pid) = expansion.solo_failure {
+                    return Ok((
+                        ExploreOutcome::ObstructionFailure {
+                            pid,
+                            schedule: schedule_of(&links, node.link),
+                        },
+                        stats!(),
+                    ));
                 }
-                if seen.len() > limits.max_configs {
-                    complete = false;
-                    over_cap = true;
-                    break 'admit;
+                for (pid, child_fp) in expansion.edges {
+                    if !seen.insert(child_fp) {
+                        continue;
+                    }
+                    if seen.len() > limits.max_configs {
+                        complete = false;
+                        break 'layers;
+                    }
+                    let child = node.machine.branch_step(pid)?;
+                    debug_assert_eq!(
+                        child_fp,
+                        zobrist_fingerprint(&child, symmetry),
+                        "incremental fingerprint out of sync with full scan"
+                    );
+                    let link = links.len();
+                    links.push((node.link, pid));
+                    if let Some(violation) = decision_violation(&child, inputs, link, &links) {
+                        return Ok((violation, stats!()));
+                    }
+                    next.push(FrontierNode {
+                        machine: child,
+                        fp: child_fp,
+                        link,
+                    });
                 }
-                let child = node.machine.branch_step(pid)?;
-                debug_assert_eq!(
-                    child_fp,
-                    zobrist_fingerprint(&child, symmetry),
-                    "incremental fingerprint out of sync with full scan"
-                );
-                let link = links.len();
-                links.push((node.link, pid));
-                if let Some(violation) = decision_violation(&child, inputs, link, &links) {
-                    return Ok((violation, stats!(seen)));
-                }
-                next.push(FrontierNode {
-                    machine: child,
-                    fp: child_fp,
-                    link,
-                });
             }
-        }
-        if over_cap {
-            break;
         }
         frontier = next;
         if expand {
@@ -260,7 +328,7 @@ where
         configs: seen.len(),
         complete,
     };
-    Ok((outcome, stats!(seen)))
+    Ok((outcome, stats!()))
 }
 
 /// Runs the legacy barrier engine: `workers` threads per layer (1 = stay on
@@ -284,10 +352,19 @@ where
     P::Proc: Send,
 {
     let machine = Machine::start(protocol, inputs)?;
-    if workers <= 1 {
-        explore_core(machine, inputs, limits, symmetry, expand_sequential)
+    // Unbudgeted runs materialise whole layers at once, exactly as this
+    // engine always did; budgeted runs cap the live block so a spilled layer
+    // streams through RAM instead of landing in it (blocks stay large enough
+    // for the per-layer thread fan-out to engage).
+    let block_cap = if limits.memory_budget.is_some() {
+        workers.max(1) * 64
     } else {
-        explore_core(machine, inputs, limits, symmetry, |nodes, job| {
+        usize::MAX
+    };
+    if workers <= 1 {
+        explore_core(machine, inputs, limits, symmetry, block_cap, expand_sequential)
+    } else {
+        explore_core(machine, inputs, limits, symmetry, block_cap, |nodes, job| {
             expand_parallel(nodes, job, workers)
         })
     }
@@ -307,6 +384,7 @@ mod tests {
             depth: 10,
             max_configs: 100_000,
             solo_check_budget: None,
+            memory_budget: None,
         };
         // Clean, violating, capped and shallow workloads; 1 and 4 workers.
         for workers in [1, 4] {

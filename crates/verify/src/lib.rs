@@ -18,6 +18,11 @@
 //!   work-stealing worker pool ([`packed_engine`]) whose outcomes are
 //!   deterministic at any worker count, plus an opt-in process-symmetry
 //!   reduction;
+//! - [`frontier`] — memory-bounded frontier storage: budgeted FIFO queues
+//!   and reorder buffers that delta-compress past
+//!   [`checker::ExploreLimits::memory_budget`] into a self-deleting
+//!   temp-file arena and stream back in admission order, shared by every
+//!   engine;
 //! - [`legacy`] — the previous barrier-synchronised machine-walking
 //!   frontier engine, preserved as the measured baseline of the packed
 //!   engine's speedups and as a third independent implementation of the
@@ -39,6 +44,7 @@
 pub mod adversary;
 pub mod checker;
 pub mod covering;
+pub mod frontier;
 pub mod legacy;
 pub mod packed_engine;
 pub mod packing;

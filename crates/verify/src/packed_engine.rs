@@ -39,11 +39,29 @@
 //! unmaterialised and the committer derives it from the parent with one
 //! packed step. Intern-table ids race between threads, but digests hash
 //! *content*, never ids, so outcomes cannot observe interning order.
+//!
+//! # Memory-bounded frontiers
+//!
+//! All three queues that scale with frontier width — the sequential
+//! engine's admission queue, the pool's per-worker deques, and the
+//! committer's reorder buffer — live in [`crate::frontier`] stores: within
+//! [`ExploreLimits::memory_budget`] they are the plain in-memory structures
+//! described above; past it, backlogs delta-compress
+//! ([`cbh_model::packed::delta`]) into a temp-file arena and stream back.
+//! Spilling only moves *where* a node waits, never the order the committer
+//! consumes results in, so the determinism argument — and bit-identical
+//! `(ExploreOutcome, ExploreStats)` — holds at any budget; the budgeted
+//! runs additionally report [`ExploreStats::bytes_spilled`] and
+//! [`ExploreStats::peak_resident_bytes`] (telemetry, excluded from stats
+//! equality).
 
 use crate::checker::{schedule_of, ExploreLimits, ExploreOutcome, ExploreStats, Link, NO_LINK};
-use cbh_model::{PackedCtx, PackedState, Process, Protocol};
+use crate::frontier::{FrontierStore, ReorderBuffer, SpillCodec, SpillContext};
+use cbh_model::packed::delta::{read_varint, write_varint};
+use cbh_model::{apply_delta, decode_flat, encode_delta, encode_flat, PackedCtx, PackedState,
+    Process, Protocol};
 use cbh_sim::{Machine, SimError};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, RwLock};
 use std::time::Duration;
@@ -56,6 +74,7 @@ struct RunCfg {
 }
 
 /// One admitted configuration awaiting expansion.
+#[derive(Clone)]
 struct Node {
     index: usize,
     state: PackedState,
@@ -99,6 +118,220 @@ struct NodeResult {
     /// children from it.
     state: PackedState,
     out: Result<Expansion, SimError>,
+}
+
+// ---------------------------------------------------------------------------
+// Spill codecs: how the engine's queues cross the memory/disk boundary
+// ---------------------------------------------------------------------------
+
+/// Encodes one node; `base` is the spill run's previous state (delta base).
+/// The state rides last and unframed — both state decoders are strict, so
+/// the record's end delimits it.
+fn encode_node(node: &Node, base: Option<&PackedState>, out: &mut Vec<u8>) {
+    write_varint(out, node.index as u64);
+    out.extend_from_slice(&node.fp.to_le_bytes());
+    out.push(u8::from(node.expand));
+    match base {
+        Some(base) => {
+            out.push(1);
+            encode_delta(base, &node.state, out);
+        }
+        None => {
+            out.push(0);
+            encode_flat(&node.state, out);
+        }
+    }
+}
+
+fn decode_node(mut bytes: &[u8], base: Option<&PackedState>) -> Node {
+    let index = read_varint(&mut bytes).expect("node record: index") as usize;
+    let (fp_bytes, rest) = bytes.split_at(16);
+    let fp = u128::from_le_bytes(fp_bytes.try_into().expect("16-byte digest"));
+    let expand = rest[0] != 0;
+    let tag = rest[1];
+    let state_bytes = &rest[2..];
+    let state = match (tag, base) {
+        (1, Some(base)) => apply_delta(base, state_bytes).expect("node record: delta"),
+        (0, _) => decode_flat(state_bytes).expect("node record: flat state"),
+        _ => unreachable!("spill record base/tag mismatch"),
+    };
+    Node {
+        index,
+        state,
+        fp,
+        expand,
+    }
+}
+
+/// Codec for the sequential engine's admission queue: records chain across
+/// the whole run, each state a delta against the previously spilled one.
+struct NodeCodec;
+
+impl SpillCodec for NodeCodec {
+    type Item = Node;
+
+    fn encode(&self, node: &Node, prev: Option<&Node>, out: &mut Vec<u8>) {
+        encode_node(node, prev.map(|p| &p.state), out);
+    }
+
+    fn decode(&self, bytes: &[u8], prev: Option<&Node>) -> Node {
+        decode_node(bytes, prev.map(|p| &p.state))
+    }
+
+    fn cost(&self, node: &Node) -> usize {
+        std::mem::size_of::<Node>() + node.state.resident_bytes()
+    }
+}
+
+/// Codec for the pool's per-worker deques: a record is a whole batch, its
+/// nodes length-framed and delta-chained (admission siblings compress
+/// against each other; the first node chains to the previous batch's last).
+struct BatchCodec;
+
+impl SpillCodec for BatchCodec {
+    type Item = Batch;
+
+    fn encode(&self, batch: &Batch, prev: Option<&Batch>, out: &mut Vec<u8>) {
+        write_varint(out, batch.len() as u64);
+        let mut base = prev.and_then(|b| b.last()).map(|n| &n.state);
+        let mut record = Vec::new();
+        for node in batch {
+            record.clear();
+            encode_node(node, base, &mut record);
+            write_varint(out, record.len() as u64);
+            out.extend_from_slice(&record);
+            base = Some(&node.state);
+        }
+    }
+
+    fn decode(&self, mut bytes: &[u8], prev: Option<&Batch>) -> Batch {
+        let count = read_varint(&mut bytes).expect("batch record: count") as usize;
+        let mut batch = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = read_varint(&mut bytes).expect("batch record: framing") as usize;
+            let base = batch.last().or_else(|| prev.and_then(|b: &Batch| b.last()));
+            let node = decode_node(&bytes[..len], base.map(|n: &Node| &n.state));
+            bytes = &bytes[len..];
+            batch.push(node);
+        }
+        batch
+    }
+
+    fn cost(&self, batch: &Batch) -> usize {
+        batch
+            .iter()
+            .map(|n| std::mem::size_of::<Node>() + n.state.resident_bytes())
+            .sum()
+    }
+}
+
+/// Codec for the committer's reorder buffer. Records are parked
+/// individually (no run chaining): the parent state is flat-encoded and
+/// each speculatively materialised child is a delta against it — one step
+/// away, so a few bytes each. Error results are never spilled (the
+/// committer consumes and propagates them immediately).
+struct ResultCodec;
+
+impl SpillCodec for ResultCodec {
+    type Item = NodeResult;
+
+    fn encode(&self, result: &NodeResult, _prev: Option<&NodeResult>, out: &mut Vec<u8>) {
+        let expansion = result
+            .out
+            .as_ref()
+            .expect("error results are unspillable");
+        let mut state_bytes = Vec::new();
+        encode_flat(&result.state, &mut state_bytes);
+        write_varint(out, state_bytes.len() as u64);
+        out.extend_from_slice(&state_bytes);
+        out.push(u8::from(expansion.has_active));
+        match expansion.solo_failure {
+            None => out.push(0),
+            Some(pid) => {
+                out.push(1);
+                write_varint(out, pid as u64);
+            }
+        }
+        write_varint(out, expansion.edges.len() as u64);
+        let mut child_bytes = Vec::new();
+        for edge in &expansion.edges {
+            write_varint(out, edge.pid as u64);
+            out.extend_from_slice(&edge.fp.to_le_bytes());
+            match &edge.child {
+                None => out.push(0),
+                Some(child) => {
+                    out.push(1);
+                    child_bytes.clear();
+                    encode_delta(&result.state, child, &mut child_bytes);
+                    write_varint(out, child_bytes.len() as u64);
+                    out.extend_from_slice(&child_bytes);
+                }
+            }
+        }
+    }
+
+    fn decode(&self, mut bytes: &[u8], _prev: Option<&NodeResult>) -> NodeResult {
+        let state_len = read_varint(&mut bytes).expect("result record: framing") as usize;
+        let state = decode_flat(&bytes[..state_len]).expect("result record: state");
+        bytes = &bytes[state_len..];
+        let has_active = bytes[0] != 0;
+        let solo_failure = match bytes[1] {
+            0 => {
+                bytes = &bytes[2..];
+                None
+            }
+            _ => {
+                bytes = &bytes[2..];
+                Some(read_varint(&mut bytes).expect("result record: solo pid") as usize)
+            }
+        };
+        let edge_count = read_varint(&mut bytes).expect("result record: edges") as usize;
+        let mut edges = Vec::with_capacity(edge_count);
+        for _ in 0..edge_count {
+            let pid = read_varint(&mut bytes).expect("result record: pid") as usize;
+            let (fp_bytes, rest) = bytes.split_at(16);
+            let fp = u128::from_le_bytes(fp_bytes.try_into().expect("16-byte digest"));
+            let child = match rest[0] {
+                0 => {
+                    bytes = &rest[1..];
+                    None
+                }
+                _ => {
+                    bytes = &rest[1..];
+                    let len = read_varint(&mut bytes).expect("result record: child len") as usize;
+                    let child = apply_delta(&state, &bytes[..len]).expect("result record: child");
+                    bytes = &bytes[len..];
+                    Some(child)
+                }
+            };
+            edges.push(Edge { pid, fp, child });
+        }
+        NodeResult {
+            state,
+            out: Ok(Expansion {
+                solo_failure,
+                has_active,
+                edges,
+            }),
+        }
+    }
+
+    fn cost(&self, result: &NodeResult) -> usize {
+        let children: usize = match &result.out {
+            Ok(expansion) => expansion
+                .edges
+                .iter()
+                .filter_map(|e| e.child.as_ref())
+                .map(|c| c.resident_bytes() + std::mem::size_of::<Edge>())
+                .sum(),
+            Err(_) => 0,
+        };
+        std::mem::size_of::<NodeResult>() + result.state.resident_bytes() + children
+    }
+
+    fn spillable(&self, result: &NodeResult) -> bool {
+        result.out.is_ok()
+    }
 }
 
 /// Expands one node: solo probes first (mirroring the reference: a failure
@@ -204,20 +437,24 @@ trait ResultSource<P: Process> {
 }
 
 /// In-process source: tasks run inline, in dispatch order, on the calling
-/// thread. No claims — the committer materialises every admitted child.
+/// thread. No claims — the committer materialises every admitted child. The
+/// admission queue is a budgeted [`FrontierStore`]: within the memory budget
+/// it is the plain deque this engine always used, past it the backlog spills
+/// to the run's arena and streams back in the same order, so `take` still
+/// sees exactly the dispatch sequence.
 struct SeqSource<'c, P: Process> {
     ctx: &'c PackedCtx<P>,
     cfg: RunCfg,
-    queue: VecDeque<Node>,
+    queue: FrontierStore<NodeCodec>,
 }
 
 impl<P: Process> ResultSource<P> for SeqSource<'_, P> {
     fn dispatch(&mut self, node: Node) {
-        self.queue.push_back(node);
+        self.queue.push(node);
     }
 
     fn take(&mut self, index: usize) -> NodeResult {
-        let node = self.queue.pop_front().expect("take follows dispatch");
+        let node = self.queue.pop().expect("take follows dispatch");
         debug_assert_eq!(node.index, index);
         let out = expand_node(self.ctx, &node, self.cfg, None);
         NodeResult {
@@ -232,10 +469,13 @@ struct Pool {
     /// One deque per worker: the committer deals node batches round-robin;
     /// owners pop the front, idle workers steal from the front of other
     /// deques (FIFO everywhere keeps completion roughly in admission order,
-    /// which keeps the committer's reorder buffer small).
-    deques: Vec<Mutex<VecDeque<Batch>>>,
-    /// Completed expansions, keyed by admission index.
-    results: Mutex<HashMap<usize, NodeResult>>,
+    /// which keeps the committer's reorder buffer small). Each deque is a
+    /// budgeted [`FrontierStore`], so backlogged batches spill rather than
+    /// accumulate.
+    deques: Vec<Mutex<FrontierStore<BatchCodec>>>,
+    /// Completed expansions, keyed by admission index; large-index results
+    /// park in the spill arena past the budget.
+    results: Mutex<ReorderBuffer<ResultCodec>>,
     results_ready: Condvar,
     /// Parking lot for idle workers.
     idle: Mutex<()>,
@@ -249,7 +489,7 @@ impl Pool {
         let workers = self.deques.len();
         for offset in 0..workers {
             let deque = &self.deques[(home + offset) % workers];
-            if let Some(batch) = deque.lock().unwrap().pop_front() {
+            if let Some(batch) = deque.lock().unwrap().pop() {
                 return Some(batch);
             }
         }
@@ -279,7 +519,9 @@ impl Pool {
                     })
                     .collect();
                 let mut results = self.results.lock().unwrap();
-                results.extend(outs);
+                for (index, result) in outs {
+                    results.insert(index, result);
+                }
                 drop(results);
                 self.results_ready.notify_one();
                 continue;
@@ -319,10 +561,14 @@ struct StopGuard<'p>(&'p Pool);
 impl Drop for StopGuard<'_> {
     fn drop(&mut self) {
         self.0.stop.store(true, Ordering::Release);
-        let guard = self.0.idle.lock().unwrap();
+        // Poison-tolerant locking: this drop runs *during unwinding* (that
+        // is its whole job), where finding a mutex the panicking thread
+        // poisoned is expected — an `unwrap` here would be a panic inside a
+        // drop, turning a clean unwind into a process abort.
+        let guard = self.0.idle.lock().unwrap_or_else(|e| e.into_inner());
         self.0.work_ready.notify_all();
         drop(guard);
-        let results = self.0.results.lock().unwrap();
+        let results = self.0.results.lock().unwrap_or_else(|e| e.into_inner());
         self.0.results_ready.notify_all();
         drop(results);
     }
@@ -346,7 +592,7 @@ impl PoolSource<'_> {
         deques[self.next_deque % deques.len()]
             .lock()
             .unwrap()
-            .push_back(batch);
+            .push(batch);
         self.next_deque += 1;
         // Serialize the notify against the workers' park re-check: a worker
         // either holds `idle` (and will observe the push above), or is
@@ -373,7 +619,7 @@ impl<P: Process> ResultSource<P> for PoolSource<'_> {
         }
         let mut results = self.pool.results.lock().unwrap();
         loop {
-            if let Some(result) = results.remove(&index) {
+            if let Some(result) = results.remove(index) {
                 return result;
             }
             // `stop` flips mid-run only when a worker unwound (its
@@ -418,6 +664,7 @@ fn drive<P, S>(
     limits: ExploreLimits,
     symmetric: bool,
     source: &mut S,
+    mem: &SpillContext,
 ) -> Result<(ExploreOutcome, ExploreStats), SimError>
 where
     P: Process,
@@ -441,6 +688,8 @@ where
                 configs: seen.len(),
                 frontier_peak,
                 depth_reached,
+                bytes_spilled: mem.tracker().bytes_spilled(),
+                peak_resident_bytes: mem.tracker().peak_resident_bytes(),
             }
         };
     }
@@ -599,12 +848,13 @@ pub(crate) fn explore_packed_seq<P: Protocol>(
         solo_budget: limits.solo_check_budget,
         symmetric,
     };
+    let mem = SpillContext::new(limits.memory_budget);
     let mut source = SeqSource {
         ctx: &ctx,
         cfg,
-        queue: VecDeque::new(),
+        queue: FrontierStore::new(NodeCodec, mem.clone()),
     };
-    drive(&ctx, root, inputs, limits, symmetric, &mut source)
+    drive(&ctx, root, inputs, limits, symmetric, &mut source, &mem)
 }
 
 /// Parallel packed exploration with a persistent work-stealing pool.
@@ -649,9 +899,12 @@ where
         solo_budget: limits.solo_check_budget,
         symmetric,
     };
+    let mem = SpillContext::new(limits.memory_budget);
     let pool = Pool {
-        deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-        results: Mutex::new(HashMap::new()),
+        deques: (0..workers)
+            .map(|_| Mutex::new(FrontierStore::new(BatchCodec, mem.clone())))
+            .collect(),
+        results: Mutex::new(ReorderBuffer::new(ResultCodec, mem.clone())),
         results_ready: Condvar::new(),
         idle: Mutex::new(()),
         work_ready: Condvar::new(),
@@ -673,7 +926,7 @@ where
         // released even if `drive` panics mid-commit — otherwise the scope's
         // implicit join would turn the panic into a deadlock.
         let _stop = StopGuard(&pool);
-        drive(&ctx, root, inputs, limits, symmetric, &mut source)
+        drive(&ctx, root, inputs, limits, symmetric, &mut source, &mem)
     })
 }
 
@@ -696,6 +949,20 @@ mod tests {
             let par = explore_packed_par(protocol, inputs, limits, false, workers).unwrap();
             assert_eq!(par, oracle, "packed engine at {workers} workers vs reference");
         }
+        // A zero memory budget (every push spills, root included) must be
+        // unobservable in the outcome — the full budget matrix lives in
+        // tests/memory_budget.rs; this pins the local invariant.
+        let budgeted = ExploreLimits {
+            memory_budget: Some(0),
+            ..limits
+        };
+        let spill = explore_packed_seq(protocol, inputs, budgeted, false).unwrap();
+        assert_eq!(spill, oracle, "zero-budget packed engine vs reference");
+        // Depth-0 runs without solo checks queue nothing, so only runs that
+        // dispatch at least the root are required to have spilled.
+        if limits.depth > 0 || limits.solo_check_budget.is_some() {
+            assert!(spill.1.bytes_spilled > 0, "zero budget must spill");
+        }
     }
 
     #[test]
@@ -707,6 +974,7 @@ mod tests {
                 depth: 10,
                 max_configs: 100_000,
                 solo_check_budget: Some(10),
+                memory_budget: None,
             },
         );
         agree(&OneMaxRegister::new(), &[0, 1], ExploreLimits::default());
@@ -725,6 +993,7 @@ mod tests {
                     depth: 12,
                     max_configs: cap,
                     solo_check_budget: None,
+                    memory_budget: None,
                 },
             );
         }
@@ -739,6 +1008,7 @@ mod tests {
                     depth: 14,
                     max_configs: cap,
                     solo_check_budget: None,
+                    memory_budget: None,
                 },
             );
         }
@@ -750,6 +1020,7 @@ mod tests {
                     depth,
                     max_configs: 100_000,
                     solo_check_budget: None,
+                    memory_budget: None,
                 },
             );
         }

@@ -72,6 +72,10 @@ pub fn reference_explore<P: Protocol>(
                 configs: seen.len(),
                 frontier_peak,
                 depth_reached: depth,
+                // The oracle keeps everything live on purpose (collision
+                // detection); it neither budgets nor spills.
+                bytes_spilled: 0,
+                peak_resident_bytes: 0,
             }
         };
     }
@@ -184,6 +188,7 @@ mod tests {
                 depth: 10,
                 max_configs: 100_000,
                 solo_check_budget: Some(10),
+                memory_budget: None,
             },
         );
         agree(
@@ -193,6 +198,7 @@ mod tests {
                 depth: 10,
                 max_configs: 100_000,
                 solo_check_budget: None,
+                memory_budget: None,
             },
         );
     }
@@ -215,6 +221,7 @@ mod tests {
                     depth: 12,
                     max_configs: cap,
                     solo_check_budget: None,
+                    memory_budget: None,
                 },
             );
         }
@@ -232,6 +239,7 @@ mod tests {
                     depth,
                     max_configs: 100_000,
                     solo_check_budget: None,
+                    memory_budget: None,
                 },
             );
         }

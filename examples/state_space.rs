@@ -4,9 +4,11 @@
 //! at a small `n` and a bounded horizon, printing how many semantically
 //! distinct configurations are reachable, whether the horizon exhausted the
 //! space, and that no agreement/validity violation exists within it. Also
-//! demonstrates the two engine features beyond plain exploration: the
-//! process-symmetry reduction (anonymous protocols, duplicated inputs) and
-//! the worker-count invariance of outcomes.
+//! demonstrates the engine features beyond plain exploration: the
+//! process-symmetry reduction (anonymous protocols, duplicated inputs), the
+//! worker-count invariance of outcomes, and the memory-bounded frontier
+//! (a byte budget that delta-compresses and spills queued layers to disk
+//! without changing a single reported number).
 
 use space_hierarchy::protocols::bitwise::{tas_reset_consensus, write01_consensus};
 use space_hierarchy::protocols::buffer::buffer_consensus;
@@ -27,6 +29,7 @@ where
         depth,
         max_configs: 200_000,
         solo_check_budget: None,
+        memory_budget: None,
     };
     let outcome = Explorer::new()
         .limits(limits)
@@ -64,6 +67,7 @@ fn main() {
         depth: 10,
         max_configs: 200_000,
         solo_check_budget: None,
+        memory_budget: None,
     };
     let plain = Explorer::new().limits(limits).explore(&protocol, &inputs).unwrap();
     let reduced = Explorer::new()
@@ -94,5 +98,36 @@ fn main() {
     };
     println!(
         "  1, 2, 4 and 8 workers all find the Theorem-4.1 violation via schedule {schedule:?}"
+    );
+
+    println!("\nMemory-bounded frontier (tas+reset, budget = 10% of observed peak):");
+    let protocol = tas_reset_consensus(3);
+    let inputs = [0u64, 1, 2];
+    let limits = ExploreLimits {
+        depth: 10,
+        max_configs: 200_000,
+        solo_check_budget: None,
+        memory_budget: None,
+    };
+    let explorer = Explorer::new().limits(limits);
+    let (outcome, stats) = explorer.explore_stats(&protocol, &inputs).unwrap();
+    let budget = (stats.peak_resident_bytes / 10).max(1);
+    let (spilled_outcome, spilled_stats) = explorer
+        .memory_budget(Some(budget))
+        .explore_stats(&protocol, &inputs)
+        .unwrap();
+    // The budget moves bytes to disk; it never changes what is explored.
+    assert_eq!(spilled_outcome, outcome);
+    assert_eq!(spilled_stats, stats);
+    assert!(spilled_stats.bytes_spilled > 0);
+    println!(
+        "  unbounded: {} configs, {} KiB frontier-resident at peak",
+        stats.configs,
+        stats.peak_resident_bytes / 1024
+    );
+    println!(
+        "  budget {} KiB: same outcome and stats bit for bit, {} KiB delta-spilled to disk",
+        budget / 1024,
+        spilled_stats.bytes_spilled / 1024
     );
 }

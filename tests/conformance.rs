@@ -17,7 +17,13 @@
 //! - `CONFORMANCE_WORKERS` — fan-out worker count diffed against the
 //!   sequential engine (default 4; CI sweeps 1 and 8 too);
 //! - `CONFORMANCE_SYM` — `0` disables the symmetry-reduced backends (the
-//!   other axis of CI's matrix). Every run is a pure function of these.
+//!   other axis of CI's matrix);
+//! - `CONFORMANCE_MEM_BUDGET` — frontier memory budget in bytes for the
+//!   exhaustive backends (unset = unbounded; CI's tiny-budget columns pin it
+//!   to 0 and 4096 so every scenario crosses the spill paths while the
+//!   never-spilling reference BFS still demands bit-identical results).
+//!
+//! Every run is a pure function of these.
 
 use proptest::prelude::*;
 use space_hierarchy::conformance::{
@@ -52,6 +58,9 @@ fn suite_config() -> ConformanceConfig {
         explorer_workers: env_u64("CONFORMANCE_WORKERS", defaults.explorer_workers as u64)
             as usize,
         symmetry: env_u64("CONFORMANCE_SYM", 1) != 0,
+        memory_budget: std::env::var("CONFORMANCE_MEM_BUDGET")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok()),
         ..defaults
     }
 }

@@ -63,6 +63,7 @@ where
         depth: 5,
         max_configs: 30_000,
         solo_check_budget: None,
+        memory_budget: None,
     };
     let run = |symmetry: bool, workers: usize| {
         Explorer::new()

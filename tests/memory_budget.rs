@@ -1,0 +1,171 @@
+//! Tier-1 budget-stress suite for the memory-bounded frontier.
+//!
+//! The spillable frontier's contract is absolute: `(ExploreOutcome,
+//! ExploreStats)` are bit-identical to the unbounded run at any
+//! `memory_budget` and any worker count — the budget may only move bytes
+//! between RAM and the spill arena, never change what is explored. Three
+//! angles on that contract:
+//!
+//! - the two densest Table-1 rows (`tas-reset`, `write01`), re-explored with
+//!   the budget pinned to ~10% of the unbounded run's observed resident
+//!   peak, at 1 and 4 workers;
+//! - every registry row under a **zero** budget — spilling on every layer,
+//!   including the root — at 1, 4 and 8 workers;
+//! - the legacy barrier engine through the same store, budgeted vs not.
+//!
+//! `bytes_spilled` must be *nonzero* on every budgeted run (the stress is
+//! real) and zero on every unbounded one (spilling is strictly opt-in).
+
+use space_hierarchy::model::Protocol;
+use space_hierarchy::protocols::bitwise::{tas_reset_consensus, write01_consensus};
+use space_hierarchy::protocols::registry::{self, RowSpec, RowVisitor};
+use space_hierarchy::verify::checker::{ExploreLimits, ExploreOutcome, ExploreStats, Explorer};
+use space_hierarchy::verify::legacy::legacy_explore_stats;
+
+fn explore_at<P>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    workers: usize,
+) -> (ExploreOutcome, ExploreStats)
+where
+    P: Protocol,
+    P::Proc: Send + Sync,
+{
+    Explorer::new()
+        .workers(workers)
+        .limits(limits)
+        .explore_stats(protocol, inputs)
+        .expect("workload explores without model errors")
+}
+
+/// Unbounded baseline, then budgeted reruns: outcome and semantic stats must
+/// compare equal (`ExploreStats` equality excludes the spill telemetry), the
+/// budgeted runs must actually spill, and the unbounded one must not.
+fn assert_budget_invariance<P>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    budget: impl Fn(&ExploreStats) -> usize,
+    workers: &[usize],
+) where
+    P: Protocol,
+    P::Proc: Send + Sync,
+{
+    let name = protocol.name();
+    let unbounded = explore_at(protocol, inputs, limits, 1);
+    assert_eq!(unbounded.1.bytes_spilled, 0, "{name}: unbounded run spilled");
+    assert!(
+        unbounded.1.peak_resident_bytes > 0,
+        "{name}: peak telemetry missing"
+    );
+    let budgeted_limits = ExploreLimits {
+        memory_budget: Some(budget(&unbounded.1)),
+        ..limits
+    };
+    for &w in workers {
+        let spilled = explore_at(protocol, inputs, budgeted_limits, w);
+        assert_eq!(
+            spilled, unbounded,
+            "{name}: budget {:?} at {w} workers diverged",
+            budgeted_limits.memory_budget
+        );
+        assert!(
+            spilled.1.bytes_spilled > 0,
+            "{name}: budget {:?} at {w} workers never spilled",
+            budgeted_limits.memory_budget
+        );
+    }
+}
+
+#[test]
+fn densest_rows_at_ten_percent_budget_match_unbounded() {
+    // The two Theorem 9.4 rows are the widest frontiers in the registry —
+    // the workloads the disk-spilling frontier exists for.
+    let limits = ExploreLimits {
+        depth: 9,
+        max_configs: 200_000,
+        solo_check_budget: None,
+        memory_budget: None,
+    };
+    assert_budget_invariance(
+        &tas_reset_consensus(3),
+        &[0, 1, 2],
+        limits,
+        |stats| (stats.peak_resident_bytes / 10).max(1),
+        &[1, 4],
+    );
+    assert_budget_invariance(
+        &write01_consensus(3),
+        &[0, 1, 2],
+        limits,
+        |stats| (stats.peak_resident_bytes / 10).max(1),
+        &[1, 4],
+    );
+}
+
+/// Visits one registry row: zero budget (spill on every layer, root
+/// included) at 1, 4 and 8 workers against the unbounded baseline.
+struct SpillEveryLayer;
+
+impl RowVisitor for SpillEveryLayer {
+    type Output = ();
+
+    fn visit<P>(&mut self, spec: &RowSpec, protocol: P)
+    where
+        P: Protocol,
+        P::Proc: Send + Sync,
+    {
+        let inputs: Vec<u64> = (0..protocol.n() as u64)
+            .map(|i| i % protocol.domain())
+            .collect();
+        let limits = ExploreLimits {
+            // Shallow horizon: 20 rows × 4 runs each must stay fast in debug
+            // builds; the dense-row test above supplies the depth stress.
+            depth: 5,
+            max_configs: 20_000,
+            solo_check_budget: None,
+            memory_budget: None,
+        };
+        let _ = spec;
+        assert_budget_invariance(&protocol, &inputs, limits, |_| 0, &[1, 4, 8]);
+    }
+}
+
+#[test]
+fn every_registry_row_is_budget_invariant_with_zero_budget() {
+    for row in registry::all_rows() {
+        registry::visit_row(row.id, 3, &mut SpillEveryLayer).expect("registered row");
+    }
+}
+
+#[test]
+fn legacy_engine_is_budget_invariant_too() {
+    let limits = ExploreLimits {
+        depth: 8,
+        max_configs: 100_000,
+        solo_check_budget: None,
+        memory_budget: None,
+    };
+    let protocol = tas_reset_consensus(3);
+    let inputs = [0u64, 1, 2];
+    let unbounded = legacy_explore_stats(&protocol, &inputs, limits, 1, false).unwrap();
+    assert_eq!(unbounded.1.bytes_spilled, 0);
+    let budgeted = ExploreLimits {
+        memory_budget: Some((unbounded.1.peak_resident_bytes / 10).max(1)),
+        ..limits
+    };
+    for workers in [1, 4] {
+        let spilled = legacy_explore_stats(&protocol, &inputs, budgeted, workers, false).unwrap();
+        assert_eq!(spilled, unbounded, "legacy at {workers} workers diverged");
+        assert!(
+            spilled.1.bytes_spilled > 0,
+            "legacy at {workers} workers never spilled"
+        );
+    }
+    // And the budgeted legacy engine still agrees with the budgeted packed
+    // engine — the cross-engine bar the conformance suite holds unbudgeted
+    // runs to extends to spilling ones.
+    let packed = explore_at(&protocol, &inputs, budgeted, 4);
+    assert_eq!(packed, unbounded, "packed vs legacy under budget");
+}
