@@ -3,17 +3,29 @@
 //! Runs a fixed set of Table-1 exploration workloads through the packed
 //! work-stealing engine and the legacy barrier engine at 1/2/4/8 workers,
 //! plus a **spilling** packed run (frontier memory budget pinned to 10% of
-//! the unbounded run's observed resident peak), and emits machine-readable
-//! `BENCH_explore.json` (configs/sec per row × engine × worker count,
-//! packed-vs-legacy speedups, and per-row memory telemetry:
-//! `peak_resident_bytes`, `bytes_spilled`, `spill_slowdown_w1`). CI uploads
-//! the file as a non-gating artifact, so engine-throughput history
-//! accumulates per commit without making perf a flaky test.
+//! the unbounded run's observed resident peak) and a packed-only
+//! **deep-horizon** row (≥10⁶ configs, where claim-table occupancy and
+//! intern-cache hit rates actually matter), and emits machine-readable
+//! `BENCH_explore.json` (schema `bench_explore/v3`: configs/sec per row ×
+//! engine × worker count, packed-vs-legacy and w8-vs-w1 speedups, the
+//! host's `hw_threads`, and per-row memory telemetry: `peak_resident_bytes`,
+//! `bytes_spilled`, `spill_slowdown_w1`). CI uploads the file as a
+//! non-gating artifact, so engine-throughput history accumulates per commit
+//! without making perf a flaky test.
 //!
 //! Every run first cross-checks that both engines produce bit-identical
 //! `(ExploreOutcome, ExploreStats)` on every workload — a measurement of two
-//! disagreeing engines would be meaningless — and the spilling run is held
-//! to the same bar against the unbounded one.
+//! disagreeing engines would be meaningless — and the spilling and
+//! deep-horizon runs are held to the same bar (deep: packed w8 vs w1).
+//!
+//! After writing the JSON the harness scans for parallel-scaling
+//! regressions: any row whose packed 8-worker throughput falls below 0.9×
+//! its 1-worker throughput is flagged on stderr and the process exits 2.
+//! The check is skipped when the host has a single hardware thread
+//! (`hw_threads` records this in the artifact) — there, 8 workers time-slice
+//! one core and a "regression" would only measure the scheduler. The CI
+//! step runs with `continue-on-error`, so the flag annotates the log
+//! without gating the build.
 //!
 //! Usage: `bench_explore [--quick] [--out PATH]`
 //!   --quick   one timed iteration per cell (CI smoke) instead of three
@@ -29,6 +41,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// w8-vs-w1 ratios below this are reported as scaling regressions (when the
+/// host has real parallelism to measure).
+const SCALING_FLOOR: f64 = 0.9;
 
 /// One measured cell: engine × worker count on one workload.
 struct Cell {
@@ -174,6 +190,71 @@ where
     }
 }
 
+/// The deep-horizon row: a state space past 10⁶ configs, measured
+/// packed-only at 1 and 8 workers. The legacy engine is deliberately
+/// skipped — at its ~5–10× lower throughput the row would dominate the
+/// whole harness — and so are the spill cells (the memory-budget suites
+/// already pin spilling semantics). What the row *does* reach is the regime
+/// the small rows can't: claim-table occupancy high enough for real probe
+/// chains, intern tables big enough that the per-worker caches are
+/// load-bearing, and a frontier wide enough for adaptive batching to leave
+/// its minimum.
+fn bench_deep_row<P: Protocol>(
+    name: &'static str,
+    protocol: P,
+    inputs: &[u64],
+    depth: usize,
+    iters: usize,
+) -> RowReport
+where
+    P::Proc: Send + Sync,
+{
+    let limits = ExploreLimits {
+        depth,
+        max_configs: 3_000_000,
+        solo_check_budget: None,
+        memory_budget: None,
+    };
+    // Conformance gate at full scale: the racing claim path must reproduce
+    // the sequential committer bit-for-bit. These two runs double as the
+    // warm-ups for the timed cells below.
+    let w1 = run_engine(true, &protocol, inputs, limits, 1);
+    let w8 = run_engine(true, &protocol, inputs, limits, 8);
+    assert_eq!(w1, w8, "{name}: packed w1 and w8 diverged");
+    let configs = w1.1.configs;
+    assert!(
+        configs >= 1_000_000,
+        "{name}: deep-horizon row shrank below 10^6 configs ({configs})"
+    );
+
+    let mut cells = Vec::new();
+    for workers in [1usize, 8] {
+        let mut best = f64::MAX;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let out = run_engine(true, &protocol, inputs, limits, workers);
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(out.1.configs, configs, "{name}: nondeterministic run");
+            best = best.min(secs);
+        }
+        cells.push(Cell {
+            engine: "packed",
+            workers,
+            secs: best,
+            configs_per_sec: configs as f64 / best,
+        });
+    }
+
+    RowReport {
+        name,
+        configs,
+        peak_resident_bytes: w1.1.peak_resident_bytes,
+        spill_budget: 0,
+        bytes_spilled: 0,
+        cells,
+    }
+}
+
 fn cps(report: &RowReport, engine: &str, workers: usize) -> f64 {
     report
         .cells
@@ -189,9 +270,23 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn render_json(rows: &[RowReport]) -> String {
+/// Writes `"key": ratio` with `null` for cells the row never measured
+/// (e.g. legacy speedups on the packed-only deep-horizon row).
+fn write_ratio(out: &mut String, key: &str, value: f64) {
+    if value.is_finite() {
+        let _ = writeln!(out, "      \"{key}\": {value:.3},");
+    } else {
+        let _ = writeln!(out, "      \"{key}\": null,");
+    }
+}
+
+fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"bench_explore/v2\",\n");
+    out.push_str("{\n  \"schema\": \"bench_explore/v3\",\n");
+    // Hardware parallelism actually available to the run: throughput and
+    // scaling numbers are meaningless without it (packed w8 on a 1-thread
+    // host measures the scheduler, not the engine).
+    let _ = writeln!(out, "  \"hw_threads\": {hw_threads},");
     let _ = writeln!(
         out,
         "  \"worker_counts\": [{}],",
@@ -209,21 +304,25 @@ fn render_json(rows: &[RowReport]) -> String {
         );
         let _ = writeln!(out, "      \"spill_budget\": {},", row.spill_budget);
         let _ = writeln!(out, "      \"bytes_spilled\": {},", row.bytes_spilled);
-        let slowdown = cps(row, "packed", 1) / cps(row, "packed-spill", 1);
-        if slowdown.is_finite() {
-            let _ = writeln!(out, "      \"spill_slowdown_w1\": {slowdown:.3},");
-        } else {
-            let _ = writeln!(out, "      \"spill_slowdown_w1\": null,");
-        }
-        let _ = writeln!(
-            out,
-            "      \"speedup_packed_vs_legacy_w8\": {:.3},",
-            cps(row, "packed", 8) / cps(row, "legacy", 8)
+        write_ratio(
+            &mut out,
+            "spill_slowdown_w1",
+            cps(row, "packed", 1) / cps(row, "packed-spill", 1),
         );
-        let _ = writeln!(
-            out,
-            "      \"speedup_packed_vs_legacy_w1\": {:.3},",
-            cps(row, "packed", 1) / cps(row, "legacy", 1)
+        write_ratio(
+            &mut out,
+            "speedup_packed_vs_legacy_w8",
+            cps(row, "packed", 8) / cps(row, "legacy", 8),
+        );
+        write_ratio(
+            &mut out,
+            "speedup_packed_vs_legacy_w1",
+            cps(row, "packed", 1) / cps(row, "legacy", 1),
+        );
+        write_ratio(
+            &mut out,
+            "speedup_packed_w8_vs_w1",
+            cps(row, "packed", 8) / cps(row, "packed", 1),
         );
         out.push_str("      \"cells\": [\n");
         for (j, cell) in row.cells.iter().enumerate() {
@@ -244,6 +343,14 @@ fn render_json(rows: &[RowReport]) -> String {
     out
 }
 
+fn fmt_cps(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.0}")
+    } else {
+        "-".to_string()
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -254,6 +361,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_explore.json".to_string());
     let iters = if quick { 1 } else { 3 };
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let rows = vec![
         bench_row("maxreg_n2_d18", MaxRegConsensus::new(2), &[0, 1], 18, iters),
@@ -273,10 +381,17 @@ fn main() {
             14,
             iters,
         ),
+        bench_deep_row(
+            "maxreg_n4_d26_deep",
+            MaxRegConsensus::new(4),
+            &[0, 1, 2, 3],
+            26,
+            iters,
+        ),
     ];
 
     eprintln!(
-        "row               configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8  spill-w1  slow  spilledKB"
+        "row                 configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8  spill-w1  slow  spilledKB"
     );
     for row in &rows {
         let spill_cps = cps(row, "packed-spill", 1);
@@ -288,22 +403,54 @@ fn main() {
         } else {
             ("-".to_string(), "-".to_string())
         };
+        let pl_w8 = cps(row, "packed", 8) / cps(row, "legacy", 8);
+        let pl_col = if pl_w8.is_finite() {
+            format!("{pl_w8:.2}x")
+        } else {
+            "-".to_string()
+        };
         eprintln!(
-            "{:<17} {:>7}  {:>9.0}  {:>9.0}  {:>9.0}  {:>9.0}  {:>6.2}x {:>9} {:>5} {:>9}",
+            "{:<19} {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7} {:>9} {:>5} {:>9}",
             row.name,
             row.configs,
-            cps(row, "packed", 1),
-            cps(row, "packed", 8),
-            cps(row, "legacy", 1),
-            cps(row, "legacy", 8),
-            cps(row, "packed", 8) / cps(row, "legacy", 8),
+            fmt_cps(cps(row, "packed", 1)),
+            fmt_cps(cps(row, "packed", 8)),
+            fmt_cps(cps(row, "legacy", 1)),
+            fmt_cps(cps(row, "legacy", 8)),
+            pl_col,
             spill_col,
             slow_col,
             row.bytes_spilled / 1024,
         );
     }
 
-    let json = render_json(&rows);
+    let json = render_json(&rows, hw_threads);
     std::fs::write(&out_path, &json).expect("write BENCH_explore.json");
     eprintln!("wrote {out_path}");
+
+    // Parallel-scaling watchdog: runs after the artifact is written so a
+    // flagged run still leaves its numbers behind. Only meaningful with real
+    // hardware parallelism — on a single-thread host, 8 workers time-slicing
+    // one core would "regress" on every row and the flag would just measure
+    // the scheduler.
+    if hw_threads < 2 {
+        eprintln!(
+            "note: hw_threads={hw_threads}; skipping parallel-scaling check (no parallelism to measure)"
+        );
+        return;
+    }
+    let mut flagged = false;
+    for row in &rows {
+        let ratio = cps(row, "packed", 8) / cps(row, "packed", 1);
+        if ratio.is_finite() && ratio < SCALING_FLOOR {
+            eprintln!(
+                "warning: {}: packed w8 runs at {ratio:.2}x of w1 — parallel scaling regression",
+                row.name
+            );
+            flagged = true;
+        }
+    }
+    if flagged {
+        std::process::exit(2);
+    }
 }

@@ -61,7 +61,7 @@ pub use instruction::{Instruction, InstructionKind, Op};
 pub use iset::InstructionSet;
 pub use memory::{Locations, Memory, MemorySpec, MemoryUndo};
 pub use packed::delta::{apply_delta, decode_flat, encode_delta, encode_flat, DeltaError};
-pub use packed::{PackedCtx, PackedState, PackedStepOutcome, PackedUndo};
+pub use packed::{PackedCache, PackedCtx, PackedState, PackedStepOutcome, PackedUndo};
 pub use process::{Action, ConsensusInput, Process, Protocol};
 pub use schedule::{Schedule, ScheduleParseError};
 pub use value::Value;

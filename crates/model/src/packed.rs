@@ -122,6 +122,19 @@ impl<T: Clone + Eq + Hash, M: Copy> Interner<T, M> {
     /// `decided` becomes the id's flag bit.
     fn intern(&self, value: T, decided: bool, meta: impl FnOnce(&T, u128) -> M) -> u32 {
         let hash = fingerprint_of(&value);
+        self.intern_prehashed(hash, value, decided, meta)
+    }
+
+    /// [`Interner::intern`] with the content hash already computed — the
+    /// entry point for cache-missing callers that hashed the value to probe
+    /// their cache first. `hash` must be `fingerprint_of(&value)`.
+    fn intern_prehashed(
+        &self,
+        hash: u128,
+        value: T,
+        decided: bool,
+        meta: impl FnOnce(&T, u128) -> M,
+    ) -> u32 {
         let shard_index = (hash as usize) & (ID_SHARDS - 1);
         let shard = &self.shards[shard_index];
         {
@@ -167,6 +180,64 @@ struct ProcMeta {
 #[derive(Clone, Copy)]
 struct CellMeta {
     hash: u128,
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker read-through cache
+// ---------------------------------------------------------------------------
+
+/// A per-worker **read-through cache** over a [`PackedCtx`]'s intern tables.
+///
+/// Interner entries are immutable once published and ids are stable, so a
+/// cached `id → entry` or `content-hash → id` mapping can never go stale:
+/// the cache needs no invalidation protocol, only population. Each worker
+/// thread of the parallel explorer owns one, turning the shard read-locks
+/// of the hot expansion loop into thread-local hash lookups — the shared
+/// tables are consulted (and the cache grown) only on first sight of a
+/// process state or interned cell.
+///
+/// Caching is **semantically invisible**: every `*_cached` method on
+/// [`PackedCtx`] returns exactly what its uncached twin returns, because
+/// both read the same immutable entries. A cache is bound to the context
+/// whose ids it stores; using it with another context is a logic error
+/// (same contract as [`PackedState`] itself).
+pub struct PackedCache<P: Process> {
+    /// Interned id → (process state, its metadata).
+    procs: HashMap<u32, (P, ProcMeta)>,
+    /// Content hash → interned id: the intern-write fast path.
+    proc_ids: HashMap<u128, u32>,
+    /// Interned cell id → (cell, content hash).
+    cells: HashMap<u32, (CellState, u128)>,
+    /// Content hash → encoded word: the encode fast path.
+    cell_words: HashMap<u128, u64>,
+}
+
+impl<P: Process> PackedCache<P> {
+    /// An empty cache (allocation-free until the first miss is recorded).
+    pub fn new() -> Self {
+        PackedCache {
+            procs: HashMap::new(),
+            proc_ids: HashMap::new(),
+            cells: HashMap::new(),
+            cell_words: HashMap::new(),
+        }
+    }
+
+    /// Cached entries across all four maps (observability/tests).
+    pub fn len(&self) -> usize {
+        self.procs.len() + self.proc_ids.len() + self.cells.len() + self.cell_words.len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<P: Process> Default for PackedCache<P> {
+    fn default() -> Self {
+        PackedCache::new()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -319,76 +390,166 @@ impl<P: Process> PackedCtx<P> {
     }
 
     // -- encoding -----------------------------------------------------------
+    //
+    // Every accessor comes in an `_opt` form threading an optional
+    // [`PackedCache`]: `Some(cache)` reads through the caller's thread-local
+    // cache (populating it on miss), `None` hits the shared tables directly.
+    // The legacy uncached names are thin `_opt(None, ..)` wrappers so the
+    // cached and uncached paths share one implementation and cannot drift.
+
+    /// Reads the process entry behind `id` through the cache if one is given.
+    fn proc_entry<R>(
+        &self,
+        cache: Option<&mut PackedCache<P>>,
+        id: u32,
+        f: impl FnOnce(&P, &ProcMeta) -> R,
+    ) -> R {
+        match cache {
+            Some(cache) => {
+                let (p, meta) = cache
+                    .procs
+                    .entry(id)
+                    .or_insert_with(|| self.procs.with(id, |p, meta| (p.clone(), *meta)));
+                f(p, meta)
+            }
+            None => self.procs.with(id, f),
+        }
+    }
+
+    /// Reads the interned-cell entry behind `id` through the cache if given.
+    fn cell_entry<R>(
+        &self,
+        cache: Option<&mut PackedCache<P>>,
+        id: u32,
+        f: impl FnOnce(&CellState, u128) -> R,
+    ) -> R {
+        match cache {
+            Some(cache) => {
+                let (cell, hash) = cache
+                    .cells
+                    .entry(id)
+                    .or_insert_with(|| self.cells.with(id, |cell, meta| (cell.clone(), meta.hash)));
+                f(cell, *hash)
+            }
+            None => self.cells.with(id, |cell, meta| f(cell, meta.hash)),
+        }
+    }
 
     /// Canonical word for a cell: small integers and `⊥` inline, everything
     /// else interned. Canonical means word equality ⟺ cell equality.
-    fn encode_cell(&self, cell: CellState) -> u64 {
+    fn encode_cell_opt(&self, cache: Option<&mut PackedCache<P>>, cell: CellState) -> u64 {
         match &cell {
             CellState::Word(Value::Bot) => TAG_BOT,
             CellState::Word(Value::Int(i)) => match i.to_i64() {
                 Some(v) if (INLINE_MIN..=INLINE_MAX).contains(&v) => {
                     ((v << 2) as u64) | TAG_INT
                 }
-                _ => self.intern_cell(cell),
+                _ => self.intern_cell_opt(cache, cell),
             },
-            _ => self.intern_cell(cell),
+            _ => self.intern_cell_opt(cache, cell),
         }
     }
 
-    fn intern_cell(&self, cell: CellState) -> u64 {
-        let id = self
-            .cells
-            .intern(cell, false, |_, hash| CellMeta { hash });
-        ((id as u64) << 2) | TAG_REF
+    fn encode_cell(&self, cell: CellState) -> u64 {
+        self.encode_cell_opt(None, cell)
+    }
+
+    fn intern_cell_opt(&self, cache: Option<&mut PackedCache<P>>, cell: CellState) -> u64 {
+        match cache {
+            Some(cache) => {
+                let hash = fingerprint_of(&cell);
+                if let Some(&word) = cache.cell_words.get(&hash) {
+                    return word;
+                }
+                let id = self
+                    .cells
+                    .intern_prehashed(hash, cell, false, |_, hash| CellMeta { hash });
+                let word = ((id as u64) << 2) | TAG_REF;
+                cache.cell_words.insert(hash, word);
+                word
+            }
+            None => {
+                let id = self.cells.intern(cell, false, |_, hash| CellMeta { hash });
+                ((id as u64) << 2) | TAG_REF
+            }
+        }
     }
 
     /// Decodes a word back to its cell.
-    fn decode_cell(&self, word: u64) -> CellState {
+    fn decode_cell_opt(&self, cache: Option<&mut PackedCache<P>>, word: u64) -> CellState {
         match word & TAG_MASK {
             TAG_BOT => CellState::word(Value::Bot),
             TAG_INT => CellState::word(Value::int((word as i64) >> 2)),
-            TAG_REF => self
-                .cells
-                .with((word >> 2) as u32, |cell, _| cell.clone()),
+            TAG_REF => self.cell_entry(cache, (word >> 2) as u32, |cell, _| cell.clone()),
             _ => unreachable!("unused cell word tag"),
         }
     }
 
     /// Content hash of the cell a word encodes, without decoding interned
     /// entries (their hash is cached).
-    fn word_hash(&self, word: u64) -> u128 {
+    fn word_hash_opt(&self, cache: Option<&mut PackedCache<P>>, word: u64) -> u128 {
         match word & TAG_MASK {
             TAG_BOT => self.bot_hash,
             TAG_INT => fingerprint_of(&CellState::word(Value::int((word as i64) >> 2))),
-            TAG_REF => self.cells.with((word >> 2) as u32, |_, meta| meta.hash),
+            TAG_REF => self.cell_entry(cache, (word >> 2) as u32, |_, hash| hash),
             _ => unreachable!("unused cell word tag"),
         }
     }
 
+    fn intern_proc_opt(&self, cache: Option<&mut PackedCache<P>>, p: P) -> u32 {
+        match cache {
+            Some(cache) => {
+                let hash = fingerprint_of(&p);
+                if let Some(&id) = cache.proc_ids.get(&hash) {
+                    return id;
+                }
+                let decision = p.action().decision();
+                let meta = ProcMeta { hash, decision };
+                let id =
+                    self.procs
+                        .intern_prehashed(hash, p.clone(), decision.is_some(), |_, _| meta);
+                cache.proc_ids.insert(hash, id);
+                cache.procs.entry(id).or_insert((p, meta));
+                id
+            }
+            None => {
+                let decision = p.action().decision();
+                self.procs
+                    .intern(p, decision.is_some(), |_, hash| ProcMeta { hash, decision })
+            }
+        }
+    }
+
     fn intern_proc(&self, p: P) -> u32 {
-        let decision = p.action().decision();
-        self.procs
-            .intern(p, decision.is_some(), |_, hash| ProcMeta { hash, decision })
+        self.intern_proc_opt(None, p)
     }
 
     /// The process state behind `id`, cloned out of the table.
     pub fn proc_state(&self, id: u32) -> P {
-        self.procs.with(id, |p, _| p.clone())
+        self.proc_state_opt(None, id)
     }
 
-    fn proc_action(&self, id: u32) -> Action {
-        self.procs.with(id, |p, _| p.action())
+    fn proc_state_opt(&self, cache: Option<&mut PackedCache<P>>, id: u32) -> P {
+        self.proc_entry(cache, id, |p, _| p.clone())
     }
 
-    fn proc_hash(&self, id: u32) -> u128 {
-        self.procs.with(id, |_, meta| meta.hash)
+    fn proc_action_opt(&self, cache: Option<&mut PackedCache<P>>, id: u32) -> Action {
+        self.proc_entry(cache, id, |p, _| p.action())
     }
 
-    fn proc_decision(&self, id: u32) -> Option<u64> {
+    fn proc_hash_opt(&self, cache: Option<&mut PackedCache<P>>, id: u32) -> u128 {
+        self.proc_entry(cache, id, |_, meta| meta.hash)
+    }
+
+    fn proc_decision_opt(&self, cache: Option<&mut PackedCache<P>>, id: u32) -> Option<u64> {
         if !id_decided(id) {
             return None; // fast path: flag bit avoids the table read
         }
-        self.procs.with(id, |_, meta| meta.decision)
+        self.proc_entry(cache, id, |_, meta| meta.decision)
+    }
+
+    fn proc_decision(&self, id: u32) -> Option<u64> {
+        self.proc_decision_opt(None, id)
     }
 
     // -- semantic queries ----------------------------------------------------
@@ -397,6 +558,16 @@ impl<P: Process> PackedCtx<P> {
     /// semantic decision query).
     pub fn decision(&self, state: &PackedState, pid: usize) -> Option<u64> {
         state.decided[pid].or_else(|| self.proc_decision(state.procs[pid]))
+    }
+
+    /// [`PackedCtx::decision`] through a worker-local cache.
+    pub fn decision_cached(
+        &self,
+        cache: &mut PackedCache<P>,
+        state: &PackedState,
+        pid: usize,
+    ) -> Option<u64> {
+        state.decided[pid].or_else(|| self.proc_decision_opt(Some(cache), state.procs[pid]))
     }
 
     /// `true` if `pid` has not decided.
@@ -439,8 +610,33 @@ impl<P: Process> PackedCtx<P> {
     /// Unpacks a configuration into its semantic parts: process states,
     /// recorded decisions, a rebuilt [`Memory`], and the step counter.
     pub fn unpack(&self, state: &PackedState) -> (Vec<P>, Vec<Option<u64>>, Memory, u64) {
-        let procs = state.procs.iter().map(|&id| self.proc_state(id)).collect();
-        let cells = state.cells.iter().map(|&w| self.decode_cell(w)).collect();
+        self.unpack_opt(None, state)
+    }
+
+    /// [`PackedCtx::unpack`] through a worker-local cache.
+    pub fn unpack_cached(
+        &self,
+        cache: &mut PackedCache<P>,
+        state: &PackedState,
+    ) -> (Vec<P>, Vec<Option<u64>>, Memory, u64) {
+        self.unpack_opt(Some(cache), state)
+    }
+
+    fn unpack_opt(
+        &self,
+        mut cache: Option<&mut PackedCache<P>>,
+        state: &PackedState,
+    ) -> (Vec<P>, Vec<Option<u64>>, Memory, u64) {
+        let procs = state
+            .procs
+            .iter()
+            .map(|&id| self.proc_state_opt(cache.as_deref_mut(), id))
+            .collect();
+        let cells = state
+            .cells
+            .iter()
+            .map(|&w| self.decode_cell_opt(cache.as_deref_mut(), w))
+            .collect();
         let memory = Memory::from_raw_parts(
             self.iset,
             self.growable,
@@ -456,7 +652,12 @@ impl<P: Process> PackedCtx<P> {
     /// Pure op application against the packed memory: computes the result
     /// value and the cell edit without mutating anything, with exactly the
     /// checks, ordering and error values of [`Memory::apply`].
-    fn apply_op(&self, state: &PackedState, op: &Op) -> Result<(Value, MemEdit), ModelError> {
+    fn apply_op_opt(
+        &self,
+        mut cache: Option<&mut PackedCache<P>>,
+        state: &PackedState,
+        op: &Op,
+    ) -> Result<(Value, MemEdit), ModelError> {
         let len = state.cells.len();
         let ensure = |loc: usize| -> Result<(), ModelError> {
             if loc < len || self.growable {
@@ -470,7 +671,7 @@ impl<P: Process> PackedCtx<P> {
                 self.iset.check(instr)?;
                 ensure(*loc)?;
                 let mut cell = if *loc < len {
-                    self.decode_cell(state.cells[*loc])
+                    self.decode_cell_opt(cache.as_deref_mut(), state.cells[*loc])
                 } else {
                     self.default_cell.clone()
                 };
@@ -511,7 +712,7 @@ impl<P: Process> PackedCtx<P> {
                 let mut changes = Vec::with_capacity(writes.len());
                 for (loc, v) in writes {
                     let mut cell = if *loc < len {
-                        self.decode_cell(state.cells[*loc])
+                        self.decode_cell_opt(cache.as_deref_mut(), state.cells[*loc])
                     } else {
                         self.default_cell.clone()
                     };
@@ -546,8 +747,31 @@ impl<P: Process> PackedCtx<P> {
         state: &mut PackedState,
         pid: usize,
     ) -> Result<(PackedStepOutcome, PackedUndo), ModelError> {
+        self.step_opt(None, state, pid)
+    }
+
+    /// [`PackedCtx::step`] through a worker-local cache.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`PackedCtx::step`].
+    pub fn step_cached(
+        &self,
+        cache: &mut PackedCache<P>,
+        state: &mut PackedState,
+        pid: usize,
+    ) -> Result<(PackedStepOutcome, PackedUndo), ModelError> {
+        self.step_opt(Some(cache), state, pid)
+    }
+
+    fn step_opt(
+        &self,
+        mut cache: Option<&mut PackedCache<P>>,
+        state: &mut PackedState,
+        pid: usize,
+    ) -> Result<(PackedStepOutcome, PackedUndo), ModelError> {
         let prev_decided = state.decided[pid];
-        match self.proc_action(state.procs[pid]) {
+        match self.proc_action_opt(cache.as_deref_mut(), state.procs[pid]) {
             Action::Decide(v) => {
                 state.decided[pid] = Some(v);
                 Ok((
@@ -560,7 +784,7 @@ impl<P: Process> PackedCtx<P> {
                 ))
             }
             Action::Invoke(op) => {
-                let (result, edit) = self.apply_op(state, &op)?;
+                let (result, edit) = self.apply_op_opt(cache.as_deref_mut(), state, &op)?;
                 let prev_len = state.cells.len();
                 let prev_touched = state.touched;
                 while state.cells.len() < edit.new_len {
@@ -571,16 +795,16 @@ impl<P: Process> PackedCtx<P> {
                     if loc < prev_len {
                         prev_words.push((loc, state.cells[loc]));
                     }
-                    state.cells[loc] = self.encode_cell(cell);
+                    state.cells[loc] = self.encode_cell_opt(cache.as_deref_mut(), cell);
                 }
                 state.touched = edit.new_touched;
                 let prev_proc = state.procs[pid];
-                let mut p = self.proc_state(prev_proc);
+                let mut p = self.proc_state_opt(cache.as_deref_mut(), prev_proc);
                 p.absorb(result.clone());
-                let new_id = self.intern_proc(p);
+                let new_id = self.intern_proc_opt(cache.as_deref_mut(), p);
                 state.procs[pid] = new_id;
                 state.steps += 1;
-                if let Some(v) = self.proc_decision(new_id) {
+                if let Some(v) = self.proc_decision_opt(cache, new_id) {
                     state.decided[pid] = Some(v);
                 }
                 Ok((
@@ -631,6 +855,22 @@ impl<P: Process> PackedCtx<P> {
         Ok(next)
     }
 
+    /// [`PackedCtx::branch_step`] through a worker-local cache.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`PackedCtx::step`].
+    pub fn branch_step_cached(
+        &self,
+        cache: &mut PackedCache<P>,
+        state: &PackedState,
+        pid: usize,
+    ) -> Result<PackedState, ModelError> {
+        let mut next = state.clone();
+        self.step_cached(cache, &mut next, pid)?;
+        Ok(next)
+    }
+
     // -- digests -------------------------------------------------------------
 
     /// Full-scan Zobrist digest: a wrapping sum of independent components,
@@ -643,20 +883,45 @@ impl<P: Process> PackedCtx<P> {
     /// semantic-configuration equality — the same partition
     /// `Machine::fingerprint` induces, through an independent construction.
     pub fn digest(&self, state: &PackedState, symmetric: bool) -> u128 {
+        self.digest_opt(None, state, symmetric)
+    }
+
+    /// [`PackedCtx::digest`] through a worker-local cache.
+    pub fn digest_cached(
+        &self,
+        cache: &mut PackedCache<P>,
+        state: &PackedState,
+        symmetric: bool,
+    ) -> u128 {
+        self.digest_opt(Some(cache), state, symmetric)
+    }
+
+    fn digest_opt(
+        &self,
+        mut cache: Option<&mut PackedCache<P>>,
+        state: &PackedState,
+        symmetric: bool,
+    ) -> u128 {
         let mut fp = comp_touched(state.touched);
         for pid in 0..state.n() {
-            fp = fp.wrapping_add(self.comp_proc(state, pid, symmetric));
+            fp = fp.wrapping_add(self.comp_proc_opt(cache.as_deref_mut(), state, pid, symmetric));
         }
         for (loc, &word) in state.cells.iter().enumerate() {
-            fp = fp.wrapping_add(comp_cell(loc, self.word_hash(word)));
+            fp = fp.wrapping_add(comp_cell(loc, self.word_hash_opt(cache.as_deref_mut(), word)));
         }
         fp
     }
 
-    fn comp_proc(&self, state: &PackedState, pid: usize, symmetric: bool) -> u128 {
+    fn comp_proc_opt(
+        &self,
+        cache: Option<&mut PackedCache<P>>,
+        state: &PackedState,
+        pid: usize,
+        symmetric: bool,
+    ) -> u128 {
         comp_proc_raw(
             pid,
-            self.proc_hash(state.procs[pid]),
+            self.proc_hash_opt(cache, state.procs[pid]),
             state.decided[pid],
             symmetric,
         )
@@ -678,16 +943,45 @@ impl<P: Process> PackedCtx<P> {
         base: u128,
         symmetric: bool,
     ) -> Result<u128, ModelError> {
+        self.edge_digest_opt(None, state, pid, base, symmetric)
+    }
+
+    /// [`PackedCtx::edge_digest`] through a worker-local cache. The preview
+    /// never writes to the *shared* tables, but may populate the cache.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`PackedCtx::step`] on the same edge.
+    pub fn edge_digest_cached(
+        &self,
+        cache: &mut PackedCache<P>,
+        state: &PackedState,
+        pid: usize,
+        base: u128,
+        symmetric: bool,
+    ) -> Result<u128, ModelError> {
+        self.edge_digest_opt(Some(cache), state, pid, base, symmetric)
+    }
+
+    fn edge_digest_opt(
+        &self,
+        mut cache: Option<&mut PackedCache<P>>,
+        state: &PackedState,
+        pid: usize,
+        base: u128,
+        symmetric: bool,
+    ) -> Result<u128, ModelError> {
         let id = state.procs[pid];
-        let old_comp = self.comp_proc(state, pid, symmetric);
-        match self.proc_action(id) {
+        let old_comp = self.comp_proc_opt(cache.as_deref_mut(), state, pid, symmetric);
+        match self.proc_action_opt(cache.as_deref_mut(), id) {
             Action::Decide(v) => {
-                let new_comp = comp_proc_raw(pid, self.proc_hash(id), Some(v), symmetric);
+                let hash = self.proc_hash_opt(cache.as_deref_mut(), id);
+                let new_comp = comp_proc_raw(pid, hash, Some(v), symmetric);
                 Ok(base.wrapping_sub(old_comp).wrapping_add(new_comp))
             }
             Action::Invoke(op) => {
-                let (result, edit) = self.apply_op(state, &op)?;
-                let mut p = self.proc_state(id);
+                let (result, edit) = self.apply_op_opt(cache.as_deref_mut(), state, &op)?;
+                let mut p = self.proc_state_opt(cache.as_deref_mut(), id);
                 p.absorb(result);
                 let new_decided = p.action().decision().or(state.decided[pid]);
                 let mut fp = base
@@ -696,7 +990,8 @@ impl<P: Process> PackedCtx<P> {
                 let old_len = state.cells.len();
                 for (loc, cell) in &edit.changes {
                     if *loc < old_len {
-                        fp = fp.wrapping_sub(comp_cell(*loc, self.word_hash(state.cells[*loc])));
+                        let cell_hash = self.word_hash_opt(cache.as_deref_mut(), state.cells[*loc]);
+                        fp = fp.wrapping_sub(comp_cell(*loc, cell_hash));
                     }
                     fp = fp.wrapping_add(comp_cell(*loc, fingerprint_of(cell)));
                 }
@@ -810,6 +1105,34 @@ mod tests {
     }
 
     #[test]
+    fn cached_paths_agree_with_uncached() {
+        let (ctx, state) = adder_setup(3, 2);
+        let mut cache = PackedCache::new();
+        for sym in [false, true] {
+            let base = ctx.digest(&state, sym);
+            assert_eq!(ctx.digest_cached(&mut cache, &state, sym), base);
+            for pid in 0..3 {
+                let preview = ctx.edge_digest(&state, pid, base, sym).unwrap();
+                assert_eq!(
+                    ctx.edge_digest_cached(&mut cache, &state, pid, base, sym).unwrap(),
+                    preview
+                );
+                let child = ctx.branch_step(&state, pid).unwrap();
+                let cached_child = ctx.branch_step_cached(&mut cache, &state, pid).unwrap();
+                assert_eq!(cached_child, child, "pid {pid} sym {sym}");
+                assert_eq!(
+                    ctx.decision_cached(&mut cache, &child, pid),
+                    ctx.decision(&child, pid)
+                );
+            }
+        }
+        // The cache warmed up and the cached unpack matches the plain one.
+        assert!(!cache.is_empty());
+        let plain = ctx.unpack(&state);
+        assert_eq!(ctx.unpack_cached(&mut cache, &state), plain);
+    }
+
+    #[test]
     fn decisions_are_recorded_and_tracked() {
         let (ctx, mut state) = adder_setup(2, 1);
         assert!(ctx.is_active(&state, 0));
@@ -843,7 +1166,7 @@ mod tests {
         for v in [0i64, 1, -1, INLINE_MAX, INLINE_MIN] {
             let word = ctx.encode_cell(CellState::word(Value::int(v)));
             assert_eq!(word & TAG_MASK, TAG_INT, "{v} should be inline");
-            assert_eq!(ctx.decode_cell(word), CellState::word(Value::int(v)));
+            assert_eq!(ctx.decode_cell_opt(None, word), CellState::word(Value::int(v)));
         }
         for cell in [
             CellState::word(Value::int(INLINE_MAX as i128 + 1)),
@@ -852,7 +1175,7 @@ mod tests {
         ] {
             let word = ctx.encode_cell(cell.clone());
             assert_eq!(word & TAG_MASK, TAG_REF, "{cell:?} must be interned");
-            assert_eq!(ctx.decode_cell(word), cell);
+            assert_eq!(ctx.decode_cell_opt(None, word), cell);
             // Canonical: re-encoding yields the identical word.
             assert_eq!(ctx.encode_cell(cell), word);
         }
@@ -883,12 +1206,12 @@ mod tests {
         let memory = Memory::new(&spec);
         let state = ctx.pack(&[], &[], &memory, 0);
         let op = Op::read(0); // read() is not in {compare-and-swap}
-        let packed_err = ctx.apply_op(&state, &op).unwrap_err();
+        let packed_err = ctx.apply_op_opt(None, &state, &op).unwrap_err();
         let mut mem = Memory::new(&spec);
         assert_eq!(packed_err, mem.apply(&op).unwrap_err());
         let oob = Op::single(3, I::Read);
         assert_eq!(
-            ctx.apply_op(&state, &oob).unwrap_err(),
+            ctx.apply_op_opt(None, &state, &oob).unwrap_err(),
             mem.apply(&oob).unwrap_err()
         );
     }

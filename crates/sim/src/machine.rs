@@ -3,7 +3,8 @@
 use crate::report::ConsensusReport;
 use crate::scheduler::Scheduler;
 use cbh_model::{
-    Action, Memory, MemoryUndo, ModelError, Op, PackedCtx, PackedState, Process, Protocol, Value,
+    Action, Memory, MemoryUndo, ModelError, Op, PackedCache, PackedCtx, PackedState, Process,
+    Protocol, Value,
 };
 use std::fmt;
 
@@ -476,6 +477,24 @@ impl<P: Process> Machine<P> {
     /// including [`Machine::fingerprint`], is restored exactly.
     pub fn from_packed(ctx: &PackedCtx<P>, state: &PackedState) -> Machine<P> {
         let (procs, decided, memory, steps) = ctx.unpack(state);
+        Machine {
+            proc_steps: vec![0; procs.len()],
+            procs,
+            decided,
+            memory,
+            steps,
+        }
+    }
+
+    /// [`Machine::from_packed`] through a worker-local intern cache — the
+    /// variant the explorer's solo probes use so repeated reconstructions
+    /// skip the shared intern-table locks.
+    pub fn from_packed_cached(
+        ctx: &PackedCtx<P>,
+        cache: &mut PackedCache<P>,
+        state: &PackedState,
+    ) -> Machine<P> {
+        let (procs, decided, memory, steps) = ctx.unpack_cached(cache, state);
         Machine {
             proc_steps: vec![0; procs.len()],
             procs,

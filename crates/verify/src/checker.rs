@@ -571,27 +571,34 @@ pub fn can_decide_stats<Proc: Process>(
     // compares are unchanged by the representation swap.
     let ctx = machine.packed_ctx();
     let root = machine.pack(&ctx);
-    let decides =
-        |s: &cbh_model::PackedState| (0..s.n()).any(|p| ctx.decision(s, p) == Some(v));
-    if decides(&root) {
+    // A probe-local intern cache: the branch-at-every-edge loop below reads
+    // the same entries over and over, and this context is private to the
+    // probe, so the shard locks are pure overhead.
+    let mut cache = cbh_model::PackedCache::new();
+    let decides = |cache: &mut cbh_model::PackedCache<Proc>, s: &cbh_model::PackedState| {
+        (0..s.n()).any(|p| ctx.decision_cached(cache, s, p) == Some(v))
+    };
+    if decides(&mut cache, &root) {
         return Ok((true, 1));
     }
     let mut seen: HashSet<u128> = HashSet::new();
-    seen.insert(ctx.digest(&root, false));
+    seen.insert(ctx.digest_cached(&mut cache, &root, false));
     let mut frontier = vec![root];
     for _ in 0..depth {
         let mut next = Vec::new();
         for s in &frontier {
             for pid in (0..s.n()).filter(|&p| ctx.is_active(s, p)) {
-                let child = ctx.branch_step(s, pid).map_err(|source| SimError::Model {
-                    pid,
-                    step: s.steps(),
-                    source,
+                let child = ctx.branch_step_cached(&mut cache, s, pid).map_err(|source| {
+                    SimError::Model {
+                        pid,
+                        step: s.steps(),
+                        source,
+                    }
                 })?;
-                if decides(&child) {
+                if decides(&mut cache, &child) {
                     return Ok((true, seen.len()));
                 }
-                if seen.insert(ctx.digest(&child, false)) {
+                if seen.insert(ctx.digest_cached(&mut cache, &child, false)) {
                     next.push(child);
                 }
             }

@@ -351,6 +351,34 @@ pub fn legacy_explore_stats<P: Protocol>(
 where
     P::Proc: Send,
 {
+    // Below this many configurations, per-layer thread fan-out costs more
+    // than it saves (the packed engine draws the same line — its
+    // MIN_PARALLEL_CONFIGS). Tiny state spaces are served sequentially; for
+    // unknown sizes a capped sequential probe decides. The cap only fires at
+    // `configs == cap + 1`, so a probe that stays at or under the threshold
+    // returned exactly the uncapped outcome and is final.
+    const MIN_PARALLEL_CONFIGS: usize = 1024;
+    let sequential = |limits: ExploreLimits| -> Result<(ExploreOutcome, ExploreStats), SimError> {
+        let machine = Machine::start(protocol, inputs)?;
+        let block_cap = if limits.memory_budget.is_some() {
+            64
+        } else {
+            usize::MAX
+        };
+        explore_core(machine, inputs, limits, symmetry, block_cap, expand_sequential)
+    };
+    if workers > 1 && limits.max_configs > MIN_PARALLEL_CONFIGS {
+        let probe_limits = ExploreLimits {
+            max_configs: MIN_PARALLEL_CONFIGS,
+            ..limits
+        };
+        let probe = sequential(probe_limits)?;
+        if probe.1.configs <= MIN_PARALLEL_CONFIGS {
+            return Ok(probe);
+        }
+    } else if workers > 1 {
+        return sequential(limits);
+    }
     let machine = Machine::start(protocol, inputs)?;
     // Unbudgeted runs materialise whole layers at once, exactly as this
     // engine always did; budgeted runs cap the live block so a spilled layer

@@ -43,6 +43,7 @@
 
 pub mod adversary;
 pub mod checker;
+pub mod claim;
 pub mod covering;
 pub mod frontier;
 pub mod legacy;

@@ -8,17 +8,21 @@
 //! - **Workers** own per-worker deques of expansion tasks and steal from
 //!   each other when idle. A task is one admitted configuration (a flat
 //!   [`PackedState`]); the worker walks its outgoing edges with the
-//!   *read-only* [`PackedCtx::edge_digest`] preview (no mutation, no undo),
-//!   runs the optional solo probes, and — when an edge's successor digest is
-//!   new to the sharded **claim set** — speculatively materialises the
-//!   successor (a flat clone plus one in-place step) so the committer
-//!   usually receives admitted children ready-made.
+//!   *read-only* [`PackedCtx::edge_digest`] preview (no mutation, no undo)
+//!   through a thread-local [`PackedCache`] over the shared intern tables,
+//!   runs the optional solo probes, and — when an edge's successor digest
+//!   wins its claim in the lock-free [`ClaimTable`] — speculatively
+//!   materialises the successor (a flat clone plus one in-place step) so
+//!   the committer usually receives admitted children ready-made.
 //! - The **committer** (the calling thread) consumes one result per node
 //!   *in admission-index order* and replays, verbatim, the sequential
-//!   algorithm of the clone-based reference BFS: authoritative seen-set
-//!   insertion, `max_configs` accounting, violation selection, parent-link
+//!   algorithm of the clone-based reference BFS: authoritative admission
+//!   (the claim table's committed bitmap — see [`crate::claim`]),
+//!   `max_configs` accounting, violation selection, parent-link
 //!   construction, layer bookkeeping. Every order-sensitive decision is made
-//!   here, single-threaded, on a totally ordered stream.
+//!   here, single-threaded, on a totally ordered stream. While a result it
+//!   needs is still being computed, the committer *helps*: it pops and
+//!   expands backlogged batches itself instead of sleeping.
 //!
 //! # Determinism argument
 //!
@@ -35,10 +39,14 @@
 //! [`crate::reference::reference_explore`]. The conformance oracle enforces
 //! exactly this.
 //!
-//! The claim set is advisory: a duplicate claim merely means a child arrives
-//! unmaterialised and the committer derives it from the parent with one
-//! packed step. Intern-table ids race between threads, but digests hash
-//! *content*, never ids, so outcomes cannot observe interning order.
+//! Worker-side claims are advisory: a duplicate claim merely means a child
+//! arrives unmaterialised and the committer derives it from the parent with
+//! one packed step. Admissions, by contrast, are authoritative, and only the
+//! committer performs them — the claim table keeps the two states separate,
+//! so worker races can never affect what gets admitted. Intern-table ids
+//! race between threads, but digests hash *content*, never ids, so outcomes
+//! cannot observe interning order; the per-thread intern caches only
+//! memoise those immutable entries and are equally unobservable.
 //!
 //! # Memory-bounded frontiers
 //!
@@ -56,14 +64,15 @@
 //! equality).
 
 use crate::checker::{schedule_of, ExploreLimits, ExploreOutcome, ExploreStats, Link, NO_LINK};
+use crate::claim::ClaimTable;
 use crate::frontier::{FrontierStore, ReorderBuffer, SpillCodec, SpillContext};
 use cbh_model::packed::delta::{read_varint, write_varint};
-use cbh_model::{apply_delta, decode_flat, encode_delta, encode_flat, PackedCtx, PackedState,
-    Process, Protocol};
+use cbh_model::{apply_delta, decode_flat, encode_delta, encode_flat, PackedCache, PackedCtx,
+    PackedState, Process, Protocol};
 use cbh_sim::{Machine, SimError};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, RwLock};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Per-run constants every worker needs.
@@ -89,10 +98,13 @@ struct Node {
 /// insertion — is paid once per batch instead of once per node).
 type Batch = Vec<Node>;
 
-/// Nodes per batch. Large enough to amortise the pool's per-task mutex and
-/// condvar traffic, small enough that work still spreads across workers on
-/// narrow frontiers.
-const BATCH: usize = 8;
+/// Bounds on the adaptive batch size (see [`PoolSource::batch_target`]).
+/// Batches amortise the pool's per-task mutex and condvar traffic, but a
+/// batch also rides one deque slot — too coarse and a narrow frontier lands
+/// on one worker while the rest starve. The committer therefore sizes each
+/// batch from the live outstanding-node count instead of a fixed constant.
+const MIN_BATCH: usize = 1;
+const MAX_BATCH: usize = 64;
 
 /// One outgoing edge of an expanded node, in pid order.
 struct Edge {
@@ -335,19 +347,21 @@ impl SpillCodec for ResultCodec {
 }
 
 /// Expands one node: solo probes first (mirroring the reference: a failure
-/// suppresses the edges), then one previewed edge per active pid.
+/// suppresses the edges), then one previewed edge per active pid. All
+/// intern-table traffic goes through the expander's thread-local `cache`.
 fn expand_node<P: Process>(
     ctx: &PackedCtx<P>,
     node: &Node,
     cfg: RunCfg,
-    claims: Option<&ClaimSet>,
+    claims: Option<&ClaimTable>,
+    cache: &mut PackedCache<P>,
 ) -> Result<Expansion, SimError> {
     let state = &node.state;
     let has_active = ctx.has_active(state);
     if let Some(budget) = cfg.solo_budget {
         // One unpack per node, one machine clone per probe — the same cost
         // shape as the reference's per-pid `machine.clone()`.
-        let base = Machine::from_packed(ctx, state);
+        let base = Machine::from_packed_cached(ctx, cache, state);
         for pid in (0..state.n()).filter(|&p| ctx.is_active(state, p)) {
             let mut probe = base.clone();
             if probe.run_solo(pid, budget)?.is_none() {
@@ -363,7 +377,7 @@ fn expand_node<P: Process>(
     if node.expand {
         for pid in (0..state.n()).filter(|&p| ctx.is_active(state, p)) {
             let fp = ctx
-                .edge_digest(state, pid, node.fp, cfg.symmetric)
+                .edge_digest_cached(cache, state, pid, node.fp, cfg.symmetric)
                 .map_err(|source| SimError::Model {
                     pid,
                     step: state.steps(),
@@ -371,7 +385,7 @@ fn expand_node<P: Process>(
                 })?;
             let child = match claims {
                 Some(claims) if claims.claim(fp) => {
-                    Some(ctx.branch_step(state, pid).expect("previewed edge steps"))
+                    Some(ctx.branch_step_cached(cache, state, pid).expect("previewed edge steps"))
                 }
                 _ => None,
             };
@@ -386,40 +400,27 @@ fn expand_node<P: Process>(
 }
 
 // ---------------------------------------------------------------------------
-// Sharded claim set
+// The authoritative admitted set
 // ---------------------------------------------------------------------------
 
-/// Sharded set of successor digests some worker has already materialised.
-/// Read-mostly: most edges re-reach old configurations, so `claim` usually
-/// exits on the shard read lock.
-struct ClaimSet {
-    shards: Vec<RwLock<HashSet<u128>>>,
+/// The committer's seen-set operation: first-admission test-and-set on a
+/// fingerprint. The sequential engine admits into a plain `HashSet`; the
+/// parallel engine admits into the shared [`ClaimTable`]'s committed bitmap
+/// — by construction the same sequence of calls produces the same sequence
+/// of answers, so the committer logic is written once against this trait.
+trait AdmitSet {
+    fn admit(&mut self, fp: u128) -> bool;
 }
 
-const CLAIM_SHARDS: usize = 64;
-
-impl ClaimSet {
-    fn new(root_fp: u128) -> Self {
-        let set = ClaimSet {
-            shards: (0..CLAIM_SHARDS)
-                .map(|_| RwLock::new(HashSet::new()))
-                .collect(),
-        };
-        set.shard(root_fp).write().unwrap().insert(root_fp);
-        set
+impl AdmitSet for HashSet<u128> {
+    fn admit(&mut self, fp: u128) -> bool {
+        self.insert(fp)
     }
+}
 
-    fn shard(&self, fp: u128) -> &RwLock<HashSet<u128>> {
-        &self.shards[(fp as usize) & (CLAIM_SHARDS - 1)]
-    }
-
-    /// `true` iff this caller is the first to claim `fp`.
-    fn claim(&self, fp: u128) -> bool {
-        let shard = self.shard(fp);
-        if shard.read().unwrap().contains(&fp) {
-            return false;
-        }
-        shard.write().unwrap().insert(fp)
+impl AdmitSet for &ClaimTable {
+    fn admit(&mut self, fp: u128) -> bool {
+        ClaimTable::admit(self, fp)
     }
 }
 
@@ -446,6 +447,7 @@ struct SeqSource<'c, P: Process> {
     ctx: &'c PackedCtx<P>,
     cfg: RunCfg,
     queue: FrontierStore<NodeCodec>,
+    cache: PackedCache<P>,
 }
 
 impl<P: Process> ResultSource<P> for SeqSource<'_, P> {
@@ -456,7 +458,7 @@ impl<P: Process> ResultSource<P> for SeqSource<'_, P> {
     fn take(&mut self, index: usize) -> NodeResult {
         let node = self.queue.pop().expect("take follows dispatch");
         debug_assert_eq!(node.index, index);
-        let out = expand_node(self.ctx, &node, self.cfg, None);
+        let out = expand_node(self.ctx, &node, self.cfg, None, &mut self.cache);
         NodeResult {
             state: node.state,
             out,
@@ -481,7 +483,9 @@ struct Pool {
     idle: Mutex<()>,
     work_ready: Condvar,
     stop: AtomicBool,
-    claims: ClaimSet,
+    /// Shared fingerprint table: workers claim into it, the committer admits
+    /// into it. Lock-free on both hot paths.
+    claims: ClaimTable,
 }
 
 impl Pool {
@@ -498,6 +502,10 @@ impl Pool {
 
     fn worker_loop<P: Process>(&self, ctx: &PackedCtx<P>, cfg: RunCfg, home: usize) {
         let _guard = StopGuard(self);
+        // Thread-local read-through view of the shared intern tables; lives
+        // for the whole run, so entries are fetched under a shard lock at
+        // most once per worker.
+        let mut cache = PackedCache::new();
         loop {
             if self.stop.load(Ordering::Acquire) {
                 return; // abandon speculative leftovers: the run is decided
@@ -508,7 +516,7 @@ impl Pool {
                 let outs: Vec<(usize, NodeResult)> = batch
                     .into_iter()
                     .map(|node| {
-                        let out = expand_node(ctx, &node, cfg, Some(&self.claims));
+                        let out = expand_node(ctx, &node, cfg, Some(&self.claims), &mut cache);
                         (
                             node.index,
                             NodeResult {
@@ -575,14 +583,30 @@ impl Drop for StopGuard<'_> {
 }
 
 /// Work-stealing source: the committer side of the pool.
-struct PoolSource<'p> {
+struct PoolSource<'p, P: Process> {
     pool: &'p Pool,
+    ctx: &'p PackedCtx<P>,
+    cfg: RunCfg,
+    /// The committer's own intern cache, used when it helps expand.
+    cache: PackedCache<P>,
+    workers: usize,
     next_deque: usize,
     /// Nodes admitted but not yet pushed to a deque; flushed as one batch.
     pending: Batch,
+    /// Nodes dispatched but not yet taken — the live frontier width the
+    /// batch size adapts to.
+    outstanding: usize,
 }
 
-impl PoolSource<'_> {
+impl<P: Process> PoolSource<'_, P> {
+    /// Live batch size: a fraction of the outstanding work per worker, so
+    /// wide frontiers amortise pool traffic with big batches while narrow
+    /// ones split into single nodes that spread across workers instead of
+    /// queueing behind one.
+    fn batch_target(&self) -> usize {
+        (self.outstanding / (4 * self.workers)).clamp(MIN_BATCH, MAX_BATCH)
+    }
+
     fn flush(&mut self) {
         if self.pending.is_empty() {
             return;
@@ -600,12 +624,41 @@ impl PoolSource<'_> {
         let _guard = self.pool.idle.lock().unwrap();
         self.pool.work_ready.notify_one();
     }
+
+    /// Pops one backlogged batch and expands it on the committer's thread —
+    /// what `take` does instead of sleeping while its result is in flight.
+    /// Returns `false` if every deque was empty.
+    fn help(&mut self) -> bool {
+        let Some(batch) = self.pool.pop_batch(self.next_deque % self.workers) else {
+            return false;
+        };
+        let outs: Vec<(usize, NodeResult)> = batch
+            .into_iter()
+            .map(|node| {
+                let out =
+                    expand_node(self.ctx, &node, self.cfg, Some(&self.pool.claims), &mut self.cache);
+                (
+                    node.index,
+                    NodeResult {
+                        state: node.state,
+                        out,
+                    },
+                )
+            })
+            .collect();
+        let mut results = self.pool.results.lock().unwrap();
+        for (index, result) in outs {
+            results.insert(index, result);
+        }
+        true
+    }
 }
 
-impl<P: Process> ResultSource<P> for PoolSource<'_> {
+impl<P: Process> ResultSource<P> for PoolSource<'_, P> {
     fn dispatch(&mut self, node: Node) {
         self.pending.push(node);
-        if self.pending.len() >= BATCH {
+        self.outstanding += 1;
+        if self.pending.len() >= self.batch_target() {
             self.flush();
         }
     }
@@ -617,19 +670,46 @@ impl<P: Process> ResultSource<P> for PoolSource<'_> {
         if self.pending.first().is_some_and(|node| node.index <= index) {
             self.flush();
         }
-        let mut results = self.pool.results.lock().unwrap();
         loop {
+            {
+                let mut results = self.pool.results.lock().unwrap();
+                if let Some(result) = results.remove(index) {
+                    self.outstanding -= 1;
+                    return result;
+                }
+                // `stop` flips mid-run only when a worker unwound (its
+                // StopGuard); without this check the committer would wait
+                // forever for the result that worker was computing.
+                assert!(
+                    !self.pool.stop.load(Ordering::Acquire),
+                    "explorer worker terminated abnormally"
+                );
+            }
+            // The result is in flight. Expand a backlogged batch ourselves
+            // rather than sleeping — on saturated machines the committer is
+            // effectively one more worker; on oversubscribed ones it keeps
+            // progress independent of the scheduler.
+            if self.help() {
+                continue;
+            }
+            // Nothing to help with: park until a worker delivers. The
+            // re-check under the lock pairs with the workers' insert-then-
+            // notify; the timeout covers the window between our failed help
+            // and the wait.
+            let mut results = self.pool.results.lock().unwrap();
             if let Some(result) = results.remove(index) {
+                self.outstanding -= 1;
                 return result;
             }
-            // `stop` flips mid-run only when a worker unwound (its
-            // StopGuard); without this check the committer would wait
-            // forever for the result that worker was computing.
             assert!(
                 !self.pool.stop.load(Ordering::Acquire),
                 "explorer worker terminated abnormally"
             );
-            results = self.pool.results_ready.wait(results).unwrap();
+            let _ = self
+                .pool
+                .results_ready
+                .wait_timeout(results, Duration::from_millis(10))
+                .unwrap();
         }
     }
 }
@@ -644,33 +724,46 @@ impl<P: Process> ResultSource<P> for PoolSource<'_> {
 /// checks can never drift apart.
 fn packed_violation<P: Process>(
     ctx: &PackedCtx<P>,
+    cache: &mut PackedCache<P>,
     state: &PackedState,
     inputs: &[u64],
     link: usize,
     links: &[Link],
 ) -> Option<ExploreOutcome> {
-    let decisions: Vec<u64> = (0..state.n()).filter_map(|p| ctx.decision(state, p)).collect();
+    let decisions: Vec<u64> = (0..state.n())
+        .filter_map(|p| ctx.decision_cached(cache, state, p))
+        .collect();
     crate::checker::violation_from_decisions(&decisions, inputs, link, links)
 }
 
 /// The sequential commit loop: consumes node results in admission order and
 /// makes every stateful decision exactly the way the clone-based reference
-/// BFS does. This is the *only* place the seen-set, links, counters and
-/// outcome are touched, which is the whole determinism argument.
-fn drive<P, S>(
+/// BFS does. This is the *only* place the admitted set, links, counters and
+/// outcome are touched, which is the whole determinism argument — `admit` is
+/// a private `HashSet` or the shared claim table's committed bitmap, but
+/// either way only this loop calls it, in one deterministic order.
+#[allow(clippy::too_many_arguments)]
+fn drive<P, S, A>(
     ctx: &PackedCtx<P>,
     root: PackedState,
     inputs: &[u64],
     limits: ExploreLimits,
     symmetric: bool,
     source: &mut S,
+    admit: &mut A,
     mem: &SpillContext,
 ) -> Result<(ExploreOutcome, ExploreStats), SimError>
 where
     P: Process,
     S: ResultSource<P>,
+    A: AdmitSet,
 {
-    let mut seen: HashSet<u128> = HashSet::new();
+    // The committer's own read-through intern cache (derivation of
+    // unclaimed children, violation checks, the root digest).
+    let mut cache: PackedCache<P> = PackedCache::new();
+    // Admitted-configuration count: tracks `admit` admissions one-for-one,
+    // kept locally because the shared table has no cheap exact size.
+    let mut configs = 0usize;
     let mut links: Vec<Link> = Vec::new();
     // (parent link, depth) per admitted node, in admission order.
     let mut meta: Vec<(usize, usize)> = Vec::new();
@@ -685,7 +778,7 @@ where
     macro_rules! stats {
         () => {
             ExploreStats {
-                configs: seen.len(),
+                configs,
                 frontier_peak,
                 depth_reached,
                 bytes_spilled: mem.tracker().bytes_spilled(),
@@ -701,9 +794,11 @@ where
     let mut inline_active: HashMap<usize, bool> = HashMap::new();
     let solo = limits.solo_check_budget.is_some();
 
-    let root_fp = ctx.digest(&root, symmetric);
-    seen.insert(root_fp);
-    if let Some(violation) = packed_violation(ctx, &root, inputs, NO_LINK, &links) {
+    let root_fp = ctx.digest_cached(&mut cache, &root, symmetric);
+    let _root_new = admit.admit(root_fp);
+    debug_assert!(_root_new, "fresh run: the root cannot be pre-admitted");
+    configs += 1;
+    if let Some(violation) = packed_violation(ctx, &mut cache, &root, inputs, NO_LINK, &links) {
         return Ok((violation, stats!()));
     }
     meta.push((NO_LINK, 0));
@@ -749,18 +844,16 @@ where
             complete = false;
         }
         for Edge { pid, fp, child } in expansion.edges {
-            if !seen.insert(fp) {
+            if !admit.admit(fp) {
                 continue;
             }
-            if seen.len() > limits.max_configs {
+            configs += 1;
+            if configs > limits.max_configs {
                 // Mirror of the reference: the over-cap configuration stays
                 // counted, nothing else of the partial layer does.
                 complete = false;
                 return Ok((
-                    ExploreOutcome::Clean {
-                        configs: seen.len(),
-                        complete,
-                    },
+                    ExploreOutcome::Clean { configs, complete },
                     stats!(),
                 ));
             }
@@ -770,7 +863,11 @@ where
                 // sequential path): derive the child from the parent. Edges
                 // only come from dispatched nodes, so the state is present.
                 None => ctx
-                    .branch_step(parent_state.as_ref().expect("expanded node state"), pid)
+                    .branch_step_cached(
+                        &mut cache,
+                        parent_state.as_ref().expect("expanded node state"),
+                        pid,
+                    )
                     .expect("previewed edge steps"),
             };
             debug_assert_eq!(
@@ -780,7 +877,9 @@ where
             );
             let link = links.len();
             links.push((parent_link, pid));
-            if let Some(violation) = packed_violation(ctx, &child_state, inputs, link, &links) {
+            if let Some(violation) =
+                packed_violation(ctx, &mut cache, &child_state, inputs, link, &links)
+            {
                 return Ok((violation, stats!()));
             }
             let child_depth = d + 1;
@@ -822,10 +921,7 @@ where
         }
     }
     Ok((
-        ExploreOutcome::Clean {
-            configs: seen.len(),
-            complete,
-        },
+        ExploreOutcome::Clean { configs, complete },
         stats!(),
     ))
 }
@@ -853,8 +949,10 @@ pub(crate) fn explore_packed_seq<P: Protocol>(
         ctx: &ctx,
         cfg,
         queue: FrontierStore::new(NodeCodec, mem.clone()),
+        cache: PackedCache::new(),
     };
-    drive(&ctx, root, inputs, limits, symmetric, &mut source, &mem)
+    let mut seen: HashSet<u128> = HashSet::new();
+    drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut seen, &mem)
 }
 
 /// Parallel packed exploration with a persistent work-stealing pool.
@@ -894,7 +992,6 @@ where
     let machine = Machine::start(protocol, inputs)?;
     let ctx = machine.packed_ctx();
     let root = machine.pack(&ctx);
-    let root_fp = ctx.digest(&root, symmetric);
     let cfg = RunCfg {
         solo_budget: limits.solo_check_budget,
         symmetric,
@@ -909,7 +1006,10 @@ where
         idle: Mutex::new(()),
         work_ready: Condvar::new(),
         stop: AtomicBool::new(false),
-        claims: ClaimSet::new(root_fp),
+        // Sized for the run's admission cap; the committer's root admission
+        // below lands before any dispatch, so workers can never win a claim
+        // on the root's fingerprint.
+        claims: ClaimTable::new(limits.max_configs),
     };
     std::thread::scope(|scope| {
         for home in 0..workers {
@@ -919,14 +1019,20 @@ where
         }
         let mut source = PoolSource {
             pool: &pool,
+            ctx: &ctx,
+            cfg,
+            cache: PackedCache::new(),
+            workers,
             next_deque: 0,
             pending: Vec::new(),
+            outstanding: 0,
         };
         // The guard (not explicit code) stops the pool, so the workers are
         // released even if `drive` panics mid-commit — otherwise the scope's
         // implicit join would turn the panic into a deadlock.
         let _stop = StopGuard(&pool);
-        drive(&ctx, root, inputs, limits, symmetric, &mut source, &mem)
+        let mut admit = &pool.claims;
+        drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut admit, &mem)
     })
 }
 
