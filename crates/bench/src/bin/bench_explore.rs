@@ -6,12 +6,14 @@
 //! the unbounded run's observed resident peak) and a packed-only
 //! **deep-horizon** row (≥10⁶ configs, where claim-table occupancy and
 //! intern-cache hit rates actually matter), and emits machine-readable
-//! `BENCH_explore.json` (schema `bench_explore/v3`: configs/sec per row ×
+//! `BENCH_explore.json` (schema `bench_explore/v4`: configs/sec per row ×
 //! engine × worker count, packed-vs-legacy and w8-vs-w1 speedups, the
 //! host's `hw_threads`, and per-row memory telemetry: `peak_resident_bytes`,
-//! `bytes_spilled`, `spill_slowdown_w1`). CI uploads the file as a
-//! non-gating artifact, so engine-throughput history accumulates per commit
-//! without making perf a flaky test.
+//! `bytes_spilled`, `spill_slowdown_w1`, plus the tiered-store breakdown
+//! `seen_resident_bytes` / `intern_resident_bytes` / `fpset_disk_bytes`
+//! from the budgeted 1-worker run). CI uploads the file as a non-gating
+//! artifact, so engine-throughput history accumulates per commit without
+//! making perf a flaky test.
 //!
 //! Every run first cross-checks that both engines produce bit-identical
 //! `(ExploreOutcome, ExploreStats)` on every workload — a measurement of two
@@ -65,6 +67,22 @@ struct RowReport {
     /// Arena bytes the budgeted 1-worker run wrote (nonzero = the spill
     /// path really ran; silently-in-memory "spill" rows would be a lie).
     bytes_spilled: u64,
+    /// Seen-set resident estimate at the end of the budgeted 1-worker run
+    /// (unbudgeted run for rows without spill cells): the tiered store's
+    /// Bloom front + hot table + run index, or the exact set's estimate.
+    seen_resident_bytes: usize,
+    /// Intern-table resident bytes at the end of the same run.
+    intern_resident_bytes: usize,
+    /// Bytes held in on-disk fingerprint runs at the end of the budgeted
+    /// 1-worker run — nonzero means the seen set itself was evicted, not
+    /// just the frontier.
+    fpset_disk_bytes: u64,
+    /// Budgeted-vs-unbounded 1-worker slowdown, measured from *interleaved*
+    /// pairs (one unbounded run timed immediately before each budgeted run,
+    /// best-of each side). Quotients of cells timed minutes apart absorb
+    /// host load drift into the ratio; pairing cancels it. `NAN` (rendered
+    /// `null`) for rows without spill cells.
+    spill_slowdown_w1: f64,
     cells: Vec<Cell>,
 }
 
@@ -157,11 +175,32 @@ where
         ..limits
     };
     let mut bytes_spilled = 0u64;
+    // Tiered-store breakdown: defaults to the unbudgeted run's telemetry so
+    // rows without spill cells still report their seen/intern footprint.
+    let mut seen_resident_bytes = packed.1.seen_resident_bytes;
+    let mut intern_resident_bytes = packed.1.intern_resident_bytes;
+    let mut fpset_disk_bytes = 0u64;
+    let mut spill_slowdown_w1 = f64::NAN;
     let spill_workers: &[usize] = if spill_budget > 0 { &[1, 8] } else { &[] };
     for &workers in spill_workers {
         run_engine(true, &protocol, inputs, spill_limits, workers);
         let mut best = f64::MAX;
-        for _ in 0..iters {
+        // The w1 slowdown is a *paired* measurement: each iteration times an
+        // unbounded run immediately before its budgeted run, and the ratio is
+        // taken between the two bests. The unbounded cell measured at the top
+        // of the row is minutes older by now, and quotients across that gap
+        // absorb host load drift into the ratio; back-to-back pairs cancel it.
+        let mut best_unbounded = f64::MAX;
+        // Ratios are far more noise-sensitive than the absolute cells: a
+        // single slow iteration on either side skews the quotient, so the
+        // paired w1 cells get extra iterations regardless of `iters`.
+        let pair_iters = if workers == 1 { iters.max(7) } else { iters };
+        for _ in 0..pair_iters {
+            if workers == 1 {
+                let start = Instant::now();
+                run_engine(true, &protocol, inputs, limits, workers);
+                best_unbounded = best_unbounded.min(start.elapsed().as_secs_f64());
+            }
             let start = Instant::now();
             let out = run_engine(true, &protocol, inputs, spill_limits, workers);
             let secs = start.elapsed().as_secs_f64();
@@ -169,8 +208,14 @@ where
             assert!(out.1.bytes_spilled > 0, "{name}: spill cell never spilled");
             if workers == 1 {
                 bytes_spilled = out.1.bytes_spilled;
+                seen_resident_bytes = out.1.seen_resident_bytes;
+                intern_resident_bytes = out.1.intern_resident_bytes;
+                fpset_disk_bytes = out.1.fpset_disk_bytes;
             }
             best = best.min(secs);
+        }
+        if workers == 1 {
+            spill_slowdown_w1 = best / best_unbounded;
         }
         cells.push(Cell {
             engine: "packed-spill",
@@ -186,6 +231,10 @@ where
         peak_resident_bytes,
         spill_budget,
         bytes_spilled,
+        seen_resident_bytes,
+        intern_resident_bytes,
+        fpset_disk_bytes,
+        spill_slowdown_w1,
         cells,
     }
 }
@@ -251,6 +300,10 @@ where
         peak_resident_bytes: w1.1.peak_resident_bytes,
         spill_budget: 0,
         bytes_spilled: 0,
+        seen_resident_bytes: w1.1.seen_resident_bytes,
+        intern_resident_bytes: w1.1.intern_resident_bytes,
+        fpset_disk_bytes: 0,
+        spill_slowdown_w1: f64::NAN,
         cells,
     }
 }
@@ -282,7 +335,7 @@ fn write_ratio(out: &mut String, key: &str, value: f64) {
 
 fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"bench_explore/v3\",\n");
+    out.push_str("{\n  \"schema\": \"bench_explore/v4\",\n");
     // Hardware parallelism actually available to the run: throughput and
     // scaling numbers are meaningless without it (packed w8 on a 1-thread
     // host measures the scheduler, not the engine).
@@ -304,11 +357,18 @@ fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
         );
         let _ = writeln!(out, "      \"spill_budget\": {},", row.spill_budget);
         let _ = writeln!(out, "      \"bytes_spilled\": {},", row.bytes_spilled);
-        write_ratio(
-            &mut out,
-            "spill_slowdown_w1",
-            cps(row, "packed", 1) / cps(row, "packed-spill", 1),
+        let _ = writeln!(
+            out,
+            "      \"seen_resident_bytes\": {},",
+            row.seen_resident_bytes
         );
+        let _ = writeln!(
+            out,
+            "      \"intern_resident_bytes\": {},",
+            row.intern_resident_bytes
+        );
+        let _ = writeln!(out, "      \"fpset_disk_bytes\": {},", row.fpset_disk_bytes);
+        write_ratio(&mut out, "spill_slowdown_w1", row.spill_slowdown_w1);
         write_ratio(
             &mut out,
             "speedup_packed_vs_legacy_w8",
@@ -398,7 +458,7 @@ fn main() {
         let (spill_col, slow_col) = if spill_cps.is_finite() {
             (
                 format!("{spill_cps:.0}"),
-                format!("{:.2}x", cps(row, "packed", 1) / spill_cps),
+                format!("{:.2}x", row.spill_slowdown_w1),
             )
         } else {
             ("-".to_string(), "-".to_string())

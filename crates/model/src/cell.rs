@@ -44,6 +44,18 @@ impl CellState {
         }
     }
 
+    /// Estimated heap-resident footprint in bytes, including the inline
+    /// enum. Feeds the memory-budget accounting for interned cell states.
+    pub fn resident_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<CellState>();
+        match self {
+            CellState::Word(v) => inline + v.resident_bytes(),
+            CellState::Buffer { entries, .. } => {
+                inline + entries.iter().map(Value::resident_bytes).sum::<usize>()
+            }
+        }
+    }
+
     /// The word contents, if this is a word cell.
     pub fn as_word(&self) -> Option<&Value> {
         match self {

@@ -60,7 +60,9 @@ pub use fingerprint::{fingerprint_of, Fp128Hasher};
 pub use instruction::{Instruction, InstructionKind, Op};
 pub use iset::InstructionSet;
 pub use memory::{Locations, Memory, MemorySpec, MemoryUndo};
-pub use packed::delta::{apply_delta, decode_flat, encode_delta, encode_flat, DeltaError};
+pub use packed::delta::{
+    apply_delta, apply_delta_into, decode_flat, encode_delta, encode_flat, DeltaError,
+};
 pub use packed::{PackedCache, PackedCtx, PackedState, PackedStepOutcome, PackedUndo};
 pub use process::{Action, ConsensusInput, Process, Protocol};
 pub use schedule::{Schedule, ScheduleParseError};

@@ -39,6 +39,7 @@ use crate::{
 };
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
 
 pub mod delta;
@@ -105,24 +106,47 @@ impl<T, M> Default for Shard<T, M> {
     }
 }
 
+/// Estimated per-entry bookkeeping overhead of one interned entry beyond its
+/// payload: the `ids` map entry (u128 key + u32 id + table slack) plus the
+/// `entries` vec slot bookkeeping.
+const INTERN_ENTRY_OVERHEAD: usize = 48;
+
 /// Sharded intern table: `T` keyed by its 128-bit content fingerprint, with
 /// per-entry metadata `M` computed once at insertion.
 struct Interner<T, M> {
     shards: Vec<RwLock<Shard<T, M>>>,
+    /// Estimated resident bytes across all shards. Entries are append-only
+    /// and never freed (their ids are embedded in packed states, including
+    /// spilled ones), so this only ever grows; budget pressure is relieved
+    /// by evicting the per-worker read-through caches, not the table.
+    bytes: AtomicUsize,
 }
 
 impl<T: Clone + Eq + Hash, M: Copy> Interner<T, M> {
     fn new() -> Self {
         Interner {
             shards: (0..ID_SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            bytes: AtomicUsize::new(0),
         }
     }
 
+    /// Estimated resident bytes of the table (entries + id maps).
+    fn resident_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
     /// Interns `value`, computing `meta(&value, hash)` on first sight.
-    /// `decided` becomes the id's flag bit.
-    fn intern(&self, value: T, decided: bool, meta: impl FnOnce(&T, u128) -> M) -> u32 {
+    /// `decided` becomes the id's flag bit. `cost` estimates the entry's
+    /// resident bytes, charged once on first insertion.
+    fn intern(
+        &self,
+        value: T,
+        decided: bool,
+        meta: impl FnOnce(&T, u128) -> M,
+        cost: impl FnOnce(&T) -> usize,
+    ) -> u32 {
         let hash = fingerprint_of(&value);
-        self.intern_prehashed(hash, value, decided, meta)
+        self.intern_prehashed(hash, value, decided, meta, cost)
     }
 
     /// [`Interner::intern`] with the content hash already computed — the
@@ -134,6 +158,7 @@ impl<T: Clone + Eq + Hash, M: Copy> Interner<T, M> {
         value: T,
         decided: bool,
         meta: impl FnOnce(&T, u128) -> M,
+        cost: impl FnOnce(&T) -> usize,
     ) -> u32 {
         let shard_index = (hash as usize) & (ID_SHARDS - 1);
         let shard = &self.shards[shard_index];
@@ -155,6 +180,8 @@ impl<T: Clone + Eq + Hash, M: Copy> Interner<T, M> {
             return id; // another thread won the race
         }
         let m = meta(&value, hash);
+        self.bytes
+            .fetch_add(cost(&value) + INTERN_ENTRY_OVERHEAD, Ordering::Relaxed);
         let id = make_id(guard.entries.len(), shard_index, decided);
         guard.entries.push((value, m));
         guard.ids.insert(hash, id);
@@ -210,7 +237,12 @@ pub struct PackedCache<P: Process> {
     cells: HashMap<u32, (CellState, u128)>,
     /// Content hash → encoded word: the encode fast path.
     cell_words: HashMap<u128, u64>,
+    /// Estimated resident bytes across the four maps.
+    bytes: usize,
 }
+
+/// Estimated per-entry map overhead in a [`PackedCache`] beyond the payload.
+const CACHE_ENTRY_OVERHEAD: usize = 48;
 
 impl<P: Process> PackedCache<P> {
     /// An empty cache (allocation-free until the first miss is recorded).
@@ -220,6 +252,7 @@ impl<P: Process> PackedCache<P> {
             proc_ids: HashMap::new(),
             cells: HashMap::new(),
             cell_words: HashMap::new(),
+            bytes: 0,
         }
     }
 
@@ -231,6 +264,32 @@ impl<P: Process> PackedCache<P> {
     /// `true` if nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Estimated resident bytes of the cached entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Generational eviction: if the cache has outgrown `cap`, drop every
+    /// cached entry (and the map allocations) and start over. Read-through
+    /// misses repopulate the currently-hot entries, so a wholesale clear
+    /// behaves like an approximate LRU at a fraction of the bookkeeping
+    /// cost. Returns `true` if an eviction happened.
+    pub fn evict_if_over(&mut self, cap: usize) -> bool {
+        if self.bytes <= cap {
+            return false;
+        }
+        self.procs = HashMap::new();
+        self.proc_ids = HashMap::new();
+        self.cells = HashMap::new();
+        self.cell_words = HashMap::new();
+        self.bytes = 0;
+        true
+    }
+
+    fn charge(&mut self, payload: usize) {
+        self.bytes += payload + CACHE_ENTRY_OVERHEAD;
     }
 }
 
@@ -389,6 +448,15 @@ impl<P: Process> PackedCtx<P> {
         self.n
     }
 
+    /// Estimated resident bytes of the shared intern tables (process states
+    /// plus interned cells). Two relaxed atomic loads — cheap enough to poll
+    /// from an explorer's commit loop so `memory_budget` accounting can see
+    /// the interners grow. Entries are append-only (ids are embedded in
+    /// packed states, including spilled ones), so the figure never shrinks.
+    pub fn intern_resident_bytes(&self) -> usize {
+        self.procs.resident_bytes() + self.cells.resident_bytes()
+    }
+
     // -- encoding -----------------------------------------------------------
     //
     // Every accessor comes in an `_opt` form threading an optional
@@ -406,10 +474,12 @@ impl<P: Process> PackedCtx<P> {
     ) -> R {
         match cache {
             Some(cache) => {
-                let (p, meta) = cache
-                    .procs
-                    .entry(id)
-                    .or_insert_with(|| self.procs.with(id, |p, meta| (p.clone(), *meta)));
+                if !cache.procs.contains_key(&id) {
+                    let entry = self.procs.with(id, |p, meta| (p.clone(), *meta));
+                    cache.charge(std::mem::size_of::<(P, ProcMeta)>());
+                    cache.procs.insert(id, entry);
+                }
+                let (p, meta) = cache.procs.get(&id).expect("just inserted");
                 f(p, meta)
             }
             None => self.procs.with(id, f),
@@ -425,10 +495,12 @@ impl<P: Process> PackedCtx<P> {
     ) -> R {
         match cache {
             Some(cache) => {
-                let (cell, hash) = cache
-                    .cells
-                    .entry(id)
-                    .or_insert_with(|| self.cells.with(id, |cell, meta| (cell.clone(), meta.hash)));
+                if !cache.cells.contains_key(&id) {
+                    let entry = self.cells.with(id, |cell, meta| (cell.clone(), meta.hash));
+                    cache.charge(entry.0.resident_bytes());
+                    cache.cells.insert(id, entry);
+                }
+                let (cell, hash) = cache.cells.get(&id).expect("just inserted");
                 f(cell, *hash)
             }
             None => self.cells.with(id, |cell, meta| f(cell, meta.hash)),
@@ -461,15 +533,25 @@ impl<P: Process> PackedCtx<P> {
                 if let Some(&word) = cache.cell_words.get(&hash) {
                     return word;
                 }
-                let id = self
-                    .cells
-                    .intern_prehashed(hash, cell, false, |_, hash| CellMeta { hash });
+                let id = self.cells.intern_prehashed(
+                    hash,
+                    cell,
+                    false,
+                    |_, hash| CellMeta { hash },
+                    CellState::resident_bytes,
+                );
                 let word = ((id as u64) << 2) | TAG_REF;
+                cache.charge(std::mem::size_of::<(u128, u64)>());
                 cache.cell_words.insert(hash, word);
                 word
             }
             None => {
-                let id = self.cells.intern(cell, false, |_, hash| CellMeta { hash });
+                let id = self.cells.intern(
+                    cell,
+                    false,
+                    |_, hash| CellMeta { hash },
+                    CellState::resident_bytes,
+                );
                 ((id as u64) << 2) | TAG_REF
             }
         }
@@ -505,17 +587,29 @@ impl<P: Process> PackedCtx<P> {
                 }
                 let decision = p.action().decision();
                 let meta = ProcMeta { hash, decision };
-                let id =
-                    self.procs
-                        .intern_prehashed(hash, p.clone(), decision.is_some(), |_, _| meta);
+                let id = self.procs.intern_prehashed(
+                    hash,
+                    p.clone(),
+                    decision.is_some(),
+                    |_, _| meta,
+                    |_| std::mem::size_of::<(P, ProcMeta)>(),
+                );
+                cache.charge(std::mem::size_of::<(u128, u32)>());
                 cache.proc_ids.insert(hash, id);
-                cache.procs.entry(id).or_insert((p, meta));
+                if !cache.procs.contains_key(&id) {
+                    cache.charge(std::mem::size_of::<(P, ProcMeta)>());
+                    cache.procs.insert(id, (p, meta));
+                }
                 id
             }
             None => {
                 let decision = p.action().decision();
-                self.procs
-                    .intern(p, decision.is_some(), |_, hash| ProcMeta { hash, decision })
+                self.procs.intern(
+                    p,
+                    decision.is_some(),
+                    |_, hash| ProcMeta { hash, decision },
+                    |_| std::mem::size_of::<(P, ProcMeta)>(),
+                )
             }
         }
     }

@@ -275,18 +275,19 @@ pub fn encode_delta(base: &PackedState, child: &PackedState, out: &mut Vec<u8>) 
     );
     write_varint(out, child.steps);
     write_varint(out, child.touched as u64);
-    let proc_changes: Vec<usize> = (0..child.procs.len())
-        .filter(|&i| base.procs[i] != child.procs[i])
-        .collect();
-    write_varint(out, proc_changes.len() as u64);
+    // Each change list is written count-first, so the encoder scans twice:
+    // once to count, once to emit. The arrays are a handful of cache-hot
+    // words, so the second scan is cheaper than materialising a change list
+    // per record — spill runs encode thousands of records back to back, and
+    // this keeps the whole encoder allocation-free.
+    let proc_changes = (0..child.procs.len()).filter(|&i| base.procs[i] != child.procs[i]);
+    write_varint(out, proc_changes.clone().count() as u64);
     for i in proc_changes {
         write_varint(out, i as u64);
         write_varint(out, u64::from(child.procs[i]));
     }
-    let decided_changes: Vec<usize> = (0..child.decided.len())
-        .filter(|&i| base.decided[i] != child.decided[i])
-        .collect();
-    write_varint(out, decided_changes.len() as u64);
+    let decided_changes = (0..child.decided.len()).filter(|&i| base.decided[i] != child.decided[i]);
+    write_varint(out, decided_changes.clone().count() as u64);
     for i in decided_changes {
         write_varint(out, i as u64);
         write_decided(out, child.decided[i]);
@@ -295,10 +296,9 @@ pub fn encode_delta(base: &PackedState, child: &PackedState, out: &mut Vec<u8>) 
     // Changed = differs from the base *viewed at the child's length*: grown
     // locations always differ (the base has no word there) and are recorded,
     // so the decoder never has to invent a default word.
-    let cell_changes: Vec<usize> = (0..child.cells.len())
-        .filter(|&i| base.cells.get(i) != Some(&child.cells[i]))
-        .collect();
-    write_varint(out, cell_changes.len() as u64);
+    let cell_changes =
+        (0..child.cells.len()).filter(|&i| base.cells.get(i) != Some(&child.cells[i]));
+    write_varint(out, cell_changes.clone().count() as u64);
     for i in cell_changes {
         write_varint(out, i as u64);
         write_varint(out, child.cells[i]);
@@ -315,36 +315,47 @@ pub fn encode_delta(base: &PackedState, child: &PackedState, out: &mut Vec<u8>) 
 /// is not the original child — deltas carry positions, not checksums; pair
 /// them with the base they were encoded against (spill runs do this by
 /// construction: each record's base is the record before it).
-pub fn apply_delta(base: &PackedState, mut bytes: &[u8]) -> Result<PackedState, DeltaError> {
-    let steps = read_varint(&mut bytes)?;
-    let touched = read_counter(&mut bytes)?;
-    let mut procs = base.procs.clone();
+pub fn apply_delta(base: &PackedState, bytes: &[u8]) -> Result<PackedState, DeltaError> {
+    let mut state = base.clone();
+    apply_delta_into(&mut state, bytes)?;
+    Ok(state)
+}
+
+/// [`apply_delta`] without the base clone: patches `state` — the delta's
+/// base — into the child **in place**, touching only the changed positions.
+/// The workhorse of spill-run stream-back, where consecutive records chain
+/// (each record's base is the previous record's decoded state) and the base
+/// is never needed again.
+///
+/// # Errors
+///
+/// Any [`DeltaError`]; arbitrary input never panics. On error `state` may
+/// hold a partial patch — callers treat a failed decode as fatal for the
+/// run, never as a value.
+pub fn apply_delta_into(state: &mut PackedState, mut bytes: &[u8]) -> Result<(), DeltaError> {
+    state.steps = read_varint(&mut bytes)?;
+    state.touched = read_counter(&mut bytes)?;
     let proc_changes = read_len(&mut bytes)?;
     for _ in 0..proc_changes {
         let index = read_varint(&mut bytes)?;
         let id = read_varint(&mut bytes)?;
         let id = u32::try_from(id).map_err(|_| DeltaError::VarintOverflow)?;
+        let len = state.procs.len();
         let slot = usize::try_from(index)
             .ok()
-            .and_then(|i| procs.get_mut(i))
-            .ok_or(DeltaError::IndexOutOfRange {
-                index,
-                len: base.procs.len(),
-            })?;
+            .and_then(|i| state.procs.get_mut(i))
+            .ok_or(DeltaError::IndexOutOfRange { index, len })?;
         *slot = id;
     }
-    let mut decided = base.decided.clone();
     let decided_changes = read_len(&mut bytes)?;
     for _ in 0..decided_changes {
         let index = read_varint(&mut bytes)?;
         let value = read_decided(&mut bytes)?;
+        let len = state.decided.len();
         let slot = usize::try_from(index)
             .ok()
-            .and_then(|i| decided.get_mut(i))
-            .ok_or(DeltaError::IndexOutOfRange {
-                index,
-                len: base.decided.len(),
-            })?;
+            .and_then(|i| state.decided.get_mut(i))
+            .ok_or(DeltaError::IndexOutOfRange { index, len })?;
         *slot = value;
     }
     // The child's cell count is mostly *unencoded* cells inherited from the
@@ -353,38 +364,28 @@ pub fn apply_delta(base: &PackedState, mut bytes: &[u8]) -> Result<PackedState, 
     // record never exceeds base length + remaining bytes. Rejecting beyond
     // that keeps the resize below allocation-attack scale.
     let cells_len = read_varint(&mut bytes)?;
-    if cells_len > (base.cells.len() + bytes.len()) as u64 {
+    if cells_len > (state.cells.len() + bytes.len()) as u64 {
         return Err(DeltaError::LengthOverflow { len: cells_len });
     }
     let cells_len = cells_len as usize;
-    let mut cells = base.cells.clone();
     // Grown positions are all listed as changes; the placeholder word below
     // is overwritten by a well-formed delta and only survives corrupt input
     // (where any fixed word is as good as any other).
-    cells.resize(cells_len, super::TAG_BOT);
+    state.cells.resize(cells_len, super::TAG_BOT);
     let cell_changes = read_len(&mut bytes)?;
     for _ in 0..cell_changes {
         let index = read_varint(&mut bytes)?;
         let word = read_varint(&mut bytes)?;
         let slot = usize::try_from(index)
             .ok()
-            .and_then(|i| cells.get_mut(i))
+            .and_then(|i| state.cells.get_mut(i))
             .ok_or(DeltaError::IndexOutOfRange {
                 index,
                 len: cells_len,
             })?;
         *slot = word;
     }
-    finish(
-        PackedState {
-            procs,
-            decided,
-            cells,
-            touched,
-            steps,
-        },
-        bytes,
-    )
+    finish((), bytes)
 }
 
 #[cfg(test)]

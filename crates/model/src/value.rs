@@ -104,6 +104,21 @@ impl Value {
         Value::Int(BigInt::one())
     }
 
+    /// Estimated heap-resident footprint of this value in bytes, including
+    /// the inline enum itself. Used by the memory-budget accounting; an
+    /// estimate (out-of-line `BigInt` limbs are charged a flat 32 bytes),
+    /// not an allocator-exact measurement.
+    pub fn resident_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        match self {
+            Value::Bot => inline,
+            Value::Int(i) => inline + if i.is_inline() { 0 } else { 32 },
+            Value::Seq(items) => {
+                inline + items.iter().map(Value::resident_bytes).sum::<usize>()
+            }
+        }
+    }
+
     fn rank(&self) -> u8 {
         match self {
             Value::Bot => 0,

@@ -52,6 +52,13 @@ pub enum SimError {
         /// Supplied inputs.
         found: usize,
     },
+    /// A memory-budget spill to disk failed (disk full, permissions,
+    /// short write, or a corrupt run file). Exploration stops cleanly
+    /// instead of panicking inside a worker.
+    Spill {
+        /// Human-readable description of the underlying IO failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +76,9 @@ impl fmt::Display for SimError {
             ),
             SimError::WrongInputCount { expected, found } => {
                 write!(f, "protocol expects {expected} inputs, got {found}")
+            }
+            SimError::Spill { detail } => {
+                write!(f, "memory-budget spill failed: {detail}")
             }
         }
     }

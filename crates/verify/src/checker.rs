@@ -98,12 +98,12 @@ impl ExploreOutcome {
 /// under the same limits must agree on them bit for bit — at any worker
 /// count and under any [`ExploreLimits::memory_budget`].
 ///
-/// The last two are **resource telemetry**: they describe how this engine
-/// happened to hold the frontier (RAM vs spill runs), not the explored
-/// space, so they vary across engines, budgets and worker interleavings.
-/// They are deliberately **excluded from `PartialEq`/`Eq`** — that is what
-/// lets a budgeted run compare bit-identical to an unbounded one while
-/// still reporting that it spilled.
+/// The remaining fields are **resource telemetry**: they describe how this
+/// engine happened to hold the frontier and the seen set (RAM vs spill
+/// runs), not the explored space, so they vary across engines, budgets and
+/// worker interleavings. They are deliberately **excluded from
+/// `PartialEq`/`Eq`** — that is what lets a budgeted run compare
+/// bit-identical to an unbounded one while still reporting that it spilled.
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreStats {
     /// Distinct configurations fingerprinted (including the root, and
@@ -113,17 +113,29 @@ pub struct ExploreStats {
     pub frontier_peak: usize,
     /// Breadth-first layers fully expanded before the run ended.
     pub depth_reached: usize,
-    /// Encoded bytes the frontier stores wrote to the spill arena
-    /// (telemetry; `0` on unbounded runs and for the clone-based reference).
+    /// Encoded bytes the frontier stores and the tiered fingerprint set
+    /// wrote to the spill arena (telemetry; `0` on unbounded runs and for
+    /// the clone-based reference).
     pub bytes_spilled: u64,
-    /// High-water mark of frontier-resident bytes across the run's queues,
-    /// deques and reorder buffer (telemetry; the figure to derive a
-    /// [`ExploreLimits::memory_budget`] from).
+    /// High-water mark of tracked resident bytes — frontier queues, deques,
+    /// reorder buffer, seen set and intern tables (telemetry; the figure to
+    /// derive a [`ExploreLimits::memory_budget`] from).
     pub peak_resident_bytes: usize,
+    /// Resident bytes of the seen set (exact `HashSet` estimate, or the
+    /// tiered store's hot table + Bloom + run indexes) when the run ended
+    /// (telemetry).
+    pub seen_resident_bytes: usize,
+    /// Resident bytes of the shared intern tables when the run ended
+    /// (telemetry; `0` for the clone-based engines, which intern nothing).
+    pub intern_resident_bytes: usize,
+    /// Live bytes of evicted fingerprint runs on disk when the run ended
+    /// (telemetry; non-zero only when a budget forced the tiered store to
+    /// evict).
+    pub fpset_disk_bytes: u64,
 }
 
-/// Semantic counters only: `bytes_spilled` / `peak_resident_bytes` are
-/// engine-strategy telemetry and never part of backend conformance.
+/// Semantic counters only: the byte-telemetry fields are engine-strategy
+/// details and never part of backend conformance.
 impl PartialEq for ExploreStats {
     fn eq(&self, other: &Self) -> bool {
         self.configs == other.configs
@@ -155,17 +167,23 @@ impl Eq for ExploreStats {}
 ///   runtime; raise it until `max_configs` becomes the binding cutoff.
 /// - **`solo_check_budget`** multiplies the per-configuration cost by
 ///   `n × budget` in the worst case; enable it on small horizons only.
-/// - **`memory_budget`** caps the bytes the engines keep *frontier-resident*
-///   (queued configurations awaiting expansion or in-order commit — not the
-///   16-bytes-per-config seen-set, which `max_configs` already bounds). Past
-///   the budget, frontier entries are delta-compressed and spilled to a
-///   temp-file arena, and streamed back in admission order — outcomes and
-///   the semantic stats are bit-identical at any budget, only wall-clock and
+/// - **`memory_budget`** caps the bytes the engines keep resident: the
+///   frontier (queued configurations awaiting expansion or in-order
+///   commit), the **seen set** (admitted fingerprints route through the
+///   tiered store in [`crate::fpset`], which evicts cold fingerprints to
+///   sorted on-disk runs once the budget is hit) and the shared intern
+///   tables are all charged to one tracker. Past the budget, frontier
+///   entries are delta-compressed and spilled to a temp-file arena and
+///   streamed back in admission order, and cold fingerprints move to runs
+///   probed through a Bloom front — outcomes and the semantic stats are
+///   bit-identical at any budget, only wall-clock and
 ///   `ExploreStats::bytes_spilled` change. The default `None` never spills.
 ///   To pick a value: run once unbounded, read
 ///   [`ExploreStats::peak_resident_bytes`], and budget the fraction of it
 ///   you can afford to keep in RAM (the stress suite runs at 10%); the
-///   budget is soft — the engines may overshoot by one in-flight spill run.
+///   budget is near-hard — tracked resident bytes stay within it plus a
+///   small fixed slack (in-flight double-buffered spill writes, one
+///   streamed-back run, bounded merge buffers).
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreLimits {
     /// Maximum schedule length explored.

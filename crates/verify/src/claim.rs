@@ -94,6 +94,12 @@ pub struct ClaimTable {
     committed: Vec<AtomicU64>,
     /// Fingerprint → admitted? for everything the table proper cannot hold.
     overflow: Mutex<HashMap<u128, bool>>,
+    /// Advisory-only mode (budgeted parallel runs): overflow insertions are
+    /// *dropped* instead of growing the unbounded map — `claim` answers
+    /// `false`, the worker skips materialising that child, and the
+    /// committer derives it from the parent. Claims stay bounded by the
+    /// table allocation at the cost of some duplicated expansion work.
+    lossy: bool,
 }
 
 impl ClaimTable {
@@ -107,17 +113,45 @@ impl ClaimTable {
             .saturating_mul(2)
             .clamp(16, MAX_SLOTS)
             .next_power_of_two();
+        Self::with_slots(slots, false)
+    }
+
+    /// A **lossy advisory** table fitting in about `bytes` of RAM, for
+    /// memory-budgeted parallel runs: sized down instead of from
+    /// `max_configs`, and overflow claims are dropped (see
+    /// [`ClaimTable::claim`]) rather than accumulated. Must not be used as
+    /// an authoritative admission set — the budgeted committer keeps its own
+    /// [`crate::fpset::FpSet`].
+    pub fn advisory(bytes: usize) -> Self {
+        // A slot costs 16 bytes of words plus 1/8 byte of bitmap ≈ 17; round
+        // to the largest power of two that fits.
+        let mut slots = (bytes / 17).max(16).next_power_of_two();
+        if slots > 16 && slots * 17 > bytes {
+            slots /= 2;
+        }
+        Self::with_slots(slots.min(MAX_SLOTS), true)
+    }
+
+    fn with_slots(slots: usize, lossy: bool) -> Self {
         ClaimTable {
             words: (0..slots * 2).map(|_| AtomicU64::new(0)).collect(),
             mask: slots - 1,
             committed: (0..slots.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
             overflow: Mutex::new(HashMap::new()),
+            lossy,
         }
     }
 
     /// Number of slots in the fixed table (excluding overflow).
     pub fn capacity(&self) -> usize {
         self.mask + 1
+    }
+
+    /// Estimated resident bytes: the fixed allocation plus the overflow map.
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * 8
+            + self.committed.len() * 8
+            + self.overflow.lock().unwrap().len() * 40
     }
 
     /// Waits out the publication gap on `slot`'s hi half and compares it.
@@ -175,6 +209,10 @@ impl ClaimTable {
         match self.insert_fp(fp) {
             Probe::ClaimedNew(_) => true,
             Probe::Present(_) => false,
+            // Lossy (advisory, budgeted) tables drop overflow claims: a
+            // false "already claimed" only means the child arrives at the
+            // committer unmaterialised, and the committer derives it.
+            Probe::Overflow if self.lossy => false,
             Probe::Overflow => match self.overflow.lock().unwrap().entry(fp) {
                 Entry::Vacant(e) => {
                     e.insert(false);
@@ -191,6 +229,10 @@ impl ClaimTable {
     /// exactly `HashSet::insert` on the committer's sequence of calls,
     /// regardless of what workers claimed concurrently.
     pub fn admit(&self, fp: u128) -> bool {
+        debug_assert!(
+            !self.lossy,
+            "advisory tables must not serve as the authoritative seen set"
+        );
         match self.insert_fp(fp) {
             Probe::ClaimedNew(slot) | Probe::Present(slot) => {
                 let bit = 1u64 << (slot % 64);

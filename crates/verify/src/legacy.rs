@@ -23,11 +23,11 @@ use crate::checker::{
     decision_violation, schedule_of, zobrist_fingerprint, zobrist_step, ExploreLimits,
     ExploreOutcome, ExploreStats, Link, NO_LINK,
 };
+use crate::fpset::{AdmitSet, SeenBackend};
 use crate::frontier::{FrontierStore, SpillCodec, SpillContext};
 use cbh_model::packed::delta::{read_varint, write_varint};
 use cbh_model::{decode_flat, encode_flat, PackedCtx, Process, Protocol};
 use cbh_sim::{Machine, SimError};
-use std::collections::HashSet;
 
 /// A frontier entry: a live configuration, its incremental fingerprint, and
 /// its link for schedule reconstruction.
@@ -74,6 +74,16 @@ impl<P: Process> SpillCodec for MachineCodec<'_, P> {
             fp,
             link,
         }
+    }
+
+    /// Records are flat, so the stream-back chain has no base to maintain:
+    /// skip the default's bookkeeping clone of every decoded node.
+    fn decode_step(
+        &self,
+        bytes: &[u8],
+        _prev: &mut Option<FrontierNode<P>>,
+    ) -> FrontierNode<P> {
+        self.decode(bytes, None)
     }
 
     fn cost(&self, node: &FrontierNode<P>) -> usize {
@@ -218,7 +228,6 @@ where
     Proc: Process,
     F: FnMut(Vec<FrontierNode<Proc>>, LayerJob) -> (Vec<FrontierNode<Proc>>, Vec<NodeOut>),
 {
-    let mut seen: HashSet<u128> = HashSet::new();
     let mut links: Vec<Link> = Vec::new();
     let mut complete = true;
     let mut frontier_peak = 1usize;
@@ -226,20 +235,34 @@ where
     let ctx = root.packed_ctx();
     let mem = SpillContext::new(limits.memory_budget);
     let codec = MachineCodec { ctx: &ctx };
+    // The seen set routes through the shared backend: an exact `HashSet`
+    // while unbudgeted, the tiered fingerprint store under a budget.
+    // `configs` mirrors its admission count one-for-one.
+    let mut seen = SeenBackend::new(limits.max_configs, &mem);
+    let mut configs = 0usize;
+    // Intern-table bytes charged to the tracker so far — the legacy engine
+    // only interns while packing spilled nodes, but those bytes are resident
+    // and count against the budget like everything else.
+    let mut interned_charged = 0usize;
     macro_rules! stats {
         () => {
             ExploreStats {
-                configs: seen.len(),
+                configs,
                 frontier_peak,
                 depth_reached: depth,
                 bytes_spilled: mem.tracker().bytes_spilled(),
                 peak_resident_bytes: mem.tracker().peak_resident_bytes(),
+                seen_resident_bytes: seen.seen_resident_bytes(),
+                intern_resident_bytes: ctx.intern_resident_bytes(),
+                fpset_disk_bytes: seen.fpset_disk_bytes(),
             }
         };
     }
 
     let root_fp = zobrist_fingerprint(&root, symmetry);
-    seen.insert(root_fp);
+    let root_new = seen.admit(root_fp)?;
+    debug_assert!(root_new, "fresh run: the root cannot be pre-admitted");
+    configs += 1;
     if let Some(violation) = decision_violation(&root, inputs, NO_LINK, &links) {
         return Ok((violation, stats!()));
     }
@@ -248,7 +271,7 @@ where
         machine: root,
         fp: root_fp,
         link: NO_LINK,
-    });
+    })?;
 
     'layers: while !frontier.is_empty() {
         frontier_peak = frontier_peak.max(frontier.len());
@@ -256,7 +279,7 @@ where
         if !expand && limits.solo_check_budget.is_none() {
             // Nothing left to check at the horizon: the cutoff hides exactly
             // the nodes with moves remaining.
-            while let Some(node) = frontier.pop() {
+            while let Some(node) = frontier.pop()? {
                 if node.machine.active_iter().next().is_some() {
                     complete = false;
                     break;
@@ -271,7 +294,14 @@ where
         };
         let mut next = FrontierStore::new(codec.clone(), mem.clone());
         while !frontier.is_empty() {
-            let block = frontier.pop_block(block_cap);
+            // Fold intern growth from the spill codec into the shared
+            // resident total before the block's admissions consult it.
+            let interned = ctx.intern_resident_bytes();
+            if interned > interned_charged {
+                mem.tracker().add_resident(interned - interned_charged);
+                interned_charged = interned;
+            }
+            let block = frontier.pop_block(block_cap)?;
             if !expand
                 && block
                     .iter()
@@ -293,10 +323,11 @@ where
                     ));
                 }
                 for (pid, child_fp) in expansion.edges {
-                    if !seen.insert(child_fp) {
+                    if !seen.admit(child_fp)? {
                         continue;
                     }
-                    if seen.len() > limits.max_configs {
+                    configs += 1;
+                    if configs > limits.max_configs {
                         complete = false;
                         break 'layers;
                     }
@@ -315,7 +346,7 @@ where
                         machine: child,
                         fp: child_fp,
                         link,
-                    });
+                    })?;
                 }
             }
         }
@@ -324,10 +355,7 @@ where
             depth += 1;
         }
     }
-    let outcome = ExploreOutcome::Clean {
-        configs: seen.len(),
-        complete,
-    };
+    let outcome = ExploreOutcome::Clean { configs, complete };
     Ok((outcome, stats!()))
 }
 

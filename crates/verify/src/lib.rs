@@ -45,6 +45,7 @@ pub mod adversary;
 pub mod checker;
 pub mod claim;
 pub mod covering;
+pub mod fpset;
 pub mod frontier;
 pub mod legacy;
 pub mod packed_engine;

@@ -65,12 +65,13 @@
 
 use crate::checker::{schedule_of, ExploreLimits, ExploreOutcome, ExploreStats, Link, NO_LINK};
 use crate::claim::ClaimTable;
-use crate::frontier::{FrontierStore, ReorderBuffer, SpillCodec, SpillContext};
+use crate::fpset::{AdmitSet, SeenBackend};
+use crate::frontier::{FrontierStore, ReorderBuffer, SpillCodec, SpillContext, SpillError};
 use cbh_model::packed::delta::{read_varint, write_varint};
-use cbh_model::{apply_delta, decode_flat, encode_delta, encode_flat, PackedCache, PackedCtx,
+use cbh_model::{apply_delta, apply_delta_into, decode_flat, encode_delta, encode_flat, PackedCache, PackedCtx,
     PackedState, Process, Protocol};
 use cbh_sim::{Machine, SimError};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -80,6 +81,17 @@ use std::time::Duration;
 struct RunCfg {
     solo_budget: Option<u64>,
     symmetric: bool,
+    /// Budgeted runs bound each thread's intern cache to this many bytes;
+    /// past it the cache is cleared wholesale (entries re-fetch from the
+    /// shared tables on demand). `None` = unbounded, the historical
+    /// behaviour of unbudgeted runs.
+    cache_cap: Option<usize>,
+}
+
+/// Per-thread intern-cache byte cap under a memory budget: an eighth of the
+/// budget, floored so tiny stress budgets don't thrash re-fetches.
+fn cache_cap_of(memory_budget: Option<usize>) -> Option<usize> {
+    memory_budget.map(|b| (b / 8).max(64 * 1024))
 }
 
 /// One admitted configuration awaiting expansion.
@@ -190,6 +202,29 @@ impl SpillCodec for NodeCodec {
         decode_node(bytes, prev.map(|p| &p.state))
     }
 
+    /// Streamed-back records patch the chained base **in place** (a delta
+    /// touches a handful of positions) and clone once to return — instead of
+    /// building a state from the base and cloning it again for the chain.
+    fn decode_step(&self, mut bytes: &[u8], prev: &mut Option<Node>) -> Node {
+        let Some(node) = prev else {
+            let item = self.decode(bytes, None);
+            *prev = Some(item.clone());
+            return item;
+        };
+        node.index = read_varint(&mut bytes).expect("node record: index") as usize;
+        let (fp_bytes, rest) = bytes.split_at(16);
+        node.fp = u128::from_le_bytes(fp_bytes.try_into().expect("16-byte digest"));
+        node.expand = rest[0] != 0;
+        let tag = rest[1];
+        let state_bytes = &rest[2..];
+        match tag {
+            1 => apply_delta_into(&mut node.state, state_bytes).expect("node record: delta"),
+            0 => node.state = decode_flat(state_bytes).expect("node record: flat state"),
+            _ => unreachable!("spill record base/tag mismatch"),
+        }
+        node.clone()
+    }
+
     fn cost(&self, node: &Node) -> usize {
         std::mem::size_of::<Node>() + node.state.resident_bytes()
     }
@@ -225,6 +260,18 @@ impl SpillCodec for BatchCodec {
             let node = decode_node(&bytes[..len], base.map(|n: &Node| &n.state));
             bytes = &bytes[len..];
             batch.push(node);
+        }
+        batch
+    }
+
+    /// Only the chain's *last* node ever serves as a delta base, so keep a
+    /// one-node stub instead of cloning the whole batch between records.
+    fn decode_step(&self, bytes: &[u8], prev: &mut Option<Batch>) -> Batch {
+        let batch = self.decode(bytes, prev.as_ref());
+        // An empty batch leaves the chain where it was, exactly as `encode`
+        // leaves its base untouched when it writes zero nodes.
+        if let Some(last) = batch.last() {
+            *prev = Some(vec![last.clone()]);
         }
         batch
     }
@@ -400,41 +447,18 @@ fn expand_node<P: Process>(
 }
 
 // ---------------------------------------------------------------------------
-// The authoritative admitted set
-// ---------------------------------------------------------------------------
-
-/// The committer's seen-set operation: first-admission test-and-set on a
-/// fingerprint. The sequential engine admits into a plain `HashSet`; the
-/// parallel engine admits into the shared [`ClaimTable`]'s committed bitmap
-/// — by construction the same sequence of calls produces the same sequence
-/// of answers, so the committer logic is written once against this trait.
-trait AdmitSet {
-    fn admit(&mut self, fp: u128) -> bool;
-}
-
-impl AdmitSet for HashSet<u128> {
-    fn admit(&mut self, fp: u128) -> bool {
-        self.insert(fp)
-    }
-}
-
-impl AdmitSet for &ClaimTable {
-    fn admit(&mut self, fp: u128) -> bool {
-        ClaimTable::admit(self, fp)
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Result sources: where the committer gets ordered node results from
 // ---------------------------------------------------------------------------
 
 /// The committer's view of the expansion machinery: it hands out tasks and
 /// asks for node results in admission order. Sequential and work-stealing
 /// implementations share the one committer, which is what makes them
-/// bit-identical.
+/// bit-identical. The authoritative seen set lives behind
+/// [`crate::fpset::AdmitSet`]; both are fallible because a budgeted run's
+/// queues and fingerprint store may touch disk.
 trait ResultSource<P: Process> {
-    fn dispatch(&mut self, node: Node);
-    fn take(&mut self, index: usize) -> NodeResult;
+    fn dispatch(&mut self, node: Node) -> Result<(), SimError>;
+    fn take(&mut self, index: usize) -> Result<NodeResult, SimError>;
 }
 
 /// In-process source: tasks run inline, in dispatch order, on the calling
@@ -451,18 +475,22 @@ struct SeqSource<'c, P: Process> {
 }
 
 impl<P: Process> ResultSource<P> for SeqSource<'_, P> {
-    fn dispatch(&mut self, node: Node) {
-        self.queue.push(node);
+    fn dispatch(&mut self, node: Node) -> Result<(), SimError> {
+        self.queue.push(node)?;
+        Ok(())
     }
 
-    fn take(&mut self, index: usize) -> NodeResult {
-        let node = self.queue.pop().expect("take follows dispatch");
+    fn take(&mut self, index: usize) -> Result<NodeResult, SimError> {
+        let node = self.queue.pop()?.expect("take follows dispatch");
         debug_assert_eq!(node.index, index);
         let out = expand_node(self.ctx, &node, self.cfg, None, &mut self.cache);
-        NodeResult {
+        if let Some(cap) = self.cfg.cache_cap {
+            self.cache.evict_if_over(cap);
+        }
+        Ok(NodeResult {
             state: node.state,
             out,
-        }
+        })
     }
 }
 
@@ -483,34 +511,66 @@ struct Pool {
     idle: Mutex<()>,
     work_ready: Condvar,
     stop: AtomicBool,
-    /// Shared fingerprint table: workers claim into it, the committer admits
-    /// into it. Lock-free on both hot paths.
+    /// Shared fingerprint table: workers claim into it to dedupe speculative
+    /// child materialisation; on unbudgeted runs the committer also admits
+    /// into its committed bitmap. Lock-free on both hot paths.
     claims: ClaimTable,
+    /// First spill-IO failure observed by any pool thread. A worker that
+    /// hits one records it here and stops the pool; the committer turns it
+    /// into a clean [`SimError::Spill`] instead of the abnormal-termination
+    /// panic reserved for genuine worker crashes.
+    io_error: Mutex<Option<SpillError>>,
 }
 
 impl Pool {
-    fn pop_batch(&self, home: usize) -> Option<Batch> {
+    fn pop_batch(&self, home: usize) -> Result<Option<Batch>, SpillError> {
         let workers = self.deques.len();
         for offset in 0..workers {
             let deque = &self.deques[(home + offset) % workers];
-            if let Some(batch) = deque.lock().unwrap().pop() {
-                return Some(batch);
+            if let Some(batch) = deque.lock().unwrap().pop()? {
+                return Ok(Some(batch));
             }
         }
-        None
+        Ok(None)
+    }
+
+    /// Records the first spill failure (later ones lose the race and are
+    /// dropped: one failure already stops the run).
+    fn record_io_error(&self, err: SpillError) {
+        self.io_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_or_insert(err);
+    }
+
+    /// Takes the recorded spill failure, if any (committer side).
+    fn take_io_error(&self) -> Option<SpillError> {
+        self.io_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
     }
 
     fn worker_loop<P: Process>(&self, ctx: &PackedCtx<P>, cfg: RunCfg, home: usize) {
         let _guard = StopGuard(self);
         // Thread-local read-through view of the shared intern tables; lives
         // for the whole run, so entries are fetched under a shard lock at
-        // most once per worker.
+        // most once per worker (unless a budget caps and clears it).
         let mut cache = PackedCache::new();
         loop {
             if self.stop.load(Ordering::Acquire) {
                 return; // abandon speculative leftovers: the run is decided
             }
-            if let Some(batch) = self.pop_batch(home) {
+            let popped = match self.pop_batch(home) {
+                Ok(popped) => popped,
+                Err(err) => {
+                    // StopGuard (not us) wakes the committer, which maps the
+                    // recorded error to a clean outcome.
+                    self.record_io_error(err);
+                    return;
+                }
+            };
+            if let Some(batch) = popped {
                 // Expand the whole batch before taking the results lock
                 // once: one insertion burst, one committer wakeup.
                 let outs: Vec<(usize, NodeResult)> = batch
@@ -526,11 +586,23 @@ impl Pool {
                         )
                     })
                     .collect();
-                let mut results = self.results.lock().unwrap();
-                for (index, result) in outs {
-                    results.insert(index, result);
+                if let Some(cap) = cfg.cache_cap {
+                    cache.evict_if_over(cap);
                 }
-                drop(results);
+                let mut failed = None;
+                {
+                    let mut results = self.results.lock().unwrap();
+                    for (index, result) in outs {
+                        if let Err(err) = results.insert(index, result) {
+                            failed = Some(err);
+                            break;
+                        }
+                    }
+                }
+                if let Some(err) = failed {
+                    self.record_io_error(err);
+                    return;
+                }
                 self.results_ready.notify_one();
                 continue;
             }
@@ -607,30 +679,31 @@ impl<P: Process> PoolSource<'_, P> {
         (self.outstanding / (4 * self.workers)).clamp(MIN_BATCH, MAX_BATCH)
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), SimError> {
         if self.pending.is_empty() {
-            return;
+            return Ok(());
         }
         let batch = std::mem::take(&mut self.pending);
         let deques = &self.pool.deques;
         deques[self.next_deque % deques.len()]
             .lock()
             .unwrap()
-            .push(batch);
+            .push(batch)?;
         self.next_deque += 1;
         // Serialize the notify against the workers' park re-check: a worker
         // either holds `idle` (and will observe the push above), or is
         // already waiting (and receives this notification).
         let _guard = self.pool.idle.lock().unwrap();
         self.pool.work_ready.notify_one();
+        Ok(())
     }
 
     /// Pops one backlogged batch and expands it on the committer's thread —
     /// what `take` does instead of sleeping while its result is in flight.
     /// Returns `false` if every deque was empty.
-    fn help(&mut self) -> bool {
-        let Some(batch) = self.pool.pop_batch(self.next_deque % self.workers) else {
-            return false;
+    fn help(&mut self) -> Result<bool, SimError> {
+        let Some(batch) = self.pool.pop_batch(self.next_deque % self.workers)? else {
+            return Ok(false);
         };
         let outs: Vec<(usize, NodeResult)> = batch
             .into_iter()
@@ -646,50 +719,64 @@ impl<P: Process> PoolSource<'_, P> {
                 )
             })
             .collect();
+        if let Some(cap) = self.cfg.cache_cap {
+            self.cache.evict_if_over(cap);
+        }
         let mut results = self.pool.results.lock().unwrap();
         for (index, result) in outs {
-            results.insert(index, result);
+            results.insert(index, result)?;
         }
-        true
+        Ok(true)
+    }
+
+    /// A worker stopped the pool mid-run: a recorded spill failure becomes a
+    /// clean error, anything else is the abnormal-termination panic.
+    fn stopped_abnormally(&self) -> SimError {
+        match self.pool.take_io_error() {
+            Some(err) => err.into(),
+            None => panic!("explorer worker terminated abnormally"),
+        }
     }
 }
 
 impl<P: Process> ResultSource<P> for PoolSource<'_, P> {
-    fn dispatch(&mut self, node: Node) {
+    fn dispatch(&mut self, node: Node) -> Result<(), SimError> {
         self.pending.push(node);
         self.outstanding += 1;
         if self.pending.len() >= self.batch_target() {
-            self.flush();
+            self.flush()?;
         }
+        Ok(())
     }
 
-    fn take(&mut self, index: usize) -> NodeResult {
+    fn take(&mut self, index: usize) -> Result<NodeResult, SimError> {
         // Nodes buffer in admission order, so the buffer's first index is
         // its minimum: flush iff the node we are about to wait for (or any
         // earlier one) is still sitting in the buffer.
         if self.pending.first().is_some_and(|node| node.index <= index) {
-            self.flush();
+            self.flush()?;
         }
         loop {
             {
                 let mut results = self.pool.results.lock().unwrap();
-                if let Some(result) = results.remove(index) {
+                if let Some(result) = results.remove(index)? {
                     self.outstanding -= 1;
-                    return result;
+                    return Ok(result);
                 }
                 // `stop` flips mid-run only when a worker unwound (its
-                // StopGuard); without this check the committer would wait
-                // forever for the result that worker was computing.
-                assert!(
-                    !self.pool.stop.load(Ordering::Acquire),
-                    "explorer worker terminated abnormally"
-                );
+                // StopGuard) or hit a spill failure; without this check the
+                // committer would wait forever for the result that worker
+                // was computing.
+                if self.pool.stop.load(Ordering::Acquire) {
+                    drop(results);
+                    return Err(self.stopped_abnormally());
+                }
             }
             // The result is in flight. Expand a backlogged batch ourselves
             // rather than sleeping — on saturated machines the committer is
             // effectively one more worker; on oversubscribed ones it keeps
             // progress independent of the scheduler.
-            if self.help() {
+            if self.help()? {
                 continue;
             }
             // Nothing to help with: park until a worker delivers. The
@@ -697,14 +784,14 @@ impl<P: Process> ResultSource<P> for PoolSource<'_, P> {
             // notify; the timeout covers the window between our failed help
             // and the wait.
             let mut results = self.pool.results.lock().unwrap();
-            if let Some(result) = results.remove(index) {
+            if let Some(result) = results.remove(index)? {
                 self.outstanding -= 1;
-                return result;
+                return Ok(result);
             }
-            assert!(
-                !self.pool.stop.load(Ordering::Acquire),
-                "explorer worker terminated abnormally"
-            );
+            if self.pool.stop.load(Ordering::Acquire) {
+                drop(results);
+                return Err(self.stopped_abnormally());
+            }
             let _ = self
                 .pool
                 .results_ready
@@ -775,6 +862,12 @@ where
     // are therefore grouped by layer, in layer order.
     let mut layer_total: Vec<usize> = vec![1];
     let mut layer_done: Vec<usize> = vec![0];
+    // Intern-table bytes already charged to the tracker. The tables are
+    // append-only (spilled states embed intern ids, so entries can never be
+    // evicted); the committer polls their growth into the shared tracker so
+    // the budget sees frontier + seen set + interners as one total.
+    let mut interned_charged = 0usize;
+    let cache_cap = cache_cap_of(limits.memory_budget);
     macro_rules! stats {
         () => {
             ExploreStats {
@@ -783,6 +876,9 @@ where
                 depth_reached,
                 bytes_spilled: mem.tracker().bytes_spilled(),
                 peak_resident_bytes: mem.tracker().peak_resident_bytes(),
+                seen_resident_bytes: admit.seen_resident_bytes(),
+                intern_resident_bytes: ctx.intern_resident_bytes(),
+                fpset_disk_bytes: admit.fpset_disk_bytes(),
             }
         };
     }
@@ -795,7 +891,7 @@ where
     let solo = limits.solo_check_budget.is_some();
 
     let root_fp = ctx.digest_cached(&mut cache, &root, symmetric);
-    let _root_new = admit.admit(root_fp);
+    let _root_new = admit.admit(root_fp)?;
     debug_assert!(_root_new, "fresh run: the root cannot be pre-admitted");
     configs += 1;
     if let Some(violation) = packed_violation(ctx, &mut cache, &root, inputs, NO_LINK, &links) {
@@ -808,13 +904,24 @@ where
             state: root,
             fp: root_fp,
             expand: limits.depth > 0,
-        });
+        })?;
     } else {
         inline_active.insert(0, ctx.has_active(&root));
     }
 
     let mut next_commit = 0usize;
     while next_commit < meta.len() {
+        // Fold intern-table growth (the committer's own and every worker's)
+        // into the shared resident total before the admissions below consult
+        // the budget. The tables only grow, so this is a one-way delta.
+        let interned = ctx.intern_resident_bytes();
+        if interned > interned_charged {
+            mem.tracker().add_resident(interned - interned_charged);
+            interned_charged = interned;
+        }
+        if let Some(cap) = cache_cap {
+            cache.evict_if_over(cap);
+        }
         let (parent_link, d) = meta[next_commit];
         let (expansion, parent_state) = match inline_active.remove(&next_commit) {
             Some(has_active) => (
@@ -826,7 +933,7 @@ where
                 None,
             ),
             None => {
-                let result = source.take(next_commit);
+                let result = source.take(next_commit)?;
                 (result.out?, Some(result.state))
             }
         };
@@ -844,7 +951,7 @@ where
             complete = false;
         }
         for Edge { pid, fp, child } in expansion.edges {
-            if !admit.admit(fp) {
+            if !admit.admit(fp)? {
                 continue;
             }
             configs += 1;
@@ -897,7 +1004,7 @@ where
                     state: child_state,
                     fp,
                     expand,
-                });
+                })?;
             } else {
                 inline_active.insert(index, ctx.has_active(&child_state));
             }
@@ -943,6 +1050,7 @@ pub(crate) fn explore_packed_seq<P: Protocol>(
     let cfg = RunCfg {
         solo_budget: limits.solo_check_budget,
         symmetric,
+        cache_cap: cache_cap_of(limits.memory_budget),
     };
     let mem = SpillContext::new(limits.memory_budget);
     let mut source = SeqSource {
@@ -951,8 +1059,11 @@ pub(crate) fn explore_packed_seq<P: Protocol>(
         queue: FrontierStore::new(NodeCodec, mem.clone()),
         cache: PackedCache::new(),
     };
-    let mut seen: HashSet<u128> = HashSet::new();
-    drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut seen, &mem)
+    // Unbudgeted: a plain seen-HashSet (charged to the tracker so unbounded
+    // peaks tell the truth). Budgeted: the tiered fingerprint store, which
+    // evicts cold fingerprints to sorted runs instead of growing.
+    let mut admit = SeenBackend::new(limits.max_configs, &mem);
+    drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut admit, &mem)
 }
 
 /// Parallel packed exploration with a persistent work-stealing pool.
@@ -995,6 +1106,7 @@ where
     let cfg = RunCfg {
         solo_budget: limits.solo_check_budget,
         symmetric,
+        cache_cap: cache_cap_of(limits.memory_budget),
     };
     let mem = SpillContext::new(limits.memory_budget);
     let pool = Pool {
@@ -1006,12 +1118,24 @@ where
         idle: Mutex::new(()),
         work_ready: Condvar::new(),
         stop: AtomicBool::new(false),
-        // Sized for the run's admission cap; the committer's root admission
-        // below lands before any dispatch, so workers can never win a claim
-        // on the root's fingerprint.
-        claims: ClaimTable::new(limits.max_configs),
+        // Unbudgeted: sized for the run's admission cap and doubling as the
+        // authoritative seen set (the committer's root admission below lands
+        // before any dispatch, so workers can never win a claim on the
+        // root's fingerprint). Budgeted: a fixed-size *advisory* table —
+        // claims it cannot hold are dropped, which only costs a duplicate
+        // derivation at the committer — while authoritative admission moves
+        // to the tiered fingerprint store.
+        claims: match limits.memory_budget {
+            Some(budget) => ClaimTable::advisory((budget / 4).max(4096)),
+            None => ClaimTable::new(limits.max_configs),
+        },
+        io_error: Mutex::new(None),
     };
-    std::thread::scope(|scope| {
+    // The claim table is a real, budget-relevant allocation of the parallel
+    // run; charge it for as long as the pool lives.
+    let claim_bytes = pool.claims.resident_bytes();
+    mem.tracker().add_resident(claim_bytes);
+    let outcome = std::thread::scope(|scope| {
         for home in 0..workers {
             let pool = &pool;
             let ctx = &ctx;
@@ -1031,9 +1155,16 @@ where
         // released even if `drive` panics mid-commit — otherwise the scope's
         // implicit join would turn the panic into a deadlock.
         let _stop = StopGuard(&pool);
-        let mut admit = &pool.claims;
-        drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut admit, &mem)
-    })
+        if limits.memory_budget.is_some() {
+            let mut admit = SeenBackend::new(limits.max_configs, &mem);
+            drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut admit, &mem)
+        } else {
+            let mut admit = &pool.claims;
+            drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut admit, &mem)
+        }
+    });
+    mem.tracker().sub_resident(claim_bytes);
+    outcome
 }
 
 #[cfg(test)]

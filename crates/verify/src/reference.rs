@@ -73,9 +73,12 @@ pub fn reference_explore<P: Protocol>(
                 frontier_peak,
                 depth_reached: depth,
                 // The oracle keeps everything live on purpose (collision
-                // detection); it neither budgets nor spills.
+                // detection); it neither budgets, spills nor interns.
                 bytes_spilled: 0,
                 peak_resident_bytes: 0,
+                seen_resident_bytes: 0,
+                intern_resident_bytes: 0,
+                fpset_disk_bytes: 0,
             }
         };
     }

@@ -1,0 +1,192 @@
+//! Property tests for the tiered fingerprint store — the budgeted seen set
+//! the committer's admission order rides on.
+//!
+//! The reference model is the structure the store replaces: a
+//! `HashSet<u128>`. Whatever the budget, however many evictions and
+//! compactions the workload forces, and however many threads race on probes,
+//! `admit` must give exactly the `HashSet::insert` answer sequence — a Bloom
+//! false positive may cost a disk probe but must never become a false
+//! negative (or a false admission), and run-merge compaction must preserve
+//! membership bit for bit.
+
+use cbh_verify::fpset::{decode_run, FpSet};
+use cbh_verify::frontier::{SpillContext, SpillError};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Spreads small generator integers into full-width fingerprints while
+/// keeping collisions likely (many duplicates per run).
+fn widen(raw: u128, spread: bool) -> u128 {
+    if !spread {
+        return raw;
+    }
+    let lo = (raw as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let hi = ((raw >> 64) as u64 ^ 0xdead_beef).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Maps two generator integers onto the interesting budget shapes:
+/// unbounded, zero (spill everything) and a small positive cap.
+fn pick_budget(sel: usize, val: usize) -> Option<usize> {
+    match sel % 3 {
+        0 => None,
+        1 => Some(0),
+        _ => Some(val),
+    }
+}
+
+/// Encodes fingerprints the way a run is written: raw little-endian u128s.
+fn encode(fps: &[u128]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(fps.len() * 16);
+    for fp in fps {
+        bytes.extend_from_slice(&fp.to_le_bytes());
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random admit/contains interleavings with budget-forced evictions and
+    /// compactions sprinkled in: the answer sequence is exactly the
+    /// `HashSet`'s, at any budget.
+    #[test]
+    fn membership_is_hashset_membership_under_evict_and_compact(
+        raws in proptest::collection::vec(0u128..4000, 1..400),
+        ops in proptest::collection::vec(0u8..8, 1..400),
+        spread in any::<bool>(),
+        budget_sel in 0usize..3,
+        budget_val in 1usize..20_000,
+    ) {
+        let ctx = SpillContext::new(pick_budget(budget_sel, budget_val));
+        let set = FpSet::new(4096, ctx.clone());
+        let mut reference: HashSet<u128> = HashSet::new();
+        for (i, &raw) in raws.iter().enumerate() {
+            let fp = widen(raw, spread);
+            match ops[i % ops.len()] {
+                // Mostly admissions: the committer's hot path.
+                0..=4 => prop_assert_eq!(set.admit(fp).unwrap(), reference.insert(fp)),
+                5 => prop_assert_eq!(set.contains(fp).unwrap(), reference.contains(&fp)),
+                6 => set.force_evict().unwrap(),
+                _ => set.force_compact().unwrap(),
+            }
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        // No false negatives after arbitrary eviction/compaction history …
+        for &fp in &reference {
+            prop_assert!(set.contains(fp).unwrap());
+            prop_assert!(!set.admit(fp).unwrap(), "{:#x} re-admitted", fp);
+        }
+        // … and Bloom false positives never flip a decision: probes for
+        // never-admitted fingerprints still answer `false`.
+        for &raw in raws.iter().take(64) {
+            let probe = widen(raw, spread) ^ (1 << 127);
+            prop_assert_eq!(set.contains(probe).unwrap(), reference.contains(&probe));
+        }
+    }
+
+    /// Racing threads admitting overlapping fingerprint sets into one store:
+    /// every distinct fingerprint is admitted exactly once across all
+    /// threads, and the survivors are exactly the input set. (The engines
+    /// admit from one committer thread; this pins the store's linearized
+    /// semantics for the shared `&FpSet` probes.)
+    #[test]
+    fn racing_admissions_are_exactly_once(
+        raws in proptest::collection::vec(0u128..1500, 1..200),
+        spread in any::<bool>(),
+        budget_sel in 0usize..3,
+        budget_val in 1usize..8192,
+        threads in 2usize..6,
+    ) {
+        let ctx = SpillContext::new(pick_budget(budget_sel, budget_val));
+        let set = FpSet::new(2048, ctx.clone());
+        let fps: Vec<u128> = raws.iter().map(|&r| widen(r, spread)).collect();
+        let wins: Vec<Vec<u128>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let set = &set;
+                    let fps = &fps;
+                    scope.spawn(move || {
+                        let mut won = Vec::new();
+                        for i in 0..fps.len() {
+                            // Rotated start: threads collide mid-stream.
+                            let fp = fps[(i + t * 97) % fps.len()];
+                            if set.admit(fp).unwrap() {
+                                won.push(fp);
+                            }
+                        }
+                        won
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let distinct: HashSet<u128> = fps.iter().copied().collect();
+        let mut winners: HashSet<u128> = HashSet::new();
+        for fp in wins.iter().flatten() {
+            prop_assert!(winners.insert(*fp), "{:#x} admitted twice", fp);
+        }
+        prop_assert_eq!(&winners, &distinct);
+        prop_assert_eq!(set.len(), distinct.len());
+        for &fp in &distinct {
+            prop_assert!(set.contains(fp).unwrap());
+        }
+    }
+
+    /// Forced eviction rounds followed by a k-way merge: compaction leaves
+    /// one run and byte-for-byte membership.
+    #[test]
+    fn compaction_preserves_membership(
+        raws in proptest::collection::vec(0u128..3000, 32..400),
+        evictions in 2usize..6,
+    ) {
+        let ctx = SpillContext::new(Some(0));
+        let set = FpSet::new(2048, ctx.clone());
+        let mut reference: HashSet<u128> = HashSet::new();
+        for &raw in &raws {
+            let fp = widen(raw, true);
+            prop_assert_eq!(set.admit(fp).unwrap(), reference.insert(fp));
+        }
+        for _ in 0..evictions {
+            set.force_evict().unwrap();
+        }
+        set.force_compact().unwrap();
+        prop_assert!(set.run_count() <= 1, "compaction left {} runs", set.run_count());
+        prop_assert_eq!(set.len(), reference.len());
+        for &fp in &reference {
+            prop_assert!(set.contains(fp).unwrap());
+            prop_assert!(!set.admit(fp).unwrap());
+        }
+    }
+
+    /// The run decoder rejects damage with typed errors: truncation to a
+    /// non-whole number of fingerprints and order violations are both
+    /// [`SpillError::Corrupt`]; undamaged runs round-trip.
+    #[test]
+    fn damaged_runs_decode_to_typed_errors(
+        raws in proptest::collection::vec(0u128..100_000, 2..200),
+        cut in 1usize..16,
+        swap_raw in 0usize..1_000_000,
+    ) {
+        let mut fps: Vec<u128> = raws.iter().map(|&r| widen(r, true)).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        let good = encode(&fps);
+        prop_assert_eq!(decode_run(&good).unwrap(), fps.clone());
+        // Truncation that breaks 16-byte framing.
+        let cut = cut.min(good.len() - 1);
+        if cut % 16 != 0 {
+            let truncated = decode_run(&good[..good.len() - cut]);
+            let corrupt = matches!(truncated, Err(SpillError::Corrupt { .. }));
+            prop_assert!(corrupt, "truncated run decoded as {:?}", truncated);
+        }
+        // An ordering violation anywhere in the run.
+        if fps.len() >= 2 {
+            let i = swap_raw % (fps.len() - 1);
+            fps.swap(i, i + 1);
+            let shuffled = decode_run(&encode(&fps));
+            let corrupt = matches!(shuffled, Err(SpillError::Corrupt { .. }));
+            prop_assert!(corrupt, "out-of-order run decoded as {:?}", shuffled);
+        }
+    }
+}

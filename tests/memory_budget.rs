@@ -15,12 +15,35 @@
 //!
 //! `bytes_spilled` must be *nonzero* on every budgeted run (the stress is
 //! real) and zero on every unbounded one (spilling is strictly opt-in).
+//!
+//! The budget is also a *true cap*: every budgeted run's tracked resident
+//! peak — frontier blocks, the seen set (hot table, Bloom front and run
+//! index), intern tables, the claim table — must stay within the budget
+//! plus [`SLACK`], a fixed allowance for the structures that cannot shrink
+//! below a floor (minimum hot table, in-flight double-buffered spill
+//! writes, one streamed-back run block, bounded merge buffers).
 
 use space_hierarchy::model::Protocol;
 use space_hierarchy::protocols::bitwise::{tas_reset_consensus, write01_consensus};
 use space_hierarchy::protocols::registry::{self, RowSpec, RowVisitor};
 use space_hierarchy::verify::checker::{ExploreLimits, ExploreOutcome, ExploreStats, Explorer};
 use space_hierarchy::verify::legacy::legacy_explore_stats;
+
+/// Fixed allowance above the budget for floor-sized structures: minimum
+/// hot-table/Bloom allocations, the two in-flight double-buffered spill
+/// writes, one streamed-back block per store and bounded merge buffers.
+const SLACK: usize = 4 << 20;
+
+/// The true-cap assertion shared by every budgeted run in this suite.
+fn assert_within_cap(name: &str, stats: &ExploreStats, budget: usize, workers: usize) {
+    assert!(
+        stats.peak_resident_bytes <= budget + SLACK,
+        "{name}: budget {budget} at {workers} workers peaked at {} resident bytes \
+         (> budget + {} slack)",
+        stats.peak_resident_bytes,
+        SLACK
+    );
+}
 
 fn explore_at<P>(
     protocol: &P,
@@ -59,8 +82,9 @@ fn assert_budget_invariance<P>(
         unbounded.1.peak_resident_bytes > 0,
         "{name}: peak telemetry missing"
     );
+    let cap = budget(&unbounded.1);
     let budgeted_limits = ExploreLimits {
-        memory_budget: Some(budget(&unbounded.1)),
+        memory_budget: Some(cap),
         ..limits
     };
     for &w in workers {
@@ -75,6 +99,7 @@ fn assert_budget_invariance<P>(
             "{name}: budget {:?} at {w} workers never spilled",
             budgeted_limits.memory_budget
         );
+        assert_within_cap(&name, &spilled.1, cap, w);
     }
 }
 
@@ -151,8 +176,9 @@ fn legacy_engine_is_budget_invariant_too() {
     let inputs = [0u64, 1, 2];
     let unbounded = legacy_explore_stats(&protocol, &inputs, limits, 1, false).unwrap();
     assert_eq!(unbounded.1.bytes_spilled, 0);
+    let cap = (unbounded.1.peak_resident_bytes / 10).max(1);
     let budgeted = ExploreLimits {
-        memory_budget: Some((unbounded.1.peak_resident_bytes / 10).max(1)),
+        memory_budget: Some(cap),
         ..limits
     };
     for workers in [1, 4] {
@@ -162,6 +188,7 @@ fn legacy_engine_is_budget_invariant_too() {
             spilled.1.bytes_spilled > 0,
             "legacy at {workers} workers never spilled"
         );
+        assert_within_cap("legacy tas-reset", &spilled.1, cap, workers);
     }
     // And the budgeted legacy engine still agrees with the budgeted packed
     // engine — the cross-engine bar the conformance suite holds unbudgeted

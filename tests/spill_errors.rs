@@ -1,0 +1,84 @@
+//! Typed spill-failure surface: when the spill directory is unusable, a
+//! budgeted run must return a clean [`SimError::Spill`] — never panic inside
+//! a worker, never hang the pool, never report a partial outcome as clean.
+//!
+//! The whole suite is one `#[test]` because it owns the `CBH_SPILL_DIR`
+//! process environment variable (same discipline as `spill_hygiene.rs`): it
+//! points every arena of this process at a directory that does not exist, so
+//! the first spill write fails with a typed `SpillError::Create` that each
+//! engine must map to the error outcome.
+
+use space_hierarchy::protocols::bitwise::tas_reset_consensus;
+use space_hierarchy::sim::SimError;
+use space_hierarchy::verify::checker::{explore_stats, ExploreLimits, Explorer};
+use space_hierarchy::verify::legacy::legacy_explore_stats;
+
+fn assert_spill_error(err: SimError, context: &str) {
+    match err {
+        SimError::Spill { detail } => {
+            assert!(
+                detail.contains("create spill arena"),
+                "{context}: unexpected spill detail {detail:?}"
+            );
+        }
+        other => panic!("{context}: expected SimError::Spill, got {other:?}"),
+    }
+}
+
+#[test]
+fn unusable_spill_dir_surfaces_as_a_clean_error() {
+    // A directory that does not exist (and whose parent does not either):
+    // `create_new` fails before a single byte is written. This is the
+    // portable stand-in for disk-full/permission failures — all three arrive
+    // through the same typed `SpillError` channel.
+    let missing = std::env::temp_dir().join(format!(
+        "cbh-spill-errors-{}-missing/child",
+        std::process::id()
+    ));
+    assert!(!missing.exists());
+    std::env::set_var("CBH_SPILL_DIR", &missing);
+
+    let limits = ExploreLimits {
+        depth: 8,
+        max_configs: 100_000,
+        solo_check_budget: None,
+        // Zero budget: the very first frontier push must spill, so the
+        // failure fires at the start of the run on every engine.
+        memory_budget: Some(0),
+    };
+
+    // -- sequential packed engine ------------------------------------------
+    let err = explore_stats(&tas_reset_consensus(3), &[0, 1, 2], limits)
+        .expect_err("sequential run must fail to spill");
+    assert_spill_error(err, "sequential packed engine");
+
+    // -- parallel entry point ----------------------------------------------
+    // The budgeted probe hits the same failing arena; either way the caller
+    // sees one clean typed error and every thread shuts down.
+    let err = Explorer::new()
+        .workers(8)
+        .limits(limits)
+        .explore_stats(&tas_reset_consensus(3), &[0, 1, 2])
+        .expect_err("parallel run must fail to spill");
+    assert_spill_error(err, "parallel packed engine");
+
+    // -- legacy barrier engine ---------------------------------------------
+    for workers in [1, 4] {
+        let err = legacy_explore_stats(&tas_reset_consensus(3), &[0, 1, 2], limits, workers, false)
+            .expect_err("legacy run must fail to spill");
+        assert_spill_error(err, "legacy barrier engine");
+    }
+
+    // An unbudgeted run never touches the spill dir, so the same pointing
+    // environment must be harmless without a budget.
+    let unbounded = ExploreLimits {
+        memory_budget: None,
+        ..limits
+    };
+    let (outcome, stats) = explore_stats(&tas_reset_consensus(3), &[0, 1, 2], unbounded)
+        .expect("unbudgeted run never spills");
+    assert!(outcome.is_clean(), "{outcome:?}");
+    assert_eq!(stats.bytes_spilled, 0);
+
+    std::env::remove_var("CBH_SPILL_DIR");
+}
