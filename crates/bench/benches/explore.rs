@@ -122,6 +122,7 @@ fn maxreg_row(c: &mut Criterion) {
                 max_configs: 1_000_000,
                 solo_check_budget: None,
                 memory_budget: None,
+                checkpoint_every: None,
             },
         },
     );
@@ -139,6 +140,7 @@ fn maxreg3_row(c: &mut Criterion) {
                 max_configs: 1_000_000,
                 solo_check_budget: None,
                 memory_budget: None,
+                checkpoint_every: None,
             },
         },
     );
@@ -160,6 +162,7 @@ fn tas_reset_row(c: &mut Criterion) {
                 max_configs: 1_000_000,
                 solo_check_budget: None,
                 memory_budget: None,
+                checkpoint_every: None,
             },
         },
     );
@@ -177,6 +180,7 @@ fn cas_row(c: &mut Criterion) {
                 max_configs: 1_000_000,
                 solo_check_budget: None,
                 memory_budget: None,
+                checkpoint_every: None,
             },
         },
     );
@@ -195,6 +199,7 @@ fn frontier_spill(c: &mut Criterion) {
         max_configs: 1_000_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     let in_memory = Explorer::new().limits(limits);
     let baseline = in_memory
@@ -229,6 +234,7 @@ fn symmetry_reduction(c: &mut Criterion) {
         max_configs: 1_000_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     let mut g = c.benchmark_group("explore_symmetry");
     g.bench_function("plain/maxreg_n3_d10", |b| {

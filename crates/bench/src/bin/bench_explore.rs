@@ -6,14 +6,17 @@
 //! the unbounded run's observed resident peak) and a packed-only
 //! **deep-horizon** row (≥10⁶ configs, where claim-table occupancy and
 //! intern-cache hit rates actually matter), and emits machine-readable
-//! `BENCH_explore.json` (schema `bench_explore/v4`: configs/sec per row ×
+//! `BENCH_explore.json` (schema `bench_explore/v5`: configs/sec per row ×
 //! engine × worker count, packed-vs-legacy and w8-vs-w1 speedups, the
 //! host's `hw_threads`, and per-row memory telemetry: `peak_resident_bytes`,
-//! `bytes_spilled`, `spill_slowdown_w1`, plus the tiered-store breakdown
+//! `bytes_spilled`, `spill_slowdown_w1`, the tiered-store breakdown
 //! `seen_resident_bytes` / `intern_resident_bytes` / `fpset_disk_bytes`
-//! from the budgeted 1-worker run). CI uploads the file as a non-gating
-//! artifact, so engine-throughput history accumulates per commit without
-//! making perf a flaky test.
+//! from the budgeted 1-worker run, and the checkpoint costs
+//! `checkpoint_bytes` / `checkpoint_ms` from a snapshotting 1-worker run).
+//! CI uploads the file as a non-gating artifact, so engine-throughput
+//! history accumulates per commit without making perf a flaky test — but
+//! the artifact's *shape* is gated: `--validate FILE` re-checks a written
+//! file against the schema and CI fails the build on drift.
 //!
 //! Every run first cross-checks that both engines produce bit-identical
 //! `(ExploreOutcome, ExploreStats)` on every workload — a measurement of two
@@ -29,9 +32,11 @@
 //! step runs with `continue-on-error`, so the flag annotates the log
 //! without gating the build.
 //!
-//! Usage: `bench_explore [--quick] [--out PATH]`
-//!   --quick   one timed iteration per cell (CI smoke) instead of three
-//!   --out     output path (default `BENCH_explore.json`)
+//! Usage: `bench_explore [--quick] [--out PATH] | bench_explore --validate FILE`
+//!   --quick     one timed iteration per cell (CI smoke) instead of three
+//!   --out       output path (default `BENCH_explore.json`)
+//!   --validate  parse FILE and check it against schema v5; exits nonzero
+//!               on drift, runs no benchmarks
 
 use cbh_core::bitwise::{tas_reset_consensus, write01_consensus};
 use cbh_core::cas::CasConsensus;
@@ -83,6 +88,11 @@ struct RowReport {
     /// host load drift into the ratio; pairing cancels it. `NAN` (rendered
     /// `null`) for rows without spill cells.
     spill_slowdown_w1: f64,
+    /// Total snapshot bytes written by the checkpointed 1-worker run.
+    checkpoint_bytes: u64,
+    /// Wall-clock milliseconds the same run spent writing snapshots
+    /// (drain + fingerprint collection + encode + fsync, per snapshot).
+    checkpoint_ms: u64,
     cells: Vec<Cell>,
 }
 
@@ -123,6 +133,7 @@ where
         max_configs: 1_000_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     // Conformance gate: a throughput number is only meaningful if the two
     // engines are exploring the same space to the same verdict.
@@ -225,6 +236,8 @@ where
         });
     }
 
+    let (checkpoint_bytes, checkpoint_ms) = checkpoint_costs(name, &protocol, inputs, limits, &packed);
+
     RowReport {
         name,
         configs,
@@ -235,8 +248,46 @@ where
         intern_resident_bytes,
         fpset_disk_bytes,
         spill_slowdown_w1,
+        checkpoint_bytes,
+        checkpoint_ms,
         cells,
     }
+}
+
+/// Checkpoint-cost telemetry: one snapshotting 1-worker run at a
+/// quarter-of-the-row cadence. The run must stay bit-identical to the
+/// plain one (snapshots may cost time, never change the exploration), and
+/// its `checkpoint_bytes`/`checkpoint_ms` land in the artifact so snapshot
+/// size and stall history accumulate per commit.
+fn checkpoint_costs<P: Protocol>(
+    name: &str,
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    baseline: &(ExploreOutcome, ExploreStats),
+) -> (u64, u64)
+where
+    P::Proc: Send + Sync,
+{
+    let path = std::env::temp_dir().join(format!(
+        "cbh-bench-ckpt-{}-{name}.ck",
+        std::process::id()
+    ));
+    let out = Explorer::new()
+        .limits(ExploreLimits {
+            checkpoint_every: Some((baseline.1.configs as u64 / 4).max(1)),
+            ..limits
+        })
+        .checkpoint_to(&path)
+        .explore_stats(protocol, inputs)
+        .expect("checkpointed run explores cleanly");
+    assert_eq!(&out, baseline, "{name}: checkpointed run diverged");
+    assert!(
+        out.1.checkpoint_bytes > 0,
+        "{name}: checkpointed run wrote no snapshots"
+    );
+    let _ = std::fs::remove_file(&path);
+    (out.1.checkpoint_bytes, out.1.checkpoint_ms)
 }
 
 /// The deep-horizon row: a state space past 10⁶ configs, measured
@@ -263,6 +314,7 @@ where
         max_configs: 3_000_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     // Conformance gate at full scale: the racing claim path must reproduce
     // the sequential committer bit-for-bit. These two runs double as the
@@ -294,6 +346,8 @@ where
         });
     }
 
+    let (checkpoint_bytes, checkpoint_ms) = checkpoint_costs(name, &protocol, inputs, limits, &w1);
+
     RowReport {
         name,
         configs,
@@ -304,6 +358,8 @@ where
         intern_resident_bytes: w1.1.intern_resident_bytes,
         fpset_disk_bytes: 0,
         spill_slowdown_w1: f64::NAN,
+        checkpoint_bytes,
+        checkpoint_ms,
         cells,
     }
 }
@@ -335,7 +391,7 @@ fn write_ratio(out: &mut String, key: &str, value: f64) {
 
 fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"bench_explore/v4\",\n");
+    out.push_str("{\n  \"schema\": \"bench_explore/v5\",\n");
     // Hardware parallelism actually available to the run: throughput and
     // scaling numbers are meaningless without it (packed w8 on a 1-thread
     // host measures the scheduler, not the engine).
@@ -368,6 +424,8 @@ fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
             row.intern_resident_bytes
         );
         let _ = writeln!(out, "      \"fpset_disk_bytes\": {},", row.fpset_disk_bytes);
+        let _ = writeln!(out, "      \"checkpoint_bytes\": {},", row.checkpoint_bytes);
+        let _ = writeln!(out, "      \"checkpoint_ms\": {},", row.checkpoint_ms);
         write_ratio(&mut out, "spill_slowdown_w1", row.spill_slowdown_w1);
         write_ratio(
             &mut out,
@@ -403,6 +461,74 @@ fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
     out
 }
 
+/// Schema check for a written artifact: the exact version string, every
+/// per-file and per-row field, and structural balance. A renamed or dropped
+/// field fails CI's validation step instead of silently corrupting the
+/// accumulated throughput history.
+fn validate_schema(text: &str) -> Result<(), String> {
+    if !text.contains("\"schema\": \"bench_explore/v5\"") {
+        return Err("schema tag is not bench_explore/v5".to_string());
+    }
+    const TOP_KEYS: [&str; 3] = ["hw_threads", "worker_counts", "rows"];
+    const ROW_KEYS: [&str; 14] = [
+        "name",
+        "configs",
+        "peak_resident_bytes",
+        "spill_budget",
+        "bytes_spilled",
+        "seen_resident_bytes",
+        "intern_resident_bytes",
+        "fpset_disk_bytes",
+        "checkpoint_bytes",
+        "checkpoint_ms",
+        "spill_slowdown_w1",
+        "speedup_packed_w8_vs_w1",
+        "speedup_packed_vs_legacy_w8",
+        "cells",
+    ];
+    const CELL_KEYS: [&str; 4] = ["engine", "workers", "secs", "configs_per_sec"];
+    let rows = text.matches("\"name\":").count();
+    if rows == 0 {
+        return Err("no rows".to_string());
+    }
+    for key in TOP_KEYS {
+        if !text.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing top-level field {key:?}"));
+        }
+    }
+    for key in ROW_KEYS {
+        let found = text.matches(&format!("\"{key}\":")).count();
+        if found != rows {
+            return Err(format!(
+                "field {key:?} appears {found} times for {rows} rows"
+            ));
+        }
+    }
+    let cells = text.matches("\"engine\":").count();
+    if cells < rows {
+        return Err(format!("{cells} cells for {rows} rows"));
+    }
+    for key in CELL_KEYS {
+        let found = text.matches(&format!("\"{key}\":")).count();
+        if found != cells {
+            return Err(format!(
+                "field {key:?} appears {found} times for {cells} cells"
+            ));
+        }
+    }
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        let opens = text.matches(open).count();
+        let closes = text.matches(close).count();
+        if opens != closes {
+            return Err(format!("unbalanced {open}{close}: {opens} vs {closes}"));
+        }
+    }
+    if !text.trim_end().ends_with('}') {
+        return Err("file does not end with a closing brace".to_string());
+    }
+    Ok(())
+}
+
 fn fmt_cps(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.0}")
@@ -413,6 +539,21 @@ fn fmt_cps(v: f64) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let file = args.get(i + 1).expect("--validate requires a file path");
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("--validate: cannot read {file}: {e}"));
+        match validate_schema(&text) {
+            Ok(()) => {
+                eprintln!("{file}: valid bench_explore/v5 artifact");
+                return;
+            }
+            Err(why) => {
+                eprintln!("{file}: schema validation failed: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
         .iter()

@@ -27,8 +27,9 @@ use cbh_sim::{
     ScriptedScheduler, SimError,
 };
 use cbh_sync::run_threaded_bounded;
-use cbh_verify::checker::{explore_stats, ExploreLimits, Explorer};
+use cbh_verify::checker::{explore_stats, ExploreLimits, ExploreOutcome, Explorer, ExploreStats};
 use cbh_verify::reference::reference_explore;
+use cbh_verify::snapshot::Snapshot;
 use std::collections::BTreeSet;
 
 /// Solo budget for the sequential scheduler backends (same order of
@@ -71,6 +72,12 @@ pub struct ConformanceConfig {
     /// still demands bit-identical outcomes and semantic stats against the
     /// never-spilling reference BFS.
     pub memory_budget: Option<usize>,
+    /// Run the checkpoint/resume backend (`CONFORMANCE_RESUME=1` in CI's
+    /// resume column): every scenario re-runs with periodic retained
+    /// snapshots, then resumes from **each** snapshot in turn — both the
+    /// checkpointed run and every kill-at-this-checkpoint resume must be
+    /// bit-identical to the uncheckpointed engine run.
+    pub resume: bool,
 }
 
 impl Default for ConformanceConfig {
@@ -86,6 +93,7 @@ impl Default for ConformanceConfig {
             explorer_workers: 4,
             symmetry: true,
             memory_budget: None,
+            resume: false,
         }
     }
 }
@@ -206,6 +214,7 @@ impl RowVisitor for OracleVisitor<'_> {
             max_configs: self.cfg.max_configs,
             solo_check_budget: None,
             memory_budget: self.cfg.memory_budget,
+            checkpoint_every: None,
         };
         let mut out = ScenarioOutcome {
             inputs: inputs.clone(),
@@ -289,6 +298,17 @@ impl RowVisitor for OracleVisitor<'_> {
             Err(e) => out
                 .findings
                 .push(finding(fan_out_backend, format!("SimError: {e}"), None)),
+        }
+
+        if self.cfg.resume {
+            out.backends.push("explore-resume");
+            match resume_conformance(&protocol, &inputs, limits, fan_out, &engine) {
+                Ok(None) => {}
+                Ok(Some(detail)) => out.findings.push(finding("explore-resume", detail, None)),
+                Err(e) => out
+                    .findings
+                    .push(finding("explore-resume", format!("SimError: {e}"), None)),
+            }
         }
 
         if self.cfg.symmetry && spec.anonymous {
@@ -451,6 +471,77 @@ impl RowVisitor for OracleVisitor<'_> {
 
         out
     }
+}
+
+/// The checkpoint/resume oracle for one scenario: re-runs the exploration
+/// with periodic retained snapshots, then resumes from **every** snapshot
+/// written — each must reproduce the baseline `(ExploreOutcome,
+/// ExploreStats)` bit for bit (the kill-at-any-checkpoint guarantee, with
+/// the "kill" factored out: a retained snapshot *is* the complete state a
+/// killed run would resume from). Returns the first divergence as a finding
+/// detail, `None` when fully conformant.
+fn resume_conformance<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    workers: usize,
+    baseline: &(ExploreOutcome, ExploreStats),
+) -> Result<Option<String>, SimError>
+where
+    P::Proc: Send + Sync,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tag = SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "cbh-conformance-resume-{}-{tag}.ck",
+        std::process::id()
+    ));
+    // A handful of checkpoints across the run, however small the scenario.
+    let cadence = (baseline.1.configs as u64 / 4).max(1);
+    let limits = ExploreLimits {
+        checkpoint_every: Some(cadence),
+        ..limits
+    };
+    let checkpointed = Explorer::new()
+        .workers(workers)
+        .limits(limits)
+        .checkpoint_to(&path)
+        .retain_checkpoints(true)
+        .explore_stats(protocol, inputs)?;
+    let mut detail = None;
+    if &checkpointed != baseline {
+        detail = Some(format!(
+            "checkpointed run {checkpointed:?} != baseline {baseline:?}"
+        ));
+    }
+    let mut seq = 0u64;
+    while detail.is_none() {
+        let numbered = std::path::PathBuf::from(format!("{}.ck{seq}", path.display()));
+        let Ok(snapshot) = Snapshot::read(&numbered) else {
+            break;
+        };
+        let resumed = Explorer::new()
+            .workers(workers)
+            .limits(limits)
+            .resume_stats(protocol, inputs, &snapshot)?;
+        if &resumed != baseline {
+            detail = Some(format!(
+                "resume from checkpoint {seq} ({} admitted configs) produced {resumed:?}, \
+                 baseline {baseline:?}",
+                snapshot.configs()
+            ));
+        }
+        seq += 1;
+    }
+    let _ = std::fs::remove_file(&path);
+    for k in 0u64.. {
+        let numbered = format!("{}.ck{k}", path.display());
+        if std::fs::remove_file(numbered).is_err() {
+            break;
+        }
+    }
+    Ok(detail)
 }
 
 /// Shrinks a scripted-replay consensus violation: minimal subsequence whose

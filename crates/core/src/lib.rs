@@ -51,6 +51,7 @@ pub mod primes;
 pub mod racing;
 pub mod registers;
 pub mod registry;
+pub mod stress;
 pub mod swap;
 pub mod tracks;
 pub mod util;

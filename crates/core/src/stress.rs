@@ -1,0 +1,157 @@
+//! Adversarial *stress* protocols for the verification engines.
+//!
+//! These are not rows of Table 1 and are deliberately **not** registered in
+//! [`crate::registry`]: they exist to pressure specific resources of the
+//! bounded model checker, not to witness a space bound. The first (and so
+//! far only) inhabitant, [`value_diverse_consensus`], manufactures
+//! maximal *state diversity* — every reachable process state is distinct
+//! and grows with its step count — so the checker's intern tables expand
+//! without the dedup relief every real Table-1 row provides. Budget
+//! enforcement that survives the registry can still silently overrun here;
+//! the tier-1 budget suite uses this row as the regression for exactly
+//! that hole.
+
+use cbh_model::{Action, Instruction, InstructionSet, MemorySpec, Op, Process, Protocol, Value};
+
+/// SplitMix64 finalizer: full-entropy mixing so every absorbed counter
+/// value lands as an incompressible 64-bit word in the history.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A value-diverse intern-table stressor (see [`value_diverse_consensus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueDiverse {
+    n: usize,
+    rounds: u32,
+}
+
+/// Words appended to a process's history per absorbed counter value. A
+/// burst (rather than a single word) keeps the interesting regime — interned
+/// bytes large while configuration counts stay small — reachable at shallow
+/// test horizons.
+const BURST: usize = 16;
+
+/// Intern-table stress protocol: `n` processes share one
+/// fetch-and-increment counter, and each process appends a burst of
+/// hash-mixed words derived from every counter value it receives to a
+/// private, ever-growing history.
+///
+/// Two properties make it adversarial to the packed engine:
+///
+/// - **No state collisions.** A process's history is the exact subsequence
+///   of counter values it personally received, so distinct interleavings
+///   yield distinct process states — nothing ever re-interns.
+/// - **No compressible bytes.** Histories hold SplitMix64-mixed words, so
+///   each interned state costs its full serialized size.
+///
+/// Configuration count stays modest (one shared counter bounds the
+/// branching) while interned bytes grow with the *sum of history lengths*
+/// across all distinct states — exactly the shape that blows through a
+/// memory budget that only meters frontier and seen-set bytes.
+///
+/// Processes decide `0` after `rounds` steps (domain is 1, so inputs are
+/// all `0` and the decision is trivially valid and agreeing); pick
+/// `rounds` above the explored horizon to keep every process active
+/// throughout.
+pub fn value_diverse_consensus(n: usize) -> ValueDiverse {
+    assert!(n >= 2, "stress row needs at least two processes");
+    ValueDiverse { n, rounds: 1 << 20 }
+}
+
+impl Protocol for ValueDiverse {
+    type Proc = ValueDiverseProc;
+
+    fn name(&self) -> String {
+        "value-diverse".into()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn domain(&self) -> u64 {
+        1
+    }
+
+    fn memory_spec(&self) -> MemorySpec {
+        MemorySpec::bounded(InstructionSet::ReadWriteFetchIncrement, 1)
+    }
+
+    fn spawn(&self, pid: usize, input: u64) -> ValueDiverseProc {
+        assert!(input < 1, "input out of domain");
+        ValueDiverseProc {
+            remaining: self.rounds,
+            history: vec![mix(pid as u64)],
+        }
+    }
+}
+
+/// Per-process state of [`value_diverse_consensus`]: the mixed counter
+/// values this process has absorbed, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ValueDiverseProc {
+    remaining: u32,
+    history: Vec<u64>,
+}
+
+impl Process for ValueDiverseProc {
+    fn action(&self) -> Action {
+        if self.remaining == 0 {
+            Action::Decide(0)
+        } else {
+            Action::Invoke(Op::single(0, Instruction::FetchAndIncrement))
+        }
+    }
+
+    fn absorb(&mut self, result: Value) {
+        let seen = result.as_u64().expect("counter fits a machine word");
+        let mut prev = *self.history.last().expect("history starts non-empty");
+        for lane in 0..BURST as u64 {
+            prev = mix(seen ^ prev.rotate_left(17) ^ (lane << 56));
+            self.history.push(prev);
+        }
+        self.remaining -= 1;
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // From the length, not the capacity: budget accounting must be a
+        // deterministic function of the semantic state.
+        self.history.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_sim::Machine;
+
+    #[test]
+    fn histories_diverge_under_different_interleavings() {
+        let p = value_diverse_consensus(2);
+        let base = Machine::start(&p, &[0, 0]).unwrap();
+        // p0 then p1 vs p1 then p0: both processes end with one absorbed
+        // value, but the values differ (0 vs 1), so the states differ.
+        let ab = base.branch_step(0).unwrap().branch_step(1).unwrap();
+        let ba = base.branch_step(1).unwrap().branch_step(0).unwrap();
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
+    }
+
+    #[test]
+    fn state_bytes_grow_with_steps() {
+        let p = value_diverse_consensus(2);
+        let mut m = Machine::start(&p, &[0, 0]).unwrap();
+        for _ in 0..10 {
+            m.step(0).unwrap();
+        }
+        assert_eq!(m.process(0).history.len(), 1 + 10 * BURST);
+        // Mixed words are pairwise distinct: nothing for an interner to share.
+        let mut h = m.process(0).history.clone();
+        h.sort_unstable();
+        h.dedup();
+        assert_eq!(h.len(), 1 + 10 * BURST);
+    }
+}

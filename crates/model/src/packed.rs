@@ -203,6 +203,14 @@ struct ProcMeta {
     decision: Option<u64>,
 }
 
+/// Resident bytes of one process entry (interned or cached): the inline
+/// `(state, meta)` pair plus whatever heap the state owns. Without the
+/// [`Process::heap_bytes`] term, a protocol whose states carry growing
+/// allocations interns unbounded memory that no budget ever sees.
+fn proc_entry_bytes<P: Process>(p: &P) -> usize {
+    std::mem::size_of::<(P, ProcMeta)>() + p.heap_bytes()
+}
+
 /// Cached per-cell metadata: content hash.
 #[derive(Clone, Copy)]
 struct CellMeta {
@@ -476,7 +484,7 @@ impl<P: Process> PackedCtx<P> {
             Some(cache) => {
                 if !cache.procs.contains_key(&id) {
                     let entry = self.procs.with(id, |p, meta| (p.clone(), *meta));
-                    cache.charge(std::mem::size_of::<(P, ProcMeta)>());
+                    cache.charge(proc_entry_bytes(&entry.0));
                     cache.procs.insert(id, entry);
                 }
                 let (p, meta) = cache.procs.get(&id).expect("just inserted");
@@ -592,12 +600,12 @@ impl<P: Process> PackedCtx<P> {
                     p.clone(),
                     decision.is_some(),
                     |_, _| meta,
-                    |_| std::mem::size_of::<(P, ProcMeta)>(),
+                    proc_entry_bytes,
                 );
                 cache.charge(std::mem::size_of::<(u128, u32)>());
                 cache.proc_ids.insert(hash, id);
                 if !cache.procs.contains_key(&id) {
-                    cache.charge(std::mem::size_of::<(P, ProcMeta)>());
+                    cache.charge(proc_entry_bytes(&p));
                     cache.procs.insert(id, (p, meta));
                 }
                 id
@@ -608,7 +616,7 @@ impl<P: Process> PackedCtx<P> {
                     p,
                     decision.is_some(),
                     |_, hash| ProcMeta { hash, decision },
-                    |_| std::mem::size_of::<(P, ProcMeta)>(),
+                    proc_entry_bytes,
                 )
             }
         }

@@ -61,6 +61,17 @@ pub trait Process: Clone + Debug + Eq + Hash {
     /// Implementations may panic if called while [`Process::action`] is
     /// [`Action::Decide`] — the scheduler must never step a decided process.
     fn absorb(&mut self, result: crate::Value);
+
+    /// Estimated heap bytes owned by this state beyond
+    /// `size_of::<Self>()`, charged by memory-budgeted explorers when the
+    /// state is interned or cached. The default of `0` is exact for the
+    /// plain-old-data states of every Table 1 protocol; implementations
+    /// whose states own growing allocations (a `Vec` history, say) should
+    /// override it — and should derive the figure from *lengths*, not
+    /// capacities, so it is a deterministic function of the semantic state.
+    fn heap_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Inputs to a consensus instance.

@@ -59,6 +59,17 @@ pub enum SimError {
         /// Human-readable description of the underlying IO failure.
         detail: String,
     },
+    /// The exploration's resident footprint outgrew its `memory_budget`
+    /// beyond the evictable slack. Append-only state (the packed intern
+    /// tables) cannot be spilled, so when a value-diverse protocol pushes
+    /// them past `budget` plus the fixed tolerance the engine stops with
+    /// this error instead of silently overrunning the cap.
+    Budget {
+        /// Resident bytes the exploration needed at the point it gave up.
+        needed: usize,
+        /// The configured `memory_budget` in bytes.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -80,6 +91,11 @@ impl fmt::Display for SimError {
             SimError::Spill { detail } => {
                 write!(f, "memory-budget spill failed: {detail}")
             }
+            SimError::Budget { needed, budget } => write!(
+                f,
+                "resident state ({needed} bytes) outgrew the memory budget ({budget} bytes): \
+                 intern tables are append-only and cannot be evicted"
+            ),
         }
     }
 }

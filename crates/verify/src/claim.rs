@@ -247,6 +247,33 @@ impl ClaimTable {
         }
     }
 
+    /// Every fingerprint the committer admitted, in unspecified order
+    /// (checkpoint hook). Slots are committed via the bitmap; zero-half
+    /// fingerprints only ever live in the overflow map, so the two scans
+    /// together are exhaustive. Worker claims without an admission are
+    /// deliberately excluded — a snapshot records the committer's state,
+    /// and speculative claims are re-derived on resume.
+    pub fn committed_fps(&self) -> Vec<u128> {
+        let mut fps = Vec::new();
+        for slot in 0..=self.mask {
+            let bit = 1u64 << (slot % 64);
+            if self.committed[slot / 64].load(Ordering::Relaxed) & bit != 0 {
+                let lo = self.words[slot * 2].load(Ordering::Acquire);
+                let hi = self.words[slot * 2 + 1].load(Ordering::Acquire);
+                fps.push(((hi as u128) << 64) | lo as u128);
+            }
+        }
+        fps.extend(
+            self.overflow
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(_, &admitted)| admitted)
+                .map(|(&fp, _)| fp),
+        );
+        fps
+    }
+
     /// `true` if `fp` was ever claimed or admitted (test/diagnostic view).
     ///
     /// Sound because occupancy is monotone: an overflow insertion happens

@@ -769,6 +769,34 @@ impl FpSet {
             .sum()
     }
 
+    /// Every admitted fingerprint across all tiers (hot table, zero slot,
+    /// on-disk runs), in unspecified order. The tiers are disjoint by
+    /// construction — `admit` probes the runs before a hot insert and
+    /// eviction windows never re-write run-resident fingerprints — so the
+    /// result has exactly [`FpSet::len`] entries. Used by checkpointing,
+    /// which needs the seen *membership* (its physical tiering is rebuilt
+    /// fresh on resume).
+    ///
+    /// # Errors
+    ///
+    /// Propagates typed [`SpillError`]s from run reads.
+    pub fn collect_fps(&self) -> Result<Vec<u128>, SpillError> {
+        let inner = self.inner.lock().unwrap();
+        let mut fps = Vec::with_capacity(inner.len);
+        if inner.zero_seen {
+            fps.push(0);
+        }
+        fps.extend(inner.slots.iter().copied().filter(|&fp| fp != 0));
+        for run in &inner.runs {
+            for seg in &run.segments {
+                let bytes = self.ctx.arena().read(seg.offset, seg.count * 16)?;
+                fps.extend(decode_run(&bytes)?);
+            }
+        }
+        debug_assert_eq!(fps.len(), inner.len, "tiers overlap or lost entries");
+        Ok(fps)
+    }
+
     /// Forces the oldest generation window out to a run regardless of
     /// budget pressure (test hook for the eviction/compaction machinery).
     ///
@@ -823,6 +851,10 @@ pub(crate) trait AdmitSet {
     fn fpset_disk_bytes(&self) -> u64 {
         0
     }
+
+    /// Every admitted fingerprint, in unspecified order (checkpoint hook:
+    /// the snapshot stores sorted membership, not the physical tiering).
+    fn collect_fps(&self) -> Result<Vec<u128>, SpillError>;
 }
 
 /// The sequential engines' seen set: exact `HashSet` while unbudgeted (no
@@ -873,6 +905,13 @@ impl AdmitSet for SeenBackend {
             SeenBackend::Tiered(fpset) => fpset.disk_bytes(),
         }
     }
+
+    fn collect_fps(&self) -> Result<Vec<u128>, SpillError> {
+        match self {
+            SeenBackend::Exact { set, .. } => Ok(set.iter().copied().collect()),
+            SeenBackend::Tiered(fpset) => fpset.collect_fps(),
+        }
+    }
 }
 
 impl Drop for SeenBackend {
@@ -890,6 +929,10 @@ impl AdmitSet for &ClaimTable {
 
     fn seen_resident_bytes(&self) -> usize {
         self.resident_bytes()
+    }
+
+    fn collect_fps(&self) -> Result<Vec<u128>, SpillError> {
+        Ok(self.committed_fps())
     }
 }
 

@@ -427,6 +427,38 @@ impl SpillArena {
         };
         read_exact_at(&file, offset, len)
     }
+
+    /// Drains the writer queue and syncs the file to stable storage: on
+    /// return, every previously appended run is durable on disk (or the
+    /// sticky IO error is reported). Checkpoints call this before recording
+    /// arena offsets, so a snapshot can never reference a run whose bytes
+    /// were still queued in the double buffer when the process died.
+    pub(crate) fn sync(&self) -> Result<(), SpillError> {
+        let file = {
+            let mut st = self.shared.state.lock().unwrap();
+            while (!st.pending.is_empty() || st.in_flight.is_some()) && st.error.is_none() {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            if let Some(e) = &st.error {
+                return Err(e.clone());
+            }
+            match &st.file {
+                Some(file) => Arc::clone(file),
+                // Nothing was ever spilled: trivially durable.
+                None => return Ok(()),
+            }
+        };
+        file.sync_data()
+            .map_err(|e| SpillError::Write { kind: e.kind() })
+    }
+
+    /// The durable file's path, if a spill has occurred. Test-only: lets the
+    /// drain-and-sync test read the file back *bypassing* the in-memory
+    /// double buffer, proving the bytes really reached the disk.
+    #[cfg(test)]
+    pub(crate) fn durable_path(&self) -> Option<PathBuf> {
+        self.shared.state.lock().unwrap().path.clone()
+    }
 }
 
 impl Drop for SpillArena {
@@ -528,6 +560,11 @@ impl SpillContext {
     /// The shared arena this context's stores spill into.
     pub(crate) fn arena(&self) -> &SpillArena {
         &self.arena
+    }
+
+    /// Drains and fsyncs the arena; see [`SpillArena::sync`].
+    pub(crate) fn sync(&self) -> Result<(), SpillError> {
+        self.arena.sync()
     }
 
     /// The byte budget this context enforces (`None` = unbounded).
@@ -928,6 +965,28 @@ mod tests {
         }
         assert!(ctx.tracker().bytes_spilled() > 0);
         assert_eq!(drain(&mut store), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sync_makes_queued_runs_durable_before_a_snapshot() {
+        // Fill the double buffer to its limit (MAX_PENDING_WRITES = 2 runs
+        // may sit queued/in-flight), then sync and read the bytes back from
+        // the file *directly* — not through SpillArena::read, which would
+        // happily serve them from the in-memory queue. This is the property
+        // a checkpoint relies on: after sync, every recorded arena offset
+        // resolves from the durable file alone.
+        let ctx = SpillContext::new(Some(0));
+        let run_a: Vec<u8> = (0u8..64).collect();
+        let run_b: Vec<u8> = (64u8..128).collect();
+        let off_a = ctx.arena().append(run_a.clone()).unwrap();
+        let off_b = ctx.arena().append(run_b.clone()).unwrap();
+        ctx.sync().unwrap();
+        let path = ctx.arena().durable_path().expect("spill file exists");
+        let file = File::open(&path).unwrap();
+        assert_eq!(read_exact_at(&file, off_a, run_a.len()).unwrap(), run_a);
+        assert_eq!(read_exact_at(&file, off_b, run_b.len()).unwrap(), run_b);
+        // Sync on a never-spilled arena is a no-op, not an error.
+        SpillContext::new(None).sync().unwrap();
     }
 
     #[test]

@@ -255,6 +255,8 @@ where
                 seen_resident_bytes: seen.seen_resident_bytes(),
                 intern_resident_bytes: ctx.intern_resident_bytes(),
                 fpset_disk_bytes: seen.fpset_disk_bytes(),
+                checkpoint_bytes: 0,
+                checkpoint_ms: 0,
             }
         };
     }
@@ -441,6 +443,7 @@ mod tests {
             max_configs: 100_000,
             solo_check_budget: None,
             memory_budget: None,
+            checkpoint_every: None,
         };
         // Clean, violating, capped and shallow workloads; 1 and 4 workers.
         for workers in [1, 4] {

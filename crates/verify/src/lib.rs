@@ -33,6 +33,11 @@
 //!   by the multi-assignment lower bound (Theorem 7.5);
 //! - [`covering`] — Section 6.2's covering-configuration vocabulary (covers,
 //!   `k`-covered locations, block writes) computed on live configurations;
+//! - [`snapshot`] — crash-safe checkpoint/resume: a versioned, CRC-guarded
+//!   on-disk capture of the committer's logical state at an admission
+//!   boundary, written atomically on the [`checker::ExploreLimits::checkpoint_every`]
+//!   cadence so a killed run resumes bit-identically at any worker count and
+//!   memory budget;
 //! - [`reference`] — a clone-everything BFS with independently implemented
 //!   hashing and traversal, mirroring the frontier engine's semantics
 //!   bit-for-bit: the differential-testing oracle the conformance fuzzer
@@ -51,4 +56,5 @@ pub mod legacy;
 pub mod packed_engine;
 pub mod packing;
 pub mod reference;
+pub mod snapshot;
 pub mod strawmen;

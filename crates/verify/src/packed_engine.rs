@@ -67,14 +67,52 @@ use crate::checker::{schedule_of, ExploreLimits, ExploreOutcome, ExploreStats, L
 use crate::claim::ClaimTable;
 use crate::fpset::{AdmitSet, SeenBackend};
 use crate::frontier::{FrontierStore, ReorderBuffer, SpillCodec, SpillContext, SpillError};
+use crate::snapshot::{Snapshot, SnapshotError, NO_PARENT};
 use cbh_model::packed::delta::{read_varint, write_varint};
 use cbh_model::{apply_delta, apply_delta_into, decode_flat, encode_delta, encode_flat, PackedCache, PackedCtx,
     PackedState, Process, Protocol};
 use cbh_sim::{Machine, SimError};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+// The snapshot wire format and the engine share the "no parent" sentinel, so
+// links round-trip without translation.
+const _: () = assert!(NO_PARENT == NO_LINK);
+
+/// Tolerated overrun above [`ExploreLimits::memory_budget`] before the
+/// engine gives up with [`SimError::Budget`]: covers the evictable stores'
+/// bounded slack (in-flight double-buffered spill writes, one streamed-back
+/// run, merge buffers) — the same envelope the budget-stress suite asserts
+/// `peak_resident_bytes` stays within. Append-only intern tables that push
+/// residency past it cannot be evicted, so continuing would silently break
+/// the cap.
+const BUDGET_OVERRUN_SLACK: usize = 4 << 20;
+
+/// Periodic-checkpoint configuration threaded into the commit loop.
+pub(crate) struct CheckpointCfg {
+    /// Where the snapshot lands (atomically, via temp file + rename).
+    pub(crate) path: PathBuf,
+    /// Admissions between snapshots (≥ 1).
+    pub(crate) every: u64,
+    /// Keep a numbered copy (`<path>.ck0`, `<path>.ck1`, …) of every
+    /// snapshot instead of overwriting — the kill-at-every-checkpoint
+    /// matrix's hook.
+    pub(crate) retain: bool,
+    /// [`Protocol::name`] of the run, stored in the snapshot identity.
+    pub(crate) protocol: String,
+}
+
+/// Snapshot failures surface through the engine's existing error type: they
+/// are exploration-persistence failures exactly like spill-arena ones. The
+/// typed [`SnapshotError`] detail rides in the message.
+pub(crate) fn snapshot_sim_err(err: &SnapshotError) -> SimError {
+    SimError::Spill {
+        detail: format!("checkpoint: {err}"),
+    }
+}
 
 /// Per-run constants every worker needs.
 #[derive(Clone, Copy)]
@@ -839,6 +877,8 @@ fn drive<P, S, A>(
     source: &mut S,
     admit: &mut A,
     mem: &SpillContext,
+    ckpt: Option<&CheckpointCfg>,
+    resume: Option<&Snapshot>,
 ) -> Result<(ExploreOutcome, ExploreStats), SimError>
 where
     P: Process,
@@ -868,6 +908,11 @@ where
     // the budget sees frontier + seen set + interners as one total.
     let mut interned_charged = 0usize;
     let cache_cap = cache_cap_of(limits.memory_budget);
+    // Checkpoint telemetry (stays 0 without a checkpoint config; excluded
+    // from stats equality like the other byte counters).
+    let mut ckpt_seq = 0u64;
+    let mut ckpt_bytes = 0u64;
+    let mut ckpt_ms = 0u64;
     macro_rules! stats {
         () => {
             ExploreStats {
@@ -879,6 +924,8 @@ where
                 seen_resident_bytes: admit.seen_resident_bytes(),
                 intern_resident_bytes: ctx.intern_resident_bytes(),
                 fpset_disk_bytes: admit.fpset_disk_bytes(),
+                checkpoint_bytes: ckpt_bytes,
+                checkpoint_ms: ckpt_ms,
             }
         };
     }
@@ -890,26 +937,94 @@ where
     let mut inline_active: HashMap<usize, bool> = HashMap::new();
     let solo = limits.solo_check_budget.is_some();
 
+    let n = root.n();
     let root_fp = ctx.digest_cached(&mut cache, &root, symmetric);
-    let _root_new = admit.admit(root_fp)?;
-    debug_assert!(_root_new, "fresh run: the root cannot be pre-admitted");
-    configs += 1;
-    if let Some(violation) = packed_violation(ctx, &mut cache, &root, inputs, NO_LINK, &links) {
-        return Ok((violation, stats!()));
-    }
-    meta.push((NO_LINK, 0));
-    if limits.depth > 0 || solo {
-        source.dispatch(Node {
-            index: 0,
-            state: root,
-            fp: root_fp,
-            expand: limits.depth > 0,
-        })?;
+    let mut next_commit = 0usize;
+    if let Some(snap) = resume {
+        // --- Resume: restore the committer's logical state, then rebuild
+        // everything physical deterministically. ---
+        //
+        // The snapshot stores membership and provenance, not layouts: the
+        // seen set is re-admitted fp by fp (its tiering afterwards differs
+        // from the killed run's — telemetry, excluded from stats equality),
+        // and every pending node's state is replayed from the root through
+        // the *current* intern tables, because intern ids are internal to a
+        // process lifetime and digests hash content, never ids.
+        if snap.seen.binary_search(&root_fp).is_err() {
+            return Err(snapshot_sim_err(&SnapshotError::IdentityMismatch {
+                detail: "root fingerprint absent from the snapshot's seen set".to_string(),
+            }));
+        }
+        for &fp in &snap.seen {
+            let fresh = admit.admit(fp)?;
+            debug_assert!(fresh, "snapshot seen set carries duplicates");
+        }
+        configs = snap.seen.len();
+        links.clone_from(&snap.links);
+        complete = snap.complete;
+        frontier_peak = snap.frontier_peak;
+        depth_reached = snap.depth_reached;
+        next_commit = snap.next_commit;
+        // Per-node (parent link, depth) and the layer counters are pure
+        // functions of the link list: node `j + 1`'s link is `j`, its depth
+        // is one past its parent's, and layers admit index-contiguously.
+        meta.push((NO_LINK, 0));
+        for (j, &(parent, _)) in links.iter().enumerate() {
+            let parent_index = if parent == NO_LINK { 0 } else { parent + 1 };
+            let depth = meta[parent_index].1 + 1;
+            meta.push((j, depth));
+            if layer_total.len() <= depth {
+                layer_total.push(0);
+                layer_done.push(0);
+            }
+            layer_total[depth] += 1;
+        }
+        for &(_, depth) in &meta[..next_commit] {
+            layer_done[depth] += 1;
+        }
+        // Snapshots land at admission boundaries, so the pending frontier is
+        // exactly the uncommitted index suffix; re-dispatch it in admission
+        // order (the order `take` will ask for it back in).
+        for (index, &(link, d)) in meta.iter().enumerate().skip(next_commit) {
+            let mut state = root.clone();
+            for pid in schedule_of(&links, link) {
+                ctx.step_cached(&mut cache, &mut state, pid).map_err(|source| {
+                    SimError::Model {
+                        pid,
+                        step: state.steps(),
+                        source,
+                    }
+                })?;
+            }
+            let fp = ctx.digest_cached(&mut cache, &state, symmetric);
+            let expand = d < limits.depth;
+            if expand || solo {
+                source.dispatch(Node { index, state, fp, expand })?;
+            } else {
+                inline_active.insert(index, ctx.has_active(&state));
+            }
+        }
     } else {
-        inline_active.insert(0, ctx.has_active(&root));
+        let _root_new = admit.admit(root_fp)?;
+        debug_assert!(_root_new, "fresh run: the root cannot be pre-admitted");
+        configs += 1;
+        if let Some(violation) = packed_violation(ctx, &mut cache, &root, inputs, NO_LINK, &links) {
+            return Ok((violation, stats!()));
+        }
+        meta.push((NO_LINK, 0));
+        if limits.depth > 0 || solo {
+            source.dispatch(Node {
+                index: 0,
+                state: root,
+                fp: root_fp,
+                expand: limits.depth > 0,
+            })?;
+        } else {
+            inline_active.insert(0, ctx.has_active(&root));
+        }
     }
 
-    let mut next_commit = 0usize;
+    let mut next_ckpt_at = ckpt.map(|ck| configs as u64 + ck.every);
     while next_commit < meta.len() {
         // Fold intern-table growth (the committer's own and every worker's)
         // into the shared resident total before the admissions below consult
@@ -918,6 +1033,60 @@ where
         if interned > interned_charged {
             mem.tracker().add_resident(interned - interned_charged);
             interned_charged = interned;
+        }
+        // The evictable stores keep themselves within the budget (plus a
+        // bounded slack), but the intern tables just charged are append-only:
+        // once they push the total past the envelope nothing can shrink it
+        // back, so stop with the typed error instead of silently overrunning
+        // the cap the caller asked for.
+        if let Some(budget) = limits.memory_budget {
+            let resident = mem.tracker().resident_bytes();
+            if resident > budget.saturating_add(BUDGET_OVERRUN_SLACK) {
+                return Err(SimError::Budget {
+                    needed: resident,
+                    budget,
+                });
+            }
+        }
+        // Periodic snapshot, taken strictly at an admission boundary: the
+        // node at `next_commit` is not yet expanded, so the admitted set,
+        // links and counters are exactly the reference order's prefix.
+        if let (Some(ck), Some(at)) = (ckpt, next_ckpt_at.as_mut()) {
+            if configs as u64 >= *at {
+                let started = Instant::now();
+                // Queued spill-arena writes drain and fsync first, so the
+                // on-disk arena is never staler than the snapshot beside it.
+                mem.sync()?;
+                let mut seen = admit.collect_fps()?;
+                seen.sort_unstable();
+                debug_assert_eq!(seen.len(), configs, "admissions track configs 1:1");
+                let snap = Snapshot {
+                    protocol: ck.protocol.clone(),
+                    n,
+                    inputs: inputs.to_vec(),
+                    depth: limits.depth,
+                    max_configs: limits.max_configs,
+                    solo_check_budget: limits.solo_check_budget,
+                    symmetric,
+                    links: links.clone(),
+                    seen,
+                    next_commit,
+                    frontier_peak,
+                    depth_reached,
+                    complete,
+                };
+                let written = snap.write(&ck.path).map_err(|e| snapshot_sim_err(&e))?;
+                if ck.retain {
+                    let numbered = PathBuf::from(format!("{}.ck{ckpt_seq}", ck.path.display()));
+                    std::fs::copy(&ck.path, &numbered).map_err(|e| SimError::Spill {
+                        detail: format!("checkpoint: retaining copy failed: {}", e.kind()),
+                    })?;
+                }
+                ckpt_seq += 1;
+                ckpt_bytes += written;
+                ckpt_ms += started.elapsed().as_millis() as u64;
+                *at = configs as u64 + ck.every;
+            }
         }
         if let Some(cap) = cache_cap {
             cache.evict_if_over(cap);
@@ -1044,6 +1213,23 @@ pub(crate) fn explore_packed_seq<P: Protocol>(
     limits: ExploreLimits,
     symmetric: bool,
 ) -> Result<(ExploreOutcome, ExploreStats), SimError> {
+    explore_packed_seq_ckpt(protocol, inputs, limits, symmetric, None, None)
+}
+
+/// [`explore_packed_seq`] with optional periodic checkpoints and an optional
+/// snapshot to resume from.
+pub(crate) fn explore_packed_seq_ckpt<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    symmetric: bool,
+    ckpt: Option<CheckpointCfg>,
+    resume: Option<&Snapshot>,
+) -> Result<(ExploreOutcome, ExploreStats), SimError> {
+    if let Some(snap) = resume {
+        snap.check_identity(protocol, inputs, &limits, symmetric)
+            .map_err(|e| snapshot_sim_err(&e))?;
+    }
     let machine = Machine::start(protocol, inputs)?;
     let ctx = machine.packed_ctx();
     let root = machine.pack(&ctx);
@@ -1063,10 +1249,24 @@ pub(crate) fn explore_packed_seq<P: Protocol>(
     // peaks tell the truth). Budgeted: the tiered fingerprint store, which
     // evicts cold fingerprints to sorted runs instead of growing.
     let mut admit = SeenBackend::new(limits.max_configs, &mem);
-    drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut admit, &mem)
+    drive(
+        &ctx,
+        root,
+        inputs,
+        limits,
+        symmetric,
+        &mut source,
+        &mut admit,
+        &mem,
+        ckpt.as_ref(),
+        resume,
+    )
 }
 
 /// Parallel packed exploration with a persistent work-stealing pool.
+/// (The checkpoint-aware variant below is the production entry; this
+/// shorthand serves the conformance tests' worker sweeps.)
+#[cfg(test)]
 pub(crate) fn explore_packed_par<P: Protocol>(
     protocol: &P,
     inputs: &[u64],
@@ -1077,12 +1277,34 @@ pub(crate) fn explore_packed_par<P: Protocol>(
 where
     P::Proc: Send + Sync,
 {
+    explore_packed_par_ckpt(protocol, inputs, limits, symmetric, workers, None, None)
+}
+
+/// [`explore_packed_par`] with optional periodic checkpoints and an optional
+/// snapshot to resume from.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_packed_par_ckpt<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    symmetric: bool,
+    workers: usize,
+    ckpt: Option<CheckpointCfg>,
+    resume: Option<&Snapshot>,
+) -> Result<(ExploreOutcome, ExploreStats), SimError>
+where
+    P::Proc: Send + Sync,
+{
+    if let Some(snap) = resume {
+        snap.check_identity(protocol, inputs, &limits, symmetric)
+            .map_err(|e| snapshot_sim_err(&e))?;
+    }
     // Below this many configurations the pool's thread spawns and batch
     // hand-offs dominate real work; the sequential path is bit-identical by
     // construction, so serving small spaces from it is unobservable.
     const MIN_PARALLEL_CONFIGS: usize = 1024;
     if workers <= 1 || limits.max_configs <= MIN_PARALLEL_CONFIGS {
-        return explore_packed_seq(protocol, inputs, limits, symmetric);
+        return explore_packed_seq_ckpt(protocol, inputs, limits, symmetric, ckpt, resume);
     }
     // Probe: run sequentially with the cap clamped to the threshold. The
     // cap fires only at `configs == cap + 1`, so a probe that comes back at
@@ -1091,14 +1313,19 @@ where
     // produce, and no thread was ever spawned for a small space. Only when
     // the probe overflows (the space is genuinely big) do we pay the pool,
     // re-exploring the ≤`MIN_PARALLEL_CONFIGS`-node prefix — noise at that
-    // size.
-    let probe_limits = ExploreLimits {
-        max_configs: MIN_PARALLEL_CONFIGS,
-        ..limits
-    };
-    let probe = explore_packed_seq(protocol, inputs, probe_limits, symmetric)?;
-    if probe.1.configs <= MIN_PARALLEL_CONFIGS {
-        return Ok(probe);
+    // size. Resumed runs skip the probe (they already hold a snapshot of a
+    // big space), as do checkpointing ones (a probe must never write a
+    // clamped-limits snapshot over the real one); both fallbacks above and
+    // below stay bit-identical, so skipping is unobservable in outcomes.
+    if ckpt.is_none() && resume.is_none() {
+        let probe_limits = ExploreLimits {
+            max_configs: MIN_PARALLEL_CONFIGS,
+            ..limits
+        };
+        let probe = explore_packed_seq(protocol, inputs, probe_limits, symmetric)?;
+        if probe.1.configs <= MIN_PARALLEL_CONFIGS {
+            return Ok(probe);
+        }
     }
     let machine = Machine::start(protocol, inputs)?;
     let ctx = machine.packed_ctx();
@@ -1126,7 +1353,15 @@ where
         // derivation at the committer — while authoritative admission moves
         // to the tiered fingerprint store.
         claims: match limits.memory_budget {
-            Some(budget) => ClaimTable::advisory((budget / 4).max(4096)),
+            Some(budget) => {
+                // The advisory table is a real allocation of this run, so
+                // size it against what is *left* of the budget after the
+                // stores built above took their shares — including the
+                // 4 KiB floor, which on a sub-16-KiB budget would otherwise
+                // exceed the whole cap by itself.
+                let remaining = budget.saturating_sub(mem.tracker().resident_bytes());
+                ClaimTable::advisory((budget / 4).max(4096).min(remaining.max(1024)))
+            }
             None => ClaimTable::new(limits.max_configs),
         },
         io_error: Mutex::new(None),
@@ -1157,10 +1392,32 @@ where
         let _stop = StopGuard(&pool);
         if limits.memory_budget.is_some() {
             let mut admit = SeenBackend::new(limits.max_configs, &mem);
-            drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut admit, &mem)
+            drive(
+                &ctx,
+                root,
+                inputs,
+                limits,
+                symmetric,
+                &mut source,
+                &mut admit,
+                &mem,
+                ckpt.as_ref(),
+                resume,
+            )
         } else {
             let mut admit = &pool.claims;
-            drive(&ctx, root, inputs, limits, symmetric, &mut source, &mut admit, &mem)
+            drive(
+                &ctx,
+                root,
+                inputs,
+                limits,
+                symmetric,
+                &mut source,
+                &mut admit,
+                &mem,
+                ckpt.as_ref(),
+                resume,
+            )
         }
     });
     mem.tracker().sub_resident(claim_bytes);
@@ -1212,6 +1469,7 @@ mod tests {
                 max_configs: 100_000,
                 solo_check_budget: Some(10),
                 memory_budget: None,
+                checkpoint_every: None,
             },
         );
         agree(&OneMaxRegister::new(), &[0, 1], ExploreLimits::default());
@@ -1231,6 +1489,7 @@ mod tests {
                     max_configs: cap,
                     solo_check_budget: None,
                     memory_budget: None,
+                    checkpoint_every: None,
                 },
             );
         }
@@ -1246,6 +1505,7 @@ mod tests {
                     max_configs: cap,
                     solo_check_budget: None,
                     memory_budget: None,
+                    checkpoint_every: None,
                 },
             );
         }
@@ -1258,6 +1518,7 @@ mod tests {
                     max_configs: 100_000,
                     solo_check_budget: None,
                     memory_budget: None,
+                    checkpoint_every: None,
                 },
             );
         }

@@ -79,6 +79,8 @@ pub fn reference_explore<P: Protocol>(
                 seen_resident_bytes: 0,
                 intern_resident_bytes: 0,
                 fpset_disk_bytes: 0,
+                checkpoint_bytes: 0,
+                checkpoint_ms: 0,
             }
         };
     }
@@ -192,6 +194,7 @@ mod tests {
                 max_configs: 100_000,
                 solo_check_budget: Some(10),
                 memory_budget: None,
+                checkpoint_every: None,
             },
         );
         agree(
@@ -202,6 +205,7 @@ mod tests {
                 max_configs: 100_000,
                 solo_check_budget: None,
                 memory_budget: None,
+                checkpoint_every: None,
             },
         );
     }
@@ -225,6 +229,7 @@ mod tests {
                     max_configs: cap,
                     solo_check_budget: None,
                     memory_budget: None,
+                    checkpoint_every: None,
                 },
             );
         }
@@ -243,6 +248,7 @@ mod tests {
                     max_configs: 100_000,
                     solo_check_budget: None,
                     memory_budget: None,
+                    checkpoint_every: None,
                 },
             );
         }

@@ -21,6 +21,7 @@ const DEEP_LIMITS: ExploreLimits = ExploreLimits {
     max_configs: 3_000_000,
     solo_check_budget: None,
     memory_budget: None,
+    checkpoint_every: None,
 };
 
 #[test]

@@ -30,6 +30,7 @@ where
         max_configs: 200_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     let outcome = Explorer::new()
         .limits(limits)
@@ -68,6 +69,7 @@ fn main() {
         max_configs: 200_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     let plain = Explorer::new().limits(limits).explore(&protocol, &inputs).unwrap();
     let reduced = Explorer::new()
@@ -108,6 +110,7 @@ fn main() {
         max_configs: 200_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     let explorer = Explorer::new().limits(limits);
     let (outcome, stats) = explorer.explore_stats(&protocol, &inputs).unwrap();

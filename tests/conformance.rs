@@ -21,7 +21,10 @@
 //! - `CONFORMANCE_MEM_BUDGET` — frontier memory budget in bytes for the
 //!   exhaustive backends (unset = unbounded; CI's tiny-budget columns pin it
 //!   to 0 and 4096 so every scenario crosses the spill paths while the
-//!   never-spilling reference BFS still demands bit-identical results).
+//!   never-spilling reference BFS still demands bit-identical results);
+//! - `CONFORMANCE_RESUME` — `1` adds the checkpoint/resume backend: every
+//!   scenario is re-run with snapshots retained and resumed from each one,
+//!   diffing against the scenario's exhaustive baseline.
 //!
 //! Every run is a pure function of these.
 
@@ -61,6 +64,7 @@ fn suite_config() -> ConformanceConfig {
         memory_budget: std::env::var("CONFORMANCE_MEM_BUDGET")
             .ok()
             .and_then(|v| v.parse::<usize>().ok()),
+        resume: env_u64("CONFORMANCE_RESUME", 0) != 0,
         ..defaults
     }
 }
@@ -94,6 +98,9 @@ fn differential_suite_is_clean_and_covers_the_table() {
     ];
     if cfg.symmetry {
         expected.push("explorer-sym");
+    }
+    if cfg.resume {
+        expected.push("explore-resume");
     }
     // The fan-out backend's name tracks the worker matrix axis.
     expected.push(space_hierarchy::conformance::worker_backend_name(

@@ -64,6 +64,7 @@ where
         max_configs: 30_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     let run = |symmetry: bool, workers: usize| {
         Explorer::new()

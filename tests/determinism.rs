@@ -132,6 +132,7 @@ fn parallel_explorer_outcomes_are_bit_identical_across_worker_counts() {
         max_configs: 100_000,
         solo_check_budget: Some(12),
         memory_budget: None,
+        checkpoint_every: None,
     };
     let reference = explore(&CasConsensus::new(3), &[0, 1, 2], clean).unwrap();
     assert!(

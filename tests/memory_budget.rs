@@ -26,6 +26,8 @@
 use space_hierarchy::model::Protocol;
 use space_hierarchy::protocols::bitwise::{tas_reset_consensus, write01_consensus};
 use space_hierarchy::protocols::registry::{self, RowSpec, RowVisitor};
+use space_hierarchy::protocols::stress::value_diverse_consensus;
+use space_hierarchy::sim::SimError;
 use space_hierarchy::verify::checker::{ExploreLimits, ExploreOutcome, ExploreStats, Explorer};
 use space_hierarchy::verify::legacy::legacy_explore_stats;
 
@@ -112,6 +114,7 @@ fn densest_rows_at_ten_percent_budget_match_unbounded() {
         max_configs: 200_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     assert_budget_invariance(
         &tas_reset_consensus(3),
@@ -151,6 +154,7 @@ impl RowVisitor for SpillEveryLayer {
             max_configs: 20_000,
             solo_check_budget: None,
             memory_budget: None,
+            checkpoint_every: None,
         };
         let _ = spec;
         assert_budget_invariance(&protocol, &inputs, limits, |_| 0, &[1, 4, 8]);
@@ -165,12 +169,59 @@ fn every_registry_row_is_budget_invariant_with_zero_budget() {
 }
 
 #[test]
+fn value_diverse_interning_trips_the_budget_instead_of_overrunning() {
+    // Regression: intern tables cannot spill, so a protocol whose states
+    // never collide and never compress (`value-diverse`, not a registry
+    // row) grows resident bytes past any budget. The engine used to keep
+    // exploring anyway; it must instead stop with a typed budget error as
+    // soon as resident bytes exceed budget + SLACK.
+    let limits = ExploreLimits {
+        depth: 13,
+        max_configs: 50_000,
+        solo_check_budget: None,
+        memory_budget: None,
+        checkpoint_every: None,
+    };
+    let protocol = value_diverse_consensus(2);
+    let inputs = [0u64, 0];
+    // Unbudgeted, the row explores cleanly (and confirms the stress is
+    // real: the intern tables alone dwarf the budget used below).
+    let (outcome, stats) = explore_at(&protocol, &inputs, limits, 1);
+    assert!(matches!(outcome, ExploreOutcome::Clean { .. }));
+    let budget = 1 << 20;
+    assert!(
+        stats.intern_resident_bytes > budget + SLACK,
+        "stress row too small to overrun: {} interned bytes",
+        stats.intern_resident_bytes
+    );
+    let budgeted = ExploreLimits {
+        memory_budget: Some(budget),
+        ..limits
+    };
+    for workers in [1, 4] {
+        let err = Explorer::new()
+            .workers(workers)
+            .limits(budgeted)
+            .explore_stats(&protocol, &inputs)
+            .expect_err("interning must trip the budget");
+        match err {
+            SimError::Budget { needed, budget: b } => {
+                assert_eq!(b, budget);
+                assert!(needed > budget + SLACK, "error reports the overrun");
+            }
+            other => panic!("expected SimError::Budget, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn legacy_engine_is_budget_invariant_too() {
     let limits = ExploreLimits {
         depth: 8,
         max_configs: 100_000,
         solo_check_budget: None,
         memory_budget: None,
+        checkpoint_every: None,
     };
     let protocol = tas_reset_consensus(3);
     let inputs = [0u64, 1, 2];

@@ -45,6 +45,7 @@ fn unusable_spill_dir_surfaces_as_a_clean_error() {
         // Zero budget: the very first frontier push must spill, so the
         // failure fires at the start of the run on every engine.
         memory_budget: Some(0),
+        checkpoint_every: None,
     };
 
     // -- sequential packed engine ------------------------------------------

@@ -96,6 +96,7 @@ fn spill_arenas_are_deleted_on_exit_and_on_panic() {
         max_configs: 100_000,
         solo_check_budget: None,
         memory_budget: Some(0),
+        checkpoint_every: None,
     };
     let (outcome, stats) = explore_stats(&tas_reset_consensus(3), &[0, 1, 2], limits).unwrap();
     assert!(outcome.is_clean(), "{outcome:?}");
