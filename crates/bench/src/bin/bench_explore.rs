@@ -6,13 +6,17 @@
 //! the unbounded run's observed resident peak) and a packed-only
 //! **deep-horizon** row (≥10⁶ configs, where claim-table occupancy and
 //! intern-cache hit rates actually matter), and emits machine-readable
-//! `BENCH_explore.json` (schema `bench_explore/v5`: configs/sec per row ×
+//! `BENCH_explore.json` (schema `bench_explore/v6`: configs/sec per row ×
 //! engine × worker count, packed-vs-legacy and w8-vs-w1 speedups, the
 //! host's `hw_threads`, and per-row memory telemetry: `peak_resident_bytes`,
 //! `bytes_spilled`, `spill_slowdown_w1`, the tiered-store breakdown
 //! `seen_resident_bytes` / `intern_resident_bytes` / `fpset_disk_bytes`
 //! from the budgeted 1-worker run, and the checkpoint costs
 //! `checkpoint_bytes` / `checkpoint_ms` from a snapshotting 1-worker run).
+//! Since v6 every row also carries the distributed trajectory: timed
+//! in-process `explore_sharded` cells at 1 and 4 shards (bit-identity
+//! asserted against the engine first), their ratio `speedup_shards4_vs_1`,
+//! and the 4-shard run's wire telemetry `frames_exchanged` / `frame_bytes`.
 //! CI uploads the file as a non-gating artifact, so engine-throughput
 //! history accumulates per commit without making perf a flaky test — but
 //! the artifact's *shape* is gated: `--validate FILE` re-checks a written
@@ -35,7 +39,7 @@
 //! Usage: `bench_explore [--quick] [--out PATH] | bench_explore --validate FILE`
 //!   --quick     one timed iteration per cell (CI smoke) instead of three
 //!   --out       output path (default `BENCH_explore.json`)
-//!   --validate  parse FILE and check it against schema v5; exits nonzero
+//!   --validate  parse FILE and check it against schema v6; exits nonzero
 //!               on drift, runs no benchmarks
 
 use cbh_core::bitwise::{tas_reset_consensus, write01_consensus};
@@ -43,6 +47,7 @@ use cbh_core::cas::CasConsensus;
 use cbh_core::maxreg::MaxRegConsensus;
 use cbh_model::Protocol;
 use cbh_verify::checker::{ExploreLimits, ExploreOutcome, ExploreStats, Explorer};
+use cbh_verify::dist::{explore_sharded, DistConfig};
 use cbh_verify::legacy::legacy_explore_stats;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -93,7 +98,67 @@ struct RowReport {
     /// Wall-clock milliseconds the same run spent writing snapshots
     /// (drain + fingerprint collection + encode + fsync, per snapshot).
     checkpoint_ms: u64,
+    /// 4-shard-vs-1-shard throughput ratio of the in-process distributed
+    /// explorer (both bit-identity-checked against the engine first).
+    speedup_shards4_vs_1: f64,
+    /// Wire frames the 4-shard run moved through its coordinator (rounds,
+    /// candidate batches, verdicts, commits — both directions).
+    frames_exchanged: u64,
+    /// Total encoded bytes of those frames.
+    frame_bytes: u64,
     cells: Vec<Cell>,
+}
+
+/// The distributed trajectory of one row: timed in-process `explore_sharded`
+/// cells at 1 and 4 shards. Bit-identity against the engine baseline is
+/// asserted before anything is timed — a throughput number for a diverging
+/// explorer would be meaningless — and the 4-shard run's wire telemetry
+/// rides along so frame volume accumulates per commit.
+fn sharded_cells<P: Protocol>(
+    name: &str,
+    protocol: &P,
+    inputs: &[u64],
+    limits: ExploreLimits,
+    baseline: &(ExploreOutcome, ExploreStats),
+    iters: usize,
+) -> (f64, u64, u64, Vec<Cell>)
+where
+    P::Proc: Send + Sync,
+{
+    let configs = baseline.1.configs;
+    let mut cells = Vec::new();
+    let mut frames = (0u64, 0u64);
+    for shards in [1usize, 4] {
+        let cfg = DistConfig {
+            shards,
+            workers: 1,
+            symmetric: false,
+        };
+        // Warm-up doubles as the conformance gate.
+        let out = explore_sharded(protocol, inputs, limits, cfg)
+            .expect("sharded run explores cleanly");
+        assert_eq!(&out, baseline, "{name}: {shards}-shard run diverged");
+        if shards == 4 {
+            frames = (out.1.frames_exchanged, out.1.frame_bytes);
+        }
+        let mut best = f64::MAX;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let out = explore_sharded(protocol, inputs, limits, cfg)
+                .expect("sharded run explores cleanly");
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(out.1.configs, configs, "{name}: nondeterministic run");
+            best = best.min(secs);
+        }
+        cells.push(Cell {
+            engine: "sharded",
+            workers: shards,
+            secs: best,
+            configs_per_sec: configs as f64 / best,
+        });
+    }
+    let speedup = cells[1].configs_per_sec / cells[0].configs_per_sec;
+    (speedup, frames.0, frames.1, cells)
 }
 
 fn run_engine<P: Protocol>(
@@ -237,6 +302,9 @@ where
     }
 
     let (checkpoint_bytes, checkpoint_ms) = checkpoint_costs(name, &protocol, inputs, limits, &packed);
+    let (speedup_shards4_vs_1, frames_exchanged, frame_bytes, sharded) =
+        sharded_cells(name, &protocol, inputs, limits, &packed, iters);
+    cells.extend(sharded);
 
     RowReport {
         name,
@@ -250,6 +318,9 @@ where
         spill_slowdown_w1,
         checkpoint_bytes,
         checkpoint_ms,
+        speedup_shards4_vs_1,
+        frames_exchanged,
+        frame_bytes,
         cells,
     }
 }
@@ -347,6 +418,9 @@ where
     }
 
     let (checkpoint_bytes, checkpoint_ms) = checkpoint_costs(name, &protocol, inputs, limits, &w1);
+    let (speedup_shards4_vs_1, frames_exchanged, frame_bytes, sharded) =
+        sharded_cells(name, &protocol, inputs, limits, &w1, iters);
+    cells.extend(sharded);
 
     RowReport {
         name,
@@ -360,6 +434,9 @@ where
         spill_slowdown_w1: f64::NAN,
         checkpoint_bytes,
         checkpoint_ms,
+        speedup_shards4_vs_1,
+        frames_exchanged,
+        frame_bytes,
         cells,
     }
 }
@@ -391,7 +468,7 @@ fn write_ratio(out: &mut String, key: &str, value: f64) {
 
 fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"bench_explore/v5\",\n");
+    out.push_str("{\n  \"schema\": \"bench_explore/v6\",\n");
     // Hardware parallelism actually available to the run: throughput and
     // scaling numbers are meaningless without it (packed w8 on a 1-thread
     // host measures the scheduler, not the engine).
@@ -426,6 +503,9 @@ fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
         let _ = writeln!(out, "      \"fpset_disk_bytes\": {},", row.fpset_disk_bytes);
         let _ = writeln!(out, "      \"checkpoint_bytes\": {},", row.checkpoint_bytes);
         let _ = writeln!(out, "      \"checkpoint_ms\": {},", row.checkpoint_ms);
+        let _ = writeln!(out, "      \"frames_exchanged\": {},", row.frames_exchanged);
+        let _ = writeln!(out, "      \"frame_bytes\": {},", row.frame_bytes);
+        write_ratio(&mut out, "speedup_shards4_vs_1", row.speedup_shards4_vs_1);
         write_ratio(&mut out, "spill_slowdown_w1", row.spill_slowdown_w1);
         write_ratio(
             &mut out,
@@ -466,11 +546,11 @@ fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
 /// field fails CI's validation step instead of silently corrupting the
 /// accumulated throughput history.
 fn validate_schema(text: &str) -> Result<(), String> {
-    if !text.contains("\"schema\": \"bench_explore/v5\"") {
-        return Err("schema tag is not bench_explore/v5".to_string());
+    if !text.contains("\"schema\": \"bench_explore/v6\"") {
+        return Err("schema tag is not bench_explore/v6".to_string());
     }
     const TOP_KEYS: [&str; 3] = ["hw_threads", "worker_counts", "rows"];
-    const ROW_KEYS: [&str; 14] = [
+    const ROW_KEYS: [&str; 17] = [
         "name",
         "configs",
         "peak_resident_bytes",
@@ -481,6 +561,9 @@ fn validate_schema(text: &str) -> Result<(), String> {
         "fpset_disk_bytes",
         "checkpoint_bytes",
         "checkpoint_ms",
+        "frames_exchanged",
+        "frame_bytes",
+        "speedup_shards4_vs_1",
         "spill_slowdown_w1",
         "speedup_packed_w8_vs_w1",
         "speedup_packed_vs_legacy_w8",
@@ -545,7 +628,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("--validate: cannot read {file}: {e}"));
         match validate_schema(&text) {
             Ok(()) => {
-                eprintln!("{file}: valid bench_explore/v5 artifact");
+                eprintln!("{file}: valid bench_explore/v6 artifact");
                 return;
             }
             Err(why) => {
@@ -592,7 +675,7 @@ fn main() {
     ];
 
     eprintln!(
-        "row                 configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8  spill-w1  slow  spilledKB"
+        "row                 configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8  spill-w1  slow  spilledKB  s4/s1"
     );
     for row in &rows {
         let spill_cps = cps(row, "packed-spill", 1);
@@ -611,7 +694,7 @@ fn main() {
             "-".to_string()
         };
         eprintln!(
-            "{:<19} {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7} {:>9} {:>5} {:>9}",
+            "{:<19} {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7} {:>9} {:>5} {:>9}  {:>5}",
             row.name,
             row.configs,
             fmt_cps(cps(row, "packed", 1)),
@@ -622,6 +705,7 @@ fn main() {
             spill_col,
             slow_col,
             row.bytes_spilled / 1024,
+            format!("{:.2}x", row.speedup_shards4_vs_1),
         );
     }
 

@@ -44,7 +44,8 @@ pub mod scenario;
 pub mod shrink;
 
 pub use oracle::{
-    run_scenario, run_suite, worker_backend_name, ConformanceConfig, Finding, SuiteReport,
+    run_scenario, run_suite, shard_backend_name, worker_backend_name, ConformanceConfig, Finding,
+    SuiteReport,
 };
 pub use scenario::{Scenario, ScenarioGen};
 pub use shrink::{replay_violates, shrink_schedule, shrink_violation};

@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | engine vs oracle | packed frontier `explore` vs clone-based reference BFS | outcome **and** stats, bit for bit |
 //! | worker fan-out | `Explorer` with 1 vs [`ConformanceConfig::explorer_workers`] workers (CI sweeps 1/4/8) | outcome and stats, bit for bit |
+//! | shard fan-out | sequential engine vs [`cbh_verify::dist::explore_sharded`] at [`ConformanceConfig::shards`] and double (CI pins `CONFORMANCE_SHARDS=2`) | outcome and semantic stats, bit for bit |
 //! | symmetry quotient | reduced 1 vs fan-out workers; reduced vs plain | reduced runs identical; verdict equal; reduced configs ≤ plain |
 //! | property checks | scripted replay, round-robin, seeded random, bounded threads | agreement + validity; `locations_touched` ≤ the row's exact Table 1 bound |
 //! | fault injection | honest vs [`FaultyDecider`](crate::faulty::FaultyDecider) scripted replay | decision vectors equal (divergence ⇒ finding + shrunken reproducer) |
@@ -28,6 +29,7 @@ use cbh_sim::{
 };
 use cbh_sync::run_threaded_bounded;
 use cbh_verify::checker::{explore_stats, ExploreLimits, ExploreOutcome, Explorer, ExploreStats};
+use cbh_verify::dist::{explore_sharded, DistConfig};
 use cbh_verify::reference::reference_explore;
 use cbh_verify::snapshot::Snapshot;
 use std::collections::BTreeSet;
@@ -78,6 +80,11 @@ pub struct ConformanceConfig {
     /// checkpointed run and every kill-at-this-checkpoint resume must be
     /// bit-identical to the uncheckpointed engine run.
     pub resume: bool,
+    /// Base shard count for the distributed backend
+    /// ([`cbh_verify::dist::explore_sharded`]). `0` (the default) skips it;
+    /// CI's `CONFORMANCE_SHARDS=2` column diffs every scenario at `shards`
+    /// **and** `2 * shards` against the sequential engine, bit for bit.
+    pub shards: usize,
 }
 
 impl Default for ConformanceConfig {
@@ -94,6 +101,7 @@ impl Default for ConformanceConfig {
             symmetry: true,
             memory_budget: None,
             resume: false,
+            shards: 0,
         }
     }
 }
@@ -112,6 +120,20 @@ pub fn worker_backend_name(workers: usize) -> &'static str {
         8 => "explorer-w8",
         16 => "explorer-w16",
         _ => "explorer-wN",
+    }
+}
+
+/// Stable backend label for a shard count, mirroring
+/// [`worker_backend_name`]. The table covers CI's `CONFORMANCE_SHARDS=2`
+/// column (which runs 2 and 4); off-matrix counts share `"dist-sN"`.
+pub fn shard_backend_name(shards: usize) -> &'static str {
+    match shards {
+        0 | 1 => "dist-s1",
+        2 => "dist-s2",
+        3 => "dist-s3",
+        4 => "dist-s4",
+        8 => "dist-s8",
+        _ => "dist-sN",
     }
 }
 
@@ -298,6 +320,39 @@ impl RowVisitor for OracleVisitor<'_> {
             Err(e) => out
                 .findings
                 .push(finding(fan_out_backend, format!("SimError: {e}"), None)),
+        }
+
+        if self.cfg.shards > 0 {
+            // The distributed backend partitions the fingerprint space and
+            // merges per-shard admission logs; at both the configured count
+            // and its double it must replay the sequential engine exactly —
+            // outcome, counterexample schedule and semantic stats. ddmin is
+            // untouched: a divergence with a witness shrinks through the
+            // same `minimize_witness` as every other exhaustive backend.
+            for shards in [self.cfg.shards, self.cfg.shards * 2] {
+                let backend = shard_backend_name(shards);
+                out.backends.push(backend);
+                let dist_cfg = DistConfig {
+                    shards,
+                    workers: self.cfg.explorer_workers.max(1),
+                    symmetric: false,
+                };
+                match explore_sharded(&protocol, &inputs, limits, dist_cfg) {
+                    Ok(sharded) => {
+                        if sharded != engine {
+                            let witness = sharded.0.schedule().or(engine.0.schedule());
+                            out.findings.push(finding(
+                                backend,
+                                format!("engine {engine:?} != {shards}-shard {sharded:?}"),
+                                witness.map(minimize_witness),
+                            ));
+                        }
+                    }
+                    Err(e) => out
+                        .findings
+                        .push(finding(backend, format!("SimError: {e}"), None)),
+                }
+            }
         }
 
         if self.cfg.resume {
@@ -581,6 +636,21 @@ mod tests {
             assert!(outcome.backends.contains(&backend), "{backend} missing");
         }
         assert!(outcome.configs > 0);
+    }
+
+    #[test]
+    fn the_sharded_backend_joins_the_matrix_when_configured() {
+        let cfg = ConformanceConfig {
+            threaded: false,
+            shards: 2,
+            ..ConformanceConfig::default()
+        };
+        let scenario = ScenarioGen::new(3).next_scenario();
+        let outcome = run_scenario(&scenario, &cfg);
+        assert!(outcome.findings.is_empty(), "{:#?}", outcome.findings);
+        for backend in ["dist-s2", "dist-s4"] {
+            assert!(outcome.backends.contains(&backend), "{backend} missing");
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
 
 pub mod delta;
+pub mod frame;
 
 // ---------------------------------------------------------------------------
 // Cell word encoding

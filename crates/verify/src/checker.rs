@@ -143,6 +143,12 @@ pub struct ExploreStats {
     /// is the run-time cost of the chosen [`ExploreLimits::checkpoint_every`]
     /// cadence).
     pub checkpoint_ms: u64,
+    /// Wire frames the distributed coordinator sent plus received
+    /// (telemetry; `0` for every single-process engine).
+    pub frames_exchanged: u64,
+    /// Total encoded bytes of those frames, headers and CRC trailers
+    /// included (telemetry; `0` for every single-process engine).
+    pub frame_bytes: u64,
 }
 
 /// Semantic counters only: the byte-telemetry fields are engine-strategy
@@ -381,36 +387,66 @@ pub(crate) fn schedule_of(links: &[Link], mut link: usize) -> Vec<usize> {
     out
 }
 
+/// A consensus defect detected on one configuration's decision vector,
+/// before a counterexample schedule is attached. The distributed explorer
+/// classifies defects shard-side (shards hold the states) and lets the
+/// coordinator — who holds the provenance links — build the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Defect {
+    /// Some process decided a value no process proposed.
+    Validity {
+        /// The out-of-domain decision.
+        decided: u64,
+    },
+    /// Two processes decided different values.
+    Agreement {
+        /// The first adjacent disagreeing pair, in pid order.
+        a: u64,
+        /// Second member of that pair.
+        b: u64,
+    },
+}
+
+impl Defect {
+    /// Attaches a counterexample schedule, producing the outcome every
+    /// engine reports for this defect.
+    pub(crate) fn into_outcome(self, schedule: Vec<usize>) -> ExploreOutcome {
+        match self {
+            Defect::Validity { decided } => ExploreOutcome::ValidityViolation { decided, schedule },
+            Defect::Agreement { a, b } => {
+                ExploreOutcome::AgreementViolation { decisions: (a, b), schedule }
+            }
+        }
+    }
+}
+
 /// Validity/agreement check on a collected decision vector, mirroring the
 /// paper's order: all decisions validated against the inputs first, then
-/// pairwise agreement. Shared by every engine (packed, legacy, reference),
-/// so violation selection cannot drift between the backends the conformance
-/// oracle diffs.
+/// pairwise agreement. Shared by every engine (packed, legacy, reference,
+/// distributed), so violation selection cannot drift between the backends
+/// the conformance oracle diffs.
+pub(crate) fn decision_defect(decisions: &[u64], inputs: &[u64]) -> Option<Defect> {
+    for &d in decisions {
+        if !inputs.contains(&d) {
+            return Some(Defect::Validity { decided: d });
+        }
+    }
+    decisions
+        .iter()
+        .zip(decisions.iter().skip(1))
+        .find(|(a, b)| a != b)
+        .map(|(&a, &b)| Defect::Agreement { a, b })
+}
+
+/// [`decision_defect`] with the counterexample schedule attached from the
+/// caller's provenance links.
 pub(crate) fn violation_from_decisions(
     decisions: &[u64],
     inputs: &[u64],
     link: usize,
     links: &[Link],
 ) -> Option<ExploreOutcome> {
-    for &d in decisions {
-        if !inputs.contains(&d) {
-            return Some(ExploreOutcome::ValidityViolation {
-                decided: d,
-                schedule: schedule_of(links, link),
-            });
-        }
-    }
-    if let Some((&a, &b)) = decisions
-        .iter()
-        .zip(decisions.iter().skip(1))
-        .find(|(a, b)| a != b)
-    {
-        return Some(ExploreOutcome::AgreementViolation {
-            decisions: (a, b),
-            schedule: schedule_of(links, link),
-        });
-    }
-    None
+    decision_defect(decisions, inputs).map(|d| d.into_outcome(schedule_of(links, link)))
 }
 
 /// [`violation_from_decisions`] on a machine's semantic decision vector.

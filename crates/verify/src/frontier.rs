@@ -352,13 +352,34 @@ impl SpillArena {
     /// Queues `bytes` for appending and returns their reserved offset. The
     /// write itself happens on the background writer thread; this call only
     /// blocks when [`MAX_PENDING_WRITES`] runs are already queued.
-    pub(crate) fn append(&self, bytes: Vec<u8>) -> Result<u64, SpillError> {
+    ///
+    /// # Errors
+    ///
+    /// [`SpillError::Create`] if the spill file cannot be created, or the
+    /// arena's sticky IO error if a previous write failed.
+    pub fn append(&self, bytes: Vec<u8>) -> Result<u64, SpillError> {
         let mut st = self.shared.state.lock().unwrap();
         if let Some(e) = &st.error {
             return Err(e.clone());
         }
         if st.file.is_none() {
-            let path = spill_dir().join(format!(
+            // Each process salts its own subdirectory: sharded exploration
+            // runs many explorer processes against one CBH_SPILL_DIR, and
+            // the per-pid directory keeps their arenas from colliding while
+            // giving crash cleanup a single obvious unit to sweep.
+            let dir = spill_dir().join(format!("cbh-spill-{}", std::process::id()));
+            // `create_dir`, not `create_dir_all`: an unusable or missing
+            // spill *base* directory must stay a typed `Create` error, not
+            // be silently conjured into existence.
+            if let Err(e) = std::fs::create_dir(&dir) {
+                if e.kind() != std::io::ErrorKind::AlreadyExists {
+                    return Err(SpillError::Create {
+                        path: dir.display().to_string(),
+                        kind: e.kind(),
+                    });
+                }
+            }
+            let path = dir.join(format!(
                 "cbh-spill-{}-{}.bin",
                 std::process::id(),
                 ARENA_SEQ.fetch_add(1, Ordering::Relaxed)
@@ -486,6 +507,13 @@ impl Drop for SpillArena {
         }
         if let Some(path) = path {
             let _ = std::fs::remove_file(&path);
+            // Last arena out turns off the lights: removing the pid-salted
+            // subdirectory only succeeds once it is empty, which is exactly
+            // the hygiene invariant (errors mean a sibling arena is still
+            // live, and its own drop will retry).
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::remove_dir(dir);
+            }
         }
     }
 }
@@ -557,8 +585,10 @@ impl SpillContext {
         &self.tracker
     }
 
-    /// The shared arena this context's stores spill into.
-    pub(crate) fn arena(&self) -> &SpillArena {
+    /// The shared arena this context's stores spill into. Public so the
+    /// hygiene integration test can provoke a spill file directly and
+    /// observe the pid-salted directory lifecycle from outside the crate.
+    pub fn arena(&self) -> &SpillArena {
         &self.arena
     }
 

@@ -257,6 +257,8 @@ where
                 fpset_disk_bytes: seen.fpset_disk_bytes(),
                 checkpoint_bytes: 0,
                 checkpoint_ms: 0,
+                frames_exchanged: 0,
+                frame_bytes: 0,
             }
         };
     }

@@ -33,6 +33,11 @@
 //!   by the multi-assignment lower bound (Theorem 7.5);
 //! - [`covering`] — Section 6.2's covering-configuration vocabulary (covers,
 //!   `k`-covered locations, block writes) computed on live configurations;
+//! - [`dist`] — distributed sharded exploration: partitions the fingerprint
+//!   space across shard workers (in-process threads or separate processes
+//!   over Unix sockets) that exchange delta-framed candidate frontiers
+//!   through a coordinator replaying the single-process admission order
+//!   exactly, so outcomes stay bit-identical at any shard count;
 //! - [`snapshot`] — crash-safe checkpoint/resume: a versioned, CRC-guarded
 //!   on-disk capture of the committer's logical state at an admission
 //!   boundary, written atomically on the [`checker::ExploreLimits::checkpoint_every`]
@@ -50,6 +55,7 @@ pub mod adversary;
 pub mod checker;
 pub mod claim;
 pub mod covering;
+pub mod dist;
 pub mod fpset;
 pub mod frontier;
 pub mod legacy;

@@ -116,31 +116,31 @@ pub(crate) fn snapshot_sim_err(err: &SnapshotError) -> SimError {
 
 /// Per-run constants every worker needs.
 #[derive(Clone, Copy)]
-struct RunCfg {
-    solo_budget: Option<u64>,
-    symmetric: bool,
+pub(crate) struct RunCfg {
+    pub(crate) solo_budget: Option<u64>,
+    pub(crate) symmetric: bool,
     /// Budgeted runs bound each thread's intern cache to this many bytes;
     /// past it the cache is cleared wholesale (entries re-fetch from the
     /// shared tables on demand). `None` = unbounded, the historical
     /// behaviour of unbudgeted runs.
-    cache_cap: Option<usize>,
+    pub(crate) cache_cap: Option<usize>,
 }
 
 /// Per-thread intern-cache byte cap under a memory budget: an eighth of the
 /// budget, floored so tiny stress budgets don't thrash re-fetches.
-fn cache_cap_of(memory_budget: Option<usize>) -> Option<usize> {
+pub(crate) fn cache_cap_of(memory_budget: Option<usize>) -> Option<usize> {
     memory_budget.map(|b| (b / 8).max(64 * 1024))
 }
 
 /// One admitted configuration awaiting expansion.
 #[derive(Clone)]
-struct Node {
-    index: usize,
-    state: PackedState,
+pub(crate) struct Node {
+    pub(crate) index: usize,
+    pub(crate) state: PackedState,
     /// The node's own digest (base of the incremental edge previews).
-    fp: u128,
+    pub(crate) fp: u128,
     /// `false` for horizon nodes: only solo probes / activity reporting.
-    expand: bool,
+    pub(crate) expand: bool,
 }
 
 /// One unit of pool work: a batch of nodes (admission siblings ride
@@ -157,22 +157,22 @@ const MIN_BATCH: usize = 1;
 const MAX_BATCH: usize = 64;
 
 /// One outgoing edge of an expanded node, in pid order.
-struct Edge {
-    pid: usize,
-    fp: u128,
+pub(crate) struct Edge {
+    pub(crate) pid: usize,
+    pub(crate) fp: u128,
     /// Speculatively materialised successor, present iff this worker won the
     /// claim on `fp`. `None` is always safe: the committer rematerialises
     /// from the parent on demand.
-    child: Option<PackedState>,
+    pub(crate) child: Option<PackedState>,
 }
 
 /// What expanding one node produced.
-struct Expansion {
+pub(crate) struct Expansion {
     /// First active pid whose solo run failed to decide, if solo checks ran.
-    solo_failure: Option<usize>,
+    pub(crate) solo_failure: Option<usize>,
     /// `true` if some process can still move (horizon completeness).
-    has_active: bool,
-    edges: Vec<Edge>,
+    pub(crate) has_active: bool,
+    pub(crate) edges: Vec<Edge>,
 }
 
 struct NodeResult {
@@ -227,7 +227,7 @@ fn decode_node(mut bytes: &[u8], base: Option<&PackedState>) -> Node {
 
 /// Codec for the sequential engine's admission queue: records chain across
 /// the whole run, each state a delta against the previously spilled one.
-struct NodeCodec;
+pub(crate) struct NodeCodec;
 
 impl SpillCodec for NodeCodec {
     type Item = Node;
@@ -434,7 +434,7 @@ impl SpillCodec for ResultCodec {
 /// Expands one node: solo probes first (mirroring the reference: a failure
 /// suppresses the edges), then one previewed edge per active pid. All
 /// intern-table traffic goes through the expander's thread-local `cache`.
-fn expand_node<P: Process>(
+pub(crate) fn expand_node<P: Process>(
     ctx: &PackedCtx<P>,
     node: &Node,
     cfg: RunCfg,
@@ -847,7 +847,7 @@ impl<P: Process> ResultSource<P> for PoolSource<'_, P> {
 /// semantic decision vector and defers to the engine-shared
 /// [`crate::checker::violation_from_decisions`], so both representations'
 /// checks can never drift apart.
-fn packed_violation<P: Process>(
+pub(crate) fn packed_violation<P: Process>(
     ctx: &PackedCtx<P>,
     cache: &mut PackedCache<P>,
     state: &PackedState,
@@ -926,6 +926,8 @@ where
                 fpset_disk_bytes: admit.fpset_disk_bytes(),
                 checkpoint_bytes: ckpt_bytes,
                 checkpoint_ms: ckpt_ms,
+                frames_exchanged: 0,
+                frame_bytes: 0,
             }
         };
     }

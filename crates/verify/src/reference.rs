@@ -81,6 +81,8 @@ pub fn reference_explore<P: Protocol>(
                 fpset_disk_bytes: 0,
                 checkpoint_bytes: 0,
                 checkpoint_ms: 0,
+                frames_exchanged: 0,
+                frame_bytes: 0,
             }
         };
     }

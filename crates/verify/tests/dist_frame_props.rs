@@ -1,0 +1,221 @@
+//! Property tests for the distributed explorer's wire format: the CRC-framed,
+//! delta-chained state frames shards exchange over Unix sockets.
+//!
+//! Random schedules over **every Table-1 registry row** produce real
+//! `PackedState` chains (exactly what a cross-shard SUCC frame carries), and
+//! for each chain:
+//!
+//! - `StateChainEncoder` → `encode_frame` → `FrameReader` → `StateChainDecoder`
+//!   reproduces every state bit for bit, including both engine digests, no
+//!   matter how the byte stream is fragmented into partial reads;
+//! - every strict prefix of a frame is "need more bytes" (streaming) or
+//!   [`FrameError::Truncated`] (exact decode) — never a state, never a panic;
+//! - flipping any byte of a frame is a typed [`FrameError`] — the magic check
+//!   catches the prelude, the version byte its own flip, and the CRC trailer
+//!   everything else;
+//! - arbitrary garbage fed to the reader terminates with frames or a typed
+//!   error, never a panic or a runaway allocation (the payload cap rejects
+//!   absurd lengths before allocating).
+
+use cbh_core::registry::{self, RowSpec, RowVisitor};
+use cbh_model::{
+    decode_frame, decode_frame_exact, encode_frame, FrameError, FrameReader, PackedCtx,
+    PackedState, Protocol, StateChainDecoder, StateChainEncoder,
+};
+use cbh_sim::Machine;
+use proptest::prelude::*;
+
+/// Wire kind used by the tests; the codec treats kinds as opaque.
+const KIND: u8 = 3;
+
+/// Splits `bytes` at the (sorted, deduped) cut points and feeds the pieces
+/// to a [`FrameReader`], collecting every completed frame.
+fn reassemble(bytes: &[u8], cuts: &[usize]) -> Result<Vec<(u8, Vec<u8>)>, FrameError> {
+    let mut reader = FrameReader::new();
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % bytes.len().max(1)).collect();
+    points.sort_unstable();
+    points.dedup();
+    for point in points.into_iter().chain([bytes.len()]) {
+        if point <= at {
+            continue;
+        }
+        reader.push(&bytes[at..point]);
+        at = point;
+        while let Some(frame) = reader.next_frame()? {
+            frames.push(frame);
+        }
+    }
+    assert!(!reader.has_partial(), "whole stream consumed");
+    Ok(frames)
+}
+
+struct ChainWalk<'a> {
+    schedule: &'a [usize],
+    cuts: &'a [usize],
+}
+
+impl RowVisitor for ChainWalk<'_> {
+    type Output = ();
+
+    fn visit<P>(&mut self, _spec: &RowSpec, protocol: P)
+    where
+        P: Protocol,
+        P::Proc: Send + Sync,
+    {
+        let n = protocol.n();
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % protocol.domain()).collect();
+        let machine = Machine::start(&protocol, &inputs).expect("row starts");
+        let ctx: PackedCtx<P::Proc> = machine.packed_ctx();
+        let mut state = machine.pack(&ctx);
+        let mut states = vec![state.clone()];
+        for &raw in self.schedule {
+            let pid = raw % n;
+            if ctx.is_active(&state, pid) {
+                ctx.step(&mut state, pid).expect("active pid steps");
+                states.push(state.clone());
+            }
+        }
+        // Two frames from one logical stream: chains never cross a frame
+        // boundary, so each frame restarts with a flat head and decodes
+        // independently of the other's arrival.
+        let split = states.len() / 2;
+        let mut wire = Vec::new();
+        for group in [&states[..split], &states[split..]] {
+            if group.is_empty() {
+                continue;
+            }
+            let mut payload = Vec::new();
+            let mut chain = StateChainEncoder::new();
+            for state in group {
+                chain.push(state, &mut payload);
+            }
+            encode_frame(KIND, &payload, &mut wire);
+        }
+        let frames = reassemble(&wire, self.cuts).expect("honest stream decodes");
+        let mut decoded: Vec<PackedState> = Vec::new();
+        for (kind, payload) in &frames {
+            assert_eq!(*kind, KIND);
+            let mut chain = StateChainDecoder::new();
+            let mut rest = payload.as_slice();
+            while !rest.is_empty() {
+                decoded.push(chain.next(&mut rest).expect("honest chain record"));
+            }
+        }
+        assert_eq!(decoded.len(), states.len(), "every state crossed the wire");
+        for (original, wired) in states.iter().zip(&decoded) {
+            assert_eq!(original, wired, "field mismatch");
+            for symmetric in [false, true] {
+                assert_eq!(
+                    ctx.digest(original, symmetric),
+                    ctx.digest(wired, symmetric),
+                    "digest mismatch (symmetric={symmetric})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn framed_state_chains_roundtrip_on_every_row(
+        schedule in proptest::collection::vec(0usize..3, 1..24),
+        cuts in proptest::collection::vec(0usize..4096, 0..12),
+    ) {
+        for row in registry::all_rows() {
+            registry::visit_row(row.id, 3, &mut ChainWalk { schedule: &schedule, cuts: &cuts })
+                .expect("registered row");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_need_more_bytes_never_states(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        kind in any::<u8>(),
+    ) {
+        let mut wire = Vec::new();
+        encode_frame(kind, &payload, &mut wire);
+        for cut in 0..wire.len() {
+            // Streaming decode: a strict prefix of a valid frame is always
+            // an honest "wait for more" — typed errors fire only on bytes
+            // that can no longer become a valid frame.
+            prop_assert!(decode_frame(&wire[..cut]).unwrap().is_none(), "prefix {cut}");
+            // Exact decode of the same prefix is the typed truncation error.
+            prop_assert!(
+                decode_frame_exact(&wire[..cut]).unwrap_err() == FrameError::Truncated,
+                "prefix {cut}"
+            );
+        }
+        let (k, p, consumed) = decode_frame_exact(&wire).expect("whole frame decodes");
+        prop_assert_eq!((k, p, consumed), (kind, payload.as_slice(), wire.len()));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_typed_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        flips in proptest::collection::vec((0usize..4096, 0u8..255), 1..16),
+    ) {
+        let mut wire = Vec::new();
+        encode_frame(KIND, &payload, &mut wire);
+        for &(pos, value) in &flips {
+            let mut corrupt = wire.clone();
+            let at = pos % corrupt.len();
+            corrupt[at] ^= value | 1;
+            // Magic flips are BadMagic, version flips UnsupportedVersion,
+            // length flips Oversize/Truncated/CrcMismatch, and kind,
+            // payload or trailer flips CrcMismatch — never Ok, never a
+            // panic. (A length flip that *shrinks* the frame is caught by
+            // the CRC landing on the wrong bytes.)
+            prop_assert!(
+                decode_frame_exact(&corrupt).is_err(),
+                "flip at {} undetected",
+                at
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_streams_never_panic_the_reader(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..8,
+        ),
+    ) {
+        let mut reader = FrameReader::new();
+        'outer: for chunk in &chunks {
+            reader.push(chunk);
+            loop {
+                match reader.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    // Poisoned is a legal terminal state; what matters is
+                    // the error being typed, not a panic.
+                    Err(_) => break 'outer,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_chain_records_never_panic_the_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..192),
+    ) {
+        let mut chain = StateChainDecoder::new();
+        let mut rest = bytes.as_slice();
+        while !rest.is_empty() {
+            let before = rest.len();
+            match chain.next(&mut rest) {
+                Ok(_) => {
+                    // Progress or stop: a decoded record must consume bytes.
+                    if rest.len() == before {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Spill-arena hygiene: every byte spilled to disk is cleaned up on drop,
+//! including the pid-salted subdirectory that isolates concurrent explorer
+//! processes sharing one `CBH_SPILL_DIR`.
+//!
+//! This lives in its own integration-test binary because it must own
+//! `CBH_SPILL_DIR` for the whole process: unit tests run as parallel
+//! threads and the variable is process-global.
+
+use cbh_verify::checker::ExploreLimits;
+use cbh_verify::dist::{explore_sharded, DistConfig};
+use cbh_verify::frontier::{spill_dir, SpillContext};
+use cbh_verify::reference::reference_explore;
+use cbh_core::maxreg::MaxRegConsensus;
+
+fn entries(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    std::fs::read_dir(dir)
+        .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.path())).collect())
+        .unwrap_or_default()
+}
+
+#[test]
+fn spill_files_live_in_a_self_deleting_pid_directory() {
+    let base = std::env::temp_dir().join(format!("cbh-hygiene-{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    // Safe: this test binary is single-threaded at this point and owns the
+    // variable for the whole process (one #[test] per concern below).
+    std::env::set_var("CBH_SPILL_DIR", &base);
+    assert_eq!(spill_dir(), base);
+
+    let pid_dir = base.join(format!("cbh-spill-{}", std::process::id()));
+    {
+        let ctx = SpillContext::new(Some(0));
+        ctx.arena().append(vec![0u8; 256]).unwrap();
+        assert!(pid_dir.is_dir(), "spills land in the pid-salted subdir");
+        let files = entries(&pid_dir);
+        assert_eq!(files.len(), 1, "one arena, one file: {files:?}");
+        assert!(
+            files[0]
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .starts_with(&format!("cbh-spill-{}-", std::process::id())),
+            "file name carries the pid salt: {files:?}"
+        );
+    }
+    assert!(
+        !pid_dir.exists(),
+        "last arena out removes the pid directory"
+    );
+
+    // A sibling arena must keep the directory alive until it too drops.
+    let ctx_a = SpillContext::new(Some(0));
+    ctx_a.arena().append(vec![1u8; 64]).unwrap();
+    {
+        let ctx_b = SpillContext::new(Some(0));
+        ctx_b.arena().append(vec![2u8; 64]).unwrap();
+        assert_eq!(entries(&pid_dir).len(), 2);
+    }
+    assert_eq!(entries(&pid_dir).len(), 1, "sibling file survives");
+    drop(ctx_a);
+    assert!(!pid_dir.exists());
+
+    // End-to-end: a budgeted sharded run (every shard spilling) leaves the
+    // base directory exactly as it found it, and the hygiene does not
+    // perturb the semantic outcome.
+    let protocol = MaxRegConsensus::new(2);
+    let limits = ExploreLimits {
+        depth: 9,
+        max_configs: 100_000,
+        solo_check_budget: None,
+        memory_budget: Some(0),
+        checkpoint_every: None,
+    };
+    let cfg = DistConfig {
+        shards: 2,
+        workers: 2,
+        symmetric: false,
+    };
+    let dist = explore_sharded(&protocol, &[0, 1], limits, cfg).unwrap();
+    let oracle = reference_explore(&protocol, &[0, 1], limits).unwrap();
+    assert_eq!(dist, oracle);
+    assert!(
+        entries(&base).is_empty(),
+        "sharded spills all cleaned up: {:?}",
+        entries(&base)
+    );
+    std::fs::remove_dir(&base).unwrap();
+}

@@ -24,7 +24,11 @@
 //!   never-spilling reference BFS still demands bit-identical results);
 //! - `CONFORMANCE_RESUME` — `1` adds the checkpoint/resume backend: every
 //!   scenario is re-run with snapshots retained and resumed from each one,
-//!   diffing against the scenario's exhaustive baseline.
+//!   diffing against the scenario's exhaustive baseline;
+//! - `CONFORMANCE_SHARDS` — base shard count for the distributed backend
+//!   (default 0 = off; CI's column pins 2): every scenario additionally runs
+//!   `explore_sharded` at this count *and* its double, diffed bit for bit
+//!   against the sequential engine.
 //!
 //! Every run is a pure function of these.
 
@@ -65,6 +69,7 @@ fn suite_config() -> ConformanceConfig {
             .ok()
             .and_then(|v| v.parse::<usize>().ok()),
         resume: env_u64("CONFORMANCE_RESUME", 0) != 0,
+        shards: env_u64("CONFORMANCE_SHARDS", 0) as usize,
         ..defaults
     }
 }
@@ -101,6 +106,12 @@ fn differential_suite_is_clean_and_covers_the_table() {
     }
     if cfg.resume {
         expected.push("explore-resume");
+    }
+    if cfg.shards > 0 {
+        expected.push(space_hierarchy::conformance::shard_backend_name(cfg.shards));
+        expected.push(space_hierarchy::conformance::shard_backend_name(
+            cfg.shards * 2,
+        ));
     }
     // The fan-out backend's name tracks the worker matrix axis.
     expected.push(space_hierarchy::conformance::worker_backend_name(
