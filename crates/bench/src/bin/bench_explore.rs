@@ -6,7 +6,7 @@
 //! the unbounded run's observed resident peak) and a packed-only
 //! **deep-horizon** row (≥10⁶ configs, where claim-table occupancy and
 //! intern-cache hit rates actually matter), and emits machine-readable
-//! `BENCH_explore.json` (schema `bench_explore/v6`: configs/sec per row ×
+//! `BENCH_explore.json` (schema `bench_explore/v7`: configs/sec per row ×
 //! engine × worker count, packed-vs-legacy and w8-vs-w1 speedups, the
 //! host's `hw_threads`, and per-row memory telemetry: `peak_resident_bytes`,
 //! `bytes_spilled`, `spill_slowdown_w1`, the tiered-store breakdown
@@ -17,6 +17,12 @@
 //! in-process `explore_sharded` cells at 1 and 4 shards (bit-identity
 //! asserted against the engine first), their ratio `speedup_shards4_vs_1`,
 //! and the 4-shard run's wire telemetry `frames_exchanged` / `frame_bytes`.
+//! Since v7 every row also carries real-thread capture telemetry:
+//! `trace_frames` / `trace_bytes` from one capture-enabled threaded run
+//! (lockstep-replay-gated against the model first) and
+//! `trace_capture_overhead`, the traced-vs-plain wall-clock ratio measured
+//! from back-to-back pairs — the compact log's perturbation budget,
+//! accumulated per commit.
 //! CI uploads the file as a non-gating artifact, so engine-throughput
 //! history accumulates per commit without making perf a flaky test — but
 //! the artifact's *shape* is gated: `--validate FILE` re-checks a written
@@ -39,13 +45,15 @@
 //! Usage: `bench_explore [--quick] [--out PATH] | bench_explore --validate FILE`
 //!   --quick     one timed iteration per cell (CI smoke) instead of three
 //!   --out       output path (default `BENCH_explore.json`)
-//!   --validate  parse FILE and check it against schema v6; exits nonzero
+//!   --validate  parse FILE and check it against schema v7; exits nonzero
 //!               on drift, runs no benchmarks
 
 use cbh_core::bitwise::{tas_reset_consensus, write01_consensus};
 use cbh_core::cas::CasConsensus;
 use cbh_core::maxreg::MaxRegConsensus;
 use cbh_model::Protocol;
+use cbh_sim::replay_schedule;
+use cbh_sync::{run_threaded_bounded, run_threaded_traced};
 use cbh_verify::checker::{ExploreLimits, ExploreOutcome, ExploreStats, Explorer};
 use cbh_verify::dist::{explore_sharded, DistConfig};
 use cbh_verify::legacy::legacy_explore_stats;
@@ -106,6 +114,14 @@ struct RowReport {
     frames_exchanged: u64,
     /// Total encoded bytes of those frames.
     frame_bytes: u64,
+    /// Frames one capture-enabled threaded run recorded (= instructions the
+    /// physical run applied; the capture is lockstep-replay-gated first).
+    trace_frames: u64,
+    /// Encoded size of that capture in the trace wire format.
+    trace_bytes: u64,
+    /// Traced-vs-plain threaded wall-clock ratio from back-to-back pairs
+    /// (best-of each side): the compact log's perturbation budget.
+    trace_capture_overhead: f64,
     cells: Vec<Cell>,
 }
 
@@ -181,6 +197,52 @@ where
         legacy_explore_stats(protocol, inputs, limits, workers, false)
             .expect("workload explores cleanly")
     }
+}
+
+/// Capture-overhead telemetry for the real-thread backend: how much the
+/// compact event log perturbs the run it observes. The capture is gated
+/// first — the merged trace must replay through the deterministic model to
+/// the bit-identical [`cbh_model::ConsensusReport`]; an overhead number for
+/// an unfaithful capture would be meaningless — then plain and traced runs
+/// are timed in back-to-back pairs with the best of each side, so host load
+/// drift cancels out of the ratio (the same pairing the w1 spill slowdown
+/// uses, and for the same reason). Returns
+/// `(trace_frames, trace_bytes, trace_capture_overhead)`.
+fn trace_telemetry<P: Protocol>(
+    name: &str,
+    protocol: &P,
+    inputs: &[u64],
+    iters: usize,
+) -> (u64, u64, f64)
+where
+    P::Proc: Send + Sync,
+{
+    const THREAD_BUDGET: u64 = 200_000;
+    // Lockstep gate; doubles as the warm-up for the timed pairs below.
+    let outcome = run_threaded_traced(protocol, inputs, THREAD_BUDGET)
+        .unwrap_or_else(|e| panic!("{name}: traced threaded run errored: {e}"));
+    let replayed = replay_schedule(protocol, inputs, &outcome.trace.schedule())
+        .unwrap_or_else(|e| panic!("{name}: captured trace fails to replay: {e}"));
+    assert_eq!(
+        replayed, outcome.report,
+        "{name}: capture is not lockstep-faithful"
+    );
+    let trace_frames = outcome.trace.len() as u64;
+    let trace_bytes = outcome.trace.to_bytes().len() as u64;
+
+    let mut best_plain = f64::MAX;
+    let mut best_traced = f64::MAX;
+    for _ in 0..iters.max(5) {
+        let start = Instant::now();
+        run_threaded_bounded(protocol, inputs, THREAD_BUDGET)
+            .unwrap_or_else(|e| panic!("{name}: plain threaded run errored: {e}"));
+        best_plain = best_plain.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        run_threaded_traced(protocol, inputs, THREAD_BUDGET)
+            .unwrap_or_else(|e| panic!("{name}: traced threaded run errored: {e}"));
+        best_traced = best_traced.min(start.elapsed().as_secs_f64());
+    }
+    (trace_frames, trace_bytes, best_traced / best_plain)
 }
 
 fn bench_row<P: Protocol>(
@@ -305,6 +367,8 @@ where
     let (speedup_shards4_vs_1, frames_exchanged, frame_bytes, sharded) =
         sharded_cells(name, &protocol, inputs, limits, &packed, iters);
     cells.extend(sharded);
+    let (trace_frames, trace_bytes, trace_capture_overhead) =
+        trace_telemetry(name, &protocol, inputs, iters);
 
     RowReport {
         name,
@@ -321,6 +385,9 @@ where
         speedup_shards4_vs_1,
         frames_exchanged,
         frame_bytes,
+        trace_frames,
+        trace_bytes,
+        trace_capture_overhead,
         cells,
     }
 }
@@ -421,6 +488,8 @@ where
     let (speedup_shards4_vs_1, frames_exchanged, frame_bytes, sharded) =
         sharded_cells(name, &protocol, inputs, limits, &w1, iters);
     cells.extend(sharded);
+    let (trace_frames, trace_bytes, trace_capture_overhead) =
+        trace_telemetry(name, &protocol, inputs, iters);
 
     RowReport {
         name,
@@ -437,6 +506,9 @@ where
         speedup_shards4_vs_1,
         frames_exchanged,
         frame_bytes,
+        trace_frames,
+        trace_bytes,
+        trace_capture_overhead,
         cells,
     }
 }
@@ -468,7 +540,7 @@ fn write_ratio(out: &mut String, key: &str, value: f64) {
 
 fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"bench_explore/v6\",\n");
+    out.push_str("{\n  \"schema\": \"bench_explore/v7\",\n");
     // Hardware parallelism actually available to the run: throughput and
     // scaling numbers are meaningless without it (packed w8 on a 1-thread
     // host measures the scheduler, not the engine).
@@ -505,6 +577,9 @@ fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
         let _ = writeln!(out, "      \"checkpoint_ms\": {},", row.checkpoint_ms);
         let _ = writeln!(out, "      \"frames_exchanged\": {},", row.frames_exchanged);
         let _ = writeln!(out, "      \"frame_bytes\": {},", row.frame_bytes);
+        let _ = writeln!(out, "      \"trace_frames\": {},", row.trace_frames);
+        let _ = writeln!(out, "      \"trace_bytes\": {},", row.trace_bytes);
+        write_ratio(&mut out, "trace_capture_overhead", row.trace_capture_overhead);
         write_ratio(&mut out, "speedup_shards4_vs_1", row.speedup_shards4_vs_1);
         write_ratio(&mut out, "spill_slowdown_w1", row.spill_slowdown_w1);
         write_ratio(
@@ -546,11 +621,11 @@ fn render_json(rows: &[RowReport], hw_threads: usize) -> String {
 /// field fails CI's validation step instead of silently corrupting the
 /// accumulated throughput history.
 fn validate_schema(text: &str) -> Result<(), String> {
-    if !text.contains("\"schema\": \"bench_explore/v6\"") {
-        return Err("schema tag is not bench_explore/v6".to_string());
+    if !text.contains("\"schema\": \"bench_explore/v7\"") {
+        return Err("schema tag is not bench_explore/v7".to_string());
     }
     const TOP_KEYS: [&str; 3] = ["hw_threads", "worker_counts", "rows"];
-    const ROW_KEYS: [&str; 17] = [
+    const ROW_KEYS: [&str; 20] = [
         "name",
         "configs",
         "peak_resident_bytes",
@@ -563,6 +638,9 @@ fn validate_schema(text: &str) -> Result<(), String> {
         "checkpoint_ms",
         "frames_exchanged",
         "frame_bytes",
+        "trace_frames",
+        "trace_bytes",
+        "trace_capture_overhead",
         "speedup_shards4_vs_1",
         "spill_slowdown_w1",
         "speedup_packed_w8_vs_w1",
@@ -628,7 +706,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("--validate: cannot read {file}: {e}"));
         match validate_schema(&text) {
             Ok(()) => {
-                eprintln!("{file}: valid bench_explore/v6 artifact");
+                eprintln!("{file}: valid bench_explore/v7 artifact");
                 return;
             }
             Err(why) => {
@@ -675,7 +753,7 @@ fn main() {
     ];
 
     eprintln!(
-        "row                 configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8  spill-w1  slow  spilledKB  s4/s1"
+        "row                 configs  packed-w1   packed-w8   legacy-w1   legacy-w8  p/l @w8  spill-w1  slow  spilledKB  s4/s1  trace"
     );
     for row in &rows {
         let spill_cps = cps(row, "packed-spill", 1);
@@ -694,7 +772,7 @@ fn main() {
             "-".to_string()
         };
         eprintln!(
-            "{:<19} {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7} {:>9} {:>5} {:>9}  {:>5}",
+            "{:<19} {:>7}  {:>9}  {:>9}  {:>9}  {:>9}  {:>7} {:>9} {:>5} {:>9}  {:>5}  {:>5}",
             row.name,
             row.configs,
             fmt_cps(cps(row, "packed", 1)),
@@ -706,6 +784,7 @@ fn main() {
             slow_col,
             row.bytes_spilled / 1024,
             format!("{:.2}x", row.speedup_shards4_vs_1),
+            format!("{:.2}x", row.trace_capture_overhead),
         );
     }
 

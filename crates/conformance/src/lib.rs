@@ -19,7 +19,11 @@
 //!   replay through [`cbh_sim::ScriptedScheduler`];
 //! - [`faulty`] — deliberate fault injection (a decision-corrupting wrapper
 //!   protocol), proving the harness *catches* and *shrinks* real
-//!   divergences instead of vacuously passing.
+//!   divergences instead of vacuously passing;
+//! - [`trace`] — the trace-replay oracle: capture-enabled threaded runs
+//!   ([`cbh_sync::run_threaded_traced`]) whose merged event log is replayed
+//!   through the deterministic model and must agree in lockstep, with
+//!   divergences ddmin-shrunk to replayable schedules.
 //!
 //! Everything is deterministic in the master seed: a failing scenario in CI
 //! replays locally from the seed printed in its finding.
@@ -42,6 +46,7 @@ pub mod faulty;
 pub mod oracle;
 pub mod scenario;
 pub mod shrink;
+pub mod trace;
 
 pub use oracle::{
     run_scenario, run_suite, shard_backend_name, worker_backend_name, ConformanceConfig, Finding,
@@ -49,3 +54,4 @@ pub use oracle::{
 };
 pub use scenario::{Scenario, ScenarioGen};
 pub use shrink::{replay_violates, shrink_schedule, shrink_violation};
+pub use trace::{trace_decision_divergence, trace_divergence};

@@ -11,6 +11,7 @@
 //! | shard fan-out | sequential engine vs [`cbh_verify::dist::explore_sharded`] at [`ConformanceConfig::shards`] and double (CI pins `CONFORMANCE_SHARDS=2`) | outcome and semantic stats, bit for bit |
 //! | symmetry quotient | reduced 1 vs fan-out workers; reduced vs plain | reduced runs identical; verdict equal; reduced configs ≤ plain |
 //! | property checks | scripted replay, round-robin, seeded random, bounded threads | agreement + validity; `locations_touched` ≤ the row's exact Table 1 bound |
+//! | trace replay | capture-enabled threads vs the model replaying the captured linearization ([`crate::trace`]) | lockstep report equality (decisions, `steps`, locations), wire round-trip identity |
 //! | fault injection | honest vs [`FaultyDecider`](crate::faulty::FaultyDecider) scripted replay | decision vectors equal (divergence ⇒ finding + shrunken reproducer) |
 //!
 //! Any mismatch becomes a [`Finding`]; findings that carry a schedule
@@ -22,12 +23,12 @@
 use crate::scenario::{derive_inputs, derive_schedule, Scenario, ScenarioGen};
 use crate::shrink::{replay_violates, shrink_schedule, shrink_violation};
 use cbh_core::registry::{visit_row, RowSpec, RowVisitor};
-use cbh_model::{Protocol, Schedule};
+use cbh_model::{CompactTrace, Protocol, Schedule};
 use cbh_sim::{
     adversarial_then_solo, ConsensusReport, RandomScheduler, RoundRobinScheduler,
     ScriptedScheduler, SimError,
 };
-use cbh_sync::run_threaded_bounded;
+use cbh_sync::{run_threaded_bounded, run_threaded_traced};
 use cbh_verify::checker::{explore_stats, ExploreLimits, ExploreOutcome, Explorer, ExploreStats};
 use cbh_verify::dist::{explore_sharded, DistConfig};
 use cbh_verify::reference::reference_explore;
@@ -60,6 +61,14 @@ pub struct ConformanceConfig {
     /// Run the OS-thread backend (`true` everywhere except speed-sensitive
     /// inner loops of the harness's own tests).
     pub threaded: bool,
+    /// Run the capture-enabled thread backend (`CONFORMANCE_TRACE=1` in
+    /// CI's trace column): every scenario additionally runs on real threads
+    /// with the compact event log on, and the captured linearization is
+    /// replayed through the deterministic model, which must agree with the
+    /// physical run bit for bit — decisions, `steps`,
+    /// `locations_allocated`, `locations_touched` — with divergences
+    /// ddmin-shrunk to replayable schedules ([`crate::trace`]).
+    pub trace: bool,
     /// Worker count for the fan-out explorer backend diffed against the
     /// sequential engine (CI sweeps a `{1, 4, 8}` matrix via
     /// `CONFORMANCE_WORKERS`).
@@ -97,6 +106,7 @@ impl Default for ConformanceConfig {
             max_configs: 20_000,
             fault_injection: false,
             threaded: true,
+            trace: false,
             explorer_workers: 4,
             symmetry: true,
             memory_budget: None,
@@ -510,6 +520,55 @@ impl RowVisitor for OracleVisitor<'_> {
             }
         }
 
+        // -- trace capture & replay ---------------------------------------
+        if self.cfg.trace {
+            out.backends.push("threaded-trace");
+            match run_threaded_traced(&protocol, &inputs, THREAD_BUDGET) {
+                Ok(outcome) => {
+                    if let Err(violation) = outcome.report.check(&inputs) {
+                        out.findings.push(finding(
+                            "threaded-trace",
+                            format!("consensus violation: {violation}"),
+                            None,
+                        ));
+                    }
+                    if let Some(detail) = space_check(&outcome.report) {
+                        out.findings.push(finding("threaded-trace", detail, None));
+                    }
+                    // The capture must survive its own wire format...
+                    match CompactTrace::from_bytes(&outcome.trace.to_bytes()) {
+                        Ok(decoded) if decoded == outcome.trace => {}
+                        Ok(_) => out.findings.push(finding(
+                            "threaded-trace",
+                            "trace wire round-trip is not the identity".to_string(),
+                            None,
+                        )),
+                        Err(e) => out.findings.push(finding(
+                            "threaded-trace",
+                            format!("trace encoding does not decode: {e}"),
+                            None,
+                        )),
+                    }
+                    // ...and its replay must agree with the physical run in
+                    // lockstep: decisions, steps, locations.
+                    if let Some((detail, reproducer)) = crate::trace::trace_divergence(
+                        &protocol,
+                        &inputs,
+                        &outcome.trace,
+                        &outcome.report,
+                    ) {
+                        out.findings
+                            .push(finding("threaded-trace", detail, reproducer));
+                    }
+                }
+                Err(e) => out.findings.push(finding(
+                    "threaded-trace",
+                    format!("ModelError: {e}"),
+                    None,
+                )),
+            }
+        }
+
         // -- fault injection (control experiment) -------------------------
         if self.cfg.fault_injection {
             out.backends.push("faulty-replay");
@@ -651,6 +710,22 @@ mod tests {
         for backend in ["dist-s2", "dist-s4"] {
             assert!(outcome.backends.contains(&backend), "{backend} missing");
         }
+    }
+
+    #[test]
+    fn the_trace_backend_joins_the_matrix_when_configured() {
+        let cfg = ConformanceConfig {
+            trace: true,
+            ..ConformanceConfig::default()
+        };
+        let scenario = ScenarioGen::new(5).next_scenario();
+        let outcome = run_scenario(&scenario, &cfg);
+        assert!(outcome.findings.is_empty(), "{:#?}", outcome.findings);
+        assert!(
+            outcome.backends.contains(&"threaded-trace"),
+            "threaded-trace missing from {:?}",
+            outcome.backends
+        );
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! The trace-replay oracle: captured physical schedules vs the model.
+//!
+//! The `threaded-trace` backend runs a scenario on real OS threads with
+//! capture enabled ([`cbh_sync::run_threaded_traced`]), lowers the merged
+//! [`CompactTrace`] to a [`Schedule`], and replays it through the
+//! deterministic machine. The contract is *lockstep agreement*: the replay
+//! must reproduce the threaded run's decisions, `steps`,
+//! `locations_allocated` and `locations_touched` bit for bit — any gap means
+//! the threaded memory and the model have drifted (exactly the class of bug
+//! the PR that introduced this module fixed three of).
+//!
+//! Divergences are ddmin-shrunk like every other schedule-carrying finding.
+//! Shrinking cannot use raw report inequality as its predicate: a
+//! sub-schedule leaves processes undecided, which differs from the full
+//! threaded report almost always, so the minimizer would race to the empty
+//! schedule. [`trace_decision_divergence`] therefore replays candidate
+//! sub-schedules **with a solo finish** (`adversarial_then_solo`), mirroring
+//! [`crate::faulty::fault_diverges`]: the minimal reproducer is a genuine
+//! minimal interleaving after which the model, left alone, still commits to
+//! decisions the threads did not produce.
+
+use crate::shrink::shrink_schedule;
+use cbh_model::{CompactTrace, Protocol, Schedule};
+use cbh_sim::{adversarial_then_solo, replay_schedule, ConsensusReport, ScriptedScheduler};
+
+/// The shrinker's predicate, exported so tests can re-verify a shrunken
+/// reproducer against the **identical** criterion that minimized it: does
+/// replaying `schedule` and then letting every survivor finish solo commit
+/// the model to a decision vector other than `expected`?
+///
+/// Replay errors count as "no divergence" (`false`): trading a divergence
+/// finding for an error finding mid-shrink would swap bug classes.
+pub fn trace_decision_divergence<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    schedule: &[usize],
+    expected: &[Option<u64>],
+) -> bool {
+    adversarial_then_solo(
+        protocol,
+        inputs,
+        ScriptedScheduler::new(schedule.to_vec()),
+        schedule.len() as u64,
+        crate::oracle::SOLO_BUDGET,
+    )
+    .map(|r| r.decisions != expected)
+    .unwrap_or(false)
+}
+
+/// Diffs a threaded run against the replay of its own captured trace.
+///
+/// Returns `None` on lockstep agreement; otherwise a human-readable detail
+/// plus the best available reproducer:
+///
+/// - the replay *errors* → the schedule shrunk under "still errors";
+/// - the decision vectors genuinely diverge under solo-finish → the schedule
+///   ddmin-shrunk under [`trace_decision_divergence`];
+/// - only the counters (`steps`, locations) diverge → the full captured
+///   schedule verbatim (sub-schedules change counters trivially, so the
+///   complete capture *is* the minimal faithful witness).
+pub fn trace_divergence<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    trace: &CompactTrace,
+    threaded: &ConsensusReport,
+) -> Option<(String, Option<Schedule>)> {
+    let schedule = trace.schedule();
+    match replay_schedule(protocol, inputs, &schedule) {
+        Err(e) => {
+            let fails = |s: &[usize]| {
+                replay_schedule(protocol, inputs, &Schedule::new(s.iter().copied())).is_err()
+            };
+            Some((
+                format!("captured trace fails to replay: {e}"),
+                Some(Schedule::new(shrink_schedule(&schedule, fails))),
+            ))
+        }
+        Ok(ref replayed) if replayed == threaded => None,
+        Ok(replayed) => {
+            let detail = format!(
+                "threaded run {threaded:?} diverges from the replay of its own trace {replayed:?}"
+            );
+            let diverges = |s: &[usize]| {
+                trace_decision_divergence(protocol, inputs, s, &threaded.decisions)
+            };
+            let reproducer = if diverges(&schedule) {
+                Schedule::new(shrink_schedule(&schedule, diverges))
+            } else {
+                schedule
+            };
+            Some((detail, Some(reproducer)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbh_core::cas::CasConsensus;
+    use cbh_sync::run_threaded_traced;
+
+    #[test]
+    fn faithful_captures_raise_no_finding() {
+        let protocol = CasConsensus::new(3);
+        let inputs = [2, 0, 1];
+        let outcome = run_threaded_traced(&protocol, &inputs, 200_000).unwrap();
+        assert_eq!(
+            trace_divergence(&protocol, &inputs, &outcome.trace, &outcome.report),
+            None
+        );
+    }
+
+    #[test]
+    fn tampered_reports_are_caught_and_shrunk() {
+        let protocol = CasConsensus::new(3);
+        let inputs = [2, 0, 1];
+        let outcome = run_threaded_traced(&protocol, &inputs, 200_000).unwrap();
+        // Claim the threads decided something they did not: the replay of
+        // the genuine trace must contradict it.
+        let mut forged = outcome.report.clone();
+        let winner = forged.unanimous().expect("CAS consensus decides");
+        let imposter = (winner + 1) % protocol.domain();
+        forged.decisions = vec![Some(imposter); 3];
+        let (detail, reproducer) =
+            trace_divergence(&protocol, &inputs, &outcome.trace, &forged).expect("diverges");
+        assert!(detail.contains("diverges"), "{detail}");
+        let minimal = reproducer.expect("decision divergence carries a witness");
+        assert!(
+            trace_decision_divergence(&protocol, &inputs, &minimal, &forged.decisions),
+            "the shrunken schedule still witnesses the divergence"
+        );
+        // 1-minimal: dropping any single step loses the witness.
+        for i in 0..minimal.len() {
+            let mut shorter: Vec<usize> = minimal.to_vec();
+            shorter.remove(i);
+            assert!(
+                !trace_decision_divergence(&protocol, &inputs, &shorter, &forged.decisions),
+                "dropping step {i} should lose the divergence"
+            );
+        }
+    }
+}

@@ -52,6 +52,7 @@ mod memory;
 pub mod packed;
 mod process;
 mod schedule;
+pub mod trace;
 mod value;
 
 pub use cell::CellState;
@@ -70,6 +71,7 @@ pub use packed::frame::{
 pub use packed::{PackedCache, PackedCtx, PackedState, PackedStepOutcome, PackedUndo};
 pub use process::{Action, ConsensusInput, Process, Protocol};
 pub use schedule::{Schedule, ScheduleParseError};
+pub use trace::{CompactTrace, OpKind, TraceError, TraceFrame, TRACE_MAGIC, TRACE_VERSION};
 pub use value::Value;
 
 /// Result alias for fallible model operations.

@@ -125,6 +125,15 @@ impl MemorySpec {
             CellState::word(self.initial.get(loc).unwrap_or(&self.default).clone())
         }
     }
+
+    /// The cell a location beyond the initial allocation starts as — what
+    /// unbounded memories grow by. [`Memory`] and the threaded
+    /// `SharedMemory` backend must agree on this exactly, or their space
+    /// accounting and read results diverge on protocols with non-default
+    /// initial values.
+    pub fn grown_cell(&self) -> CellState {
+        self.cell_at(usize::MAX)
+    }
 }
 
 /// The shared memory of the machine.
@@ -154,7 +163,7 @@ impl Memory {
             spec_iset: spec.iset,
             growable: matches!(spec.locations, Locations::Unbounded),
             cells,
-            default_cell: spec.cell_at(usize::MAX),
+            default_cell: spec.grown_cell(),
             touched: 0,
         }
     }

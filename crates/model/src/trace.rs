@@ -1,0 +1,527 @@
+//! Compact execution traces captured from physically-scheduled runs.
+//!
+//! The real-thread backend (`cbh-sync`) observes a *physical* schedule: which
+//! thread's instruction entered which cell's critical section, in what global
+//! order. [`CompactTrace`] is the model-side value of that observation — a
+//! merged sequence of fixed-stride frames, one per applied instruction — with
+//! a binary wire format in the style of the workspace's other codecs (header
+//! magic + version, little-endian `u32` words, total decode with typed
+//! errors; compare [`crate::packed::frame`] and
+//! [`ScheduleParseError`](crate::ScheduleParseError)).
+//!
+//! The load-bearing property is *linearizability of the merged order*: each
+//! frame's sequence number is drawn from one global atomic counter **inside
+//! the critical section of the cell(s) the instruction targets**, so for any
+//! two instructions touching a common location, sequence order equals
+//! application order, and instructions on disjoint locations commute. The
+//! merged order is therefore a legal sequential execution of the run, and
+//! [`CompactTrace::schedule`] lowers it to the existing [`Schedule`] wire
+//! format so `cbh_sim::replay_schedule` re-executes it deterministically —
+//! the replay must reproduce the threaded run's decisions, step count and
+//! locations touched bit for bit.
+//!
+//! # Wire format
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "CBHT" (little-endian u32)
+//! 4       4     version (currently 1)
+//! 8       4     n       (process count)
+//! 12      4     frames  (frame count)
+//! 16      20×k  frames: k × { seq, pid, kind, loc, step } as u32 LE
+//! ```
+//!
+//! Frames are stored in merged (sequence) order, so a valid body has
+//! `seq == index` for every frame — the redundancy makes truncation and
+//! splicing detectable. `kind` is 0 for a single instruction, 1 for an
+//! atomic multiple assignment. `step` is the per-process step index
+//! (0, 1, 2, … for each pid independently), which pins program order.
+
+use crate::Schedule;
+use std::fmt;
+
+/// Wire magic: `"CBHT"` as a little-endian `u32`.
+pub const TRACE_MAGIC: u32 = u32::from_le_bytes(*b"CBHT");
+
+/// Current wire version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Words per frame on the wire (`seq, pid, kind, loc, step`).
+pub const TRACE_FRAME_WORDS: usize = 5;
+
+const HEADER_BYTES: usize = 16;
+const FRAME_BYTES: usize = TRACE_FRAME_WORDS * 4;
+
+/// What kind of atomic step a frame records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// One instruction on one location.
+    Single,
+    /// An atomic multiple assignment ([`crate::Op::MultiAssign`]); the
+    /// frame's `loc` is the first declared target (0 when empty).
+    MultiAssign,
+}
+
+impl OpKind {
+    fn to_wire(self) -> u32 {
+        match self {
+            OpKind::Single => 0,
+            OpKind::MultiAssign => 1,
+        }
+    }
+
+    fn from_wire(raw: u32) -> Option<Self> {
+        match raw {
+            0 => Some(OpKind::Single),
+            1 => Some(OpKind::MultiAssign),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Single => write!(f, "single"),
+            OpKind::MultiAssign => write!(f, "multi-assign"),
+        }
+    }
+}
+
+/// One applied instruction, as observed by the capture layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceFrame {
+    /// Global merge position: drawn inside the instruction's critical
+    /// section, so per-location sequence order is application order.
+    pub seq: u32,
+    /// The process that applied the instruction.
+    pub pid: u32,
+    /// Single instruction or multiple assignment.
+    pub kind: OpKind,
+    /// The targeted location (first declared target for a multi-assign).
+    pub loc: u32,
+    /// This process's step index (its `step`-th applied instruction).
+    pub step: u32,
+}
+
+/// Why a byte string is not a valid trace.
+///
+/// Decoding is *total*: every malformed input maps to one of these variants,
+/// never a panic — corrupt or truncated capture files are data, not bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Fewer bytes than the fixed header (or than the declared body needs).
+    Truncated {
+        /// Bytes a well-formed input of this shape requires.
+        needed: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The first word is not [`TRACE_MAGIC`].
+    BadMagic {
+        /// The word found instead.
+        found: u32,
+    },
+    /// A version this decoder does not speak.
+    UnsupportedVersion {
+        /// The version word found.
+        found: u32,
+    },
+    /// Bytes past the declared frame count — the signature of a splice.
+    TrailingBytes {
+        /// How many bytes are left over.
+        extra: usize,
+    },
+    /// A frame's kind word is neither single nor multi-assign.
+    BadKind {
+        /// Frame index.
+        at: usize,
+        /// The offending kind word.
+        kind: u32,
+    },
+    /// A frame names a process outside `0..n`.
+    PidOutOfRange {
+        /// Frame index.
+        at: usize,
+        /// The offending pid.
+        pid: u32,
+        /// The trace's process count.
+        n: u32,
+    },
+    /// A frame's sequence number is not its merge position: the body was
+    /// reordered, truncated mid-merge, or spliced.
+    NonContiguousSeq {
+        /// Frame index.
+        at: usize,
+        /// The sequence number found (a valid body has `seq == at`).
+        seq: u32,
+    },
+    /// A frame's per-process step index breaks that process's program order
+    /// (each pid's steps must read 0, 1, 2, … in merge order).
+    StepMismatch {
+        /// Frame index.
+        at: usize,
+        /// The process whose program order broke.
+        pid: u32,
+        /// The step index program order requires here.
+        expected: u32,
+        /// The step index found.
+        found: u32,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Truncated { needed, have } => {
+                write!(f, "trace truncated: {have} bytes, need {needed}")
+            }
+            TraceError::BadMagic { found } => {
+                write!(f, "not a trace: magic {found:#010x} != {TRACE_MAGIC:#010x}")
+            }
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace version {found} (speak {TRACE_VERSION})")
+            }
+            TraceError::TrailingBytes { extra } => {
+                write!(f, "{extra} bytes past the declared frame count")
+            }
+            TraceError::BadKind { at, kind } => {
+                write!(f, "frame {at}: unknown op kind {kind}")
+            }
+            TraceError::PidOutOfRange { at, pid, n } => {
+                write!(f, "frame {at}: pid {pid} out of range for n={n}")
+            }
+            TraceError::NonContiguousSeq { at, seq } => {
+                write!(f, "frame {at}: sequence number {seq} breaks merge order")
+            }
+            TraceError::StepMismatch {
+                at,
+                pid,
+                expected,
+                found,
+            } => write!(
+                f,
+                "frame {at}: pid {pid} step {found} breaks program order (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A merged, validated capture of one physically-scheduled run.
+///
+/// Construction ([`CompactTrace::from_frames`], [`CompactTrace::from_bytes`])
+/// enforces the invariants replay relies on: frames in gapless sequence
+/// order, every pid in range, every process's step indices contiguous from
+/// zero. A value of this type therefore always lowers to a replayable
+/// [`Schedule`].
+///
+/// # Examples
+///
+/// ```
+/// use cbh_model::trace::{CompactTrace, OpKind, TraceFrame};
+///
+/// let frames = vec![
+///     TraceFrame { seq: 0, pid: 1, kind: OpKind::Single, loc: 0, step: 0 },
+///     TraceFrame { seq: 1, pid: 0, kind: OpKind::Single, loc: 0, step: 0 },
+///     TraceFrame { seq: 2, pid: 1, kind: OpKind::Single, loc: 2, step: 1 },
+/// ];
+/// let trace = CompactTrace::from_frames(2, frames).unwrap();
+/// assert_eq!(trace.schedule().as_slice(), &[1, 0, 1]);
+/// let decoded = CompactTrace::from_bytes(&trace.to_bytes()).unwrap();
+/// assert_eq!(decoded, trace);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompactTrace {
+    n: u32,
+    frames: Vec<TraceFrame>,
+}
+
+impl CompactTrace {
+    /// Validates `frames` (already in merge order) as a trace of an
+    /// `n`-process run.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::NonContiguousSeq`], [`TraceError::PidOutOfRange`] or
+    /// [`TraceError::StepMismatch`] when the frames are not a gapless,
+    /// program-order-respecting merge.
+    pub fn from_frames(n: usize, frames: Vec<TraceFrame>) -> Result<Self, TraceError> {
+        let n = u32::try_from(n).map_err(|_| TraceError::PidOutOfRange {
+            at: 0,
+            pid: u32::MAX,
+            n: u32::MAX,
+        })?;
+        let mut per_pid_steps = vec![0u32; n as usize];
+        for (at, frame) in frames.iter().enumerate() {
+            if frame.seq as usize != at {
+                return Err(TraceError::NonContiguousSeq { at, seq: frame.seq });
+            }
+            if frame.pid >= n {
+                return Err(TraceError::PidOutOfRange {
+                    at,
+                    pid: frame.pid,
+                    n,
+                });
+            }
+            let expected = per_pid_steps[frame.pid as usize];
+            if frame.step != expected {
+                return Err(TraceError::StepMismatch {
+                    at,
+                    pid: frame.pid,
+                    expected,
+                    found: frame.step,
+                });
+            }
+            per_pid_steps[frame.pid as usize] += 1;
+        }
+        Ok(CompactTrace { n, frames })
+    }
+
+    /// The process count of the captured run.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The frames, in merge (sequence) order.
+    pub fn frames(&self) -> &[TraceFrame] {
+        &self.frames
+    }
+
+    /// Number of applied instructions in the capture.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when the run applied no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Lowers the merged order to the existing [`Schedule`] wire format: the
+    /// pid sequence, one entry per applied instruction. Replaying it through
+    /// `cbh_sim::replay_schedule` re-executes the captured linearization.
+    pub fn schedule(&self) -> Schedule {
+        Schedule::new(self.frames.iter().map(|f| f.pid as usize))
+    }
+
+    /// Encodes the trace in the wire format described at the module level.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.frames.len() * FRAME_BYTES);
+        for word in [
+            TRACE_MAGIC,
+            TRACE_VERSION,
+            self.n,
+            self.frames.len() as u32,
+        ] {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        for frame in &self.frames {
+            for word in [
+                frame.seq,
+                frame.pid,
+                frame.kind.to_wire(),
+                frame.loc,
+                frame.step,
+            ] {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes and validates a wire-format trace.
+    ///
+    /// Total: every malformed input yields a typed [`TraceError`]. The
+    /// declared frame count is checked against the actual byte length
+    /// *before* any allocation, so a corrupted count cannot balloon memory.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] variant; see each for the malformation it names.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        let word = |at: usize| -> u32 {
+            u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+        };
+        if bytes.len() < HEADER_BYTES {
+            return Err(TraceError::Truncated {
+                needed: HEADER_BYTES,
+                have: bytes.len(),
+            });
+        }
+        if word(0) != TRACE_MAGIC {
+            return Err(TraceError::BadMagic { found: word(0) });
+        }
+        if word(4) != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion { found: word(4) });
+        }
+        let n = word(8);
+        let count = word(12) as usize;
+        let needed = HEADER_BYTES + count.saturating_mul(FRAME_BYTES);
+        match bytes.len() {
+            have if have < needed => return Err(TraceError::Truncated { needed, have }),
+            have if have > needed => {
+                return Err(TraceError::TrailingBytes {
+                    extra: bytes.len() - needed,
+                })
+            }
+            _ => {}
+        }
+        let mut frames = Vec::with_capacity(count);
+        for at in 0..count {
+            let base = HEADER_BYTES + at * FRAME_BYTES;
+            let raw_kind = word(base + 8);
+            let kind = OpKind::from_wire(raw_kind)
+                .ok_or(TraceError::BadKind { at, kind: raw_kind })?;
+            frames.push(TraceFrame {
+                seq: word(base),
+                pid: word(base + 4),
+                kind,
+                loc: word(base + 12),
+                step: word(base + 16),
+            });
+        }
+        CompactTrace::from_frames(n as usize, frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompactTrace {
+        let frames = vec![
+            TraceFrame {
+                seq: 0,
+                pid: 0,
+                kind: OpKind::Single,
+                loc: 0,
+                step: 0,
+            },
+            TraceFrame {
+                seq: 1,
+                pid: 2,
+                kind: OpKind::MultiAssign,
+                loc: 1,
+                step: 0,
+            },
+            TraceFrame {
+                seq: 2,
+                pid: 0,
+                kind: OpKind::Single,
+                loc: 3,
+                step: 1,
+            },
+        ];
+        CompactTrace::from_frames(3, frames).unwrap()
+    }
+
+    #[test]
+    fn wire_format_round_trips() {
+        for trace in [sample(), CompactTrace::from_frames(2, Vec::new()).unwrap()] {
+            let bytes = trace.to_bytes();
+            assert_eq!(CompactTrace::from_bytes(&bytes).unwrap(), trace);
+        }
+    }
+
+    #[test]
+    fn schedule_lowering_is_the_pid_sequence() {
+        assert_eq!(sample().schedule().as_slice(), &[0, 2, 0]);
+        assert!(CompactTrace::from_frames(1, Vec::new())
+            .unwrap()
+            .schedule()
+            .is_empty());
+    }
+
+    #[test]
+    fn every_header_malformation_is_typed() {
+        let good = sample().to_bytes();
+        assert_eq!(
+            CompactTrace::from_bytes(&good[..7]),
+            Err(TraceError::Truncated { needed: 16, have: 7 })
+        );
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            CompactTrace::from_bytes(&bad),
+            Err(TraceError::BadMagic { .. })
+        ));
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert_eq!(
+            CompactTrace::from_bytes(&bad),
+            Err(TraceError::UnsupportedVersion { found: 9 })
+        );
+        // Body truncated mid-frame / extra bytes appended.
+        assert!(matches!(
+            CompactTrace::from_bytes(&good[..good.len() - 3]),
+            Err(TraceError::Truncated { .. })
+        ));
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(
+            CompactTrace::from_bytes(&long),
+            Err(TraceError::TrailingBytes { extra: 1 })
+        );
+        // A huge declared count on a short body reports Truncated without
+        // allocating for the phantom frames.
+        let mut bloated = good.clone();
+        bloated[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            CompactTrace::from_bytes(&bloated),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn body_invariants_are_enforced() {
+        let frame = |seq, pid, step| TraceFrame {
+            seq,
+            pid,
+            kind: OpKind::Single,
+            loc: 0,
+            step,
+        };
+        assert_eq!(
+            CompactTrace::from_frames(2, vec![frame(1, 0, 0)]),
+            Err(TraceError::NonContiguousSeq { at: 0, seq: 1 })
+        );
+        assert_eq!(
+            CompactTrace::from_frames(2, vec![frame(0, 2, 0)]),
+            Err(TraceError::PidOutOfRange { at: 0, pid: 2, n: 2 })
+        );
+        assert_eq!(
+            CompactTrace::from_frames(2, vec![frame(0, 1, 0), frame(1, 1, 2)]),
+            Err(TraceError::StepMismatch {
+                at: 1,
+                pid: 1,
+                expected: 1,
+                found: 2
+            })
+        );
+        // The same malformations are caught on the byte path too.
+        let tampered = {
+            let mut bytes = sample().to_bytes();
+            // Second frame's kind word → garbage.
+            bytes[16 + FRAME_BYTES + 8] = 7;
+            bytes
+        };
+        assert_eq!(
+            CompactTrace::from_bytes(&tampered),
+            Err(TraceError::BadKind { at: 1, kind: 7 })
+        );
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let err = TraceError::StepMismatch {
+            at: 4,
+            pid: 1,
+            expected: 2,
+            found: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("frame 4") && text.contains("pid 1"), "{text}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Low-perturbation event logging for the real-thread backend.
+//!
+//! Physical schedules are the one thing the deterministic backends cannot
+//! produce, and the easiest thing for an instrument to destroy: a shared
+//! log behind a lock would serialise the very contention we run real
+//! threads to observe. This module follows the ekotrace/RaceBuffer design
+//! instead — each thread appends fixed-stride frames to its **own**
+//! unshared [`ThreadLog`] (a plain `Vec` push: no locks, no cross-thread
+//! cache traffic), and the only shared state is one global `AtomicU64`
+//! sequence counter whose `fetch_add` happens *inside the critical section
+//! the instruction already holds*. The per-apply perturbation budget is
+//! therefore one uncontended-in-the-common-case atomic increment plus one
+//! thread-local push.
+//!
+//! Because the stamp is taken under the cell lock(s), any two instructions
+//! on a common location carry sequence numbers in their application order,
+//! and instructions on disjoint locations commute — so sorting all threads'
+//! frames by sequence number ([`merge_logs`]) yields a *linearization* of
+//! the run that [`cbh_model::CompactTrace`] validates and
+//! `cbh_sim::replay_schedule` re-executes deterministically. The replay
+//! must agree with the threaded run bit for bit; the conformance fuzzer's
+//! `threaded-trace` backend asserts exactly that on every scenario.
+
+use cbh_model::trace::{CompactTrace, OpKind, TraceError, TraceFrame};
+use cbh_sim::ConsensusReport;
+
+/// One thread's private, lock-free event log.
+///
+/// Created by the capture-enabled run loop and filled by
+/// [`SharedMemory::apply_logged`](crate::SharedMemory::apply_logged) — one
+/// frame per *successful* instruction application, stamped with the global
+/// merge sequence number drawn inside that instruction's critical section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadLog {
+    pid: u32,
+    frames: Vec<TraceFrame>,
+}
+
+impl ThreadLog {
+    /// An empty log for process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` exceeds `u32::MAX` — process counts are tiny.
+    pub fn new(pid: usize) -> Self {
+        ThreadLog {
+            pid: u32::try_from(pid).expect("pid fits the u32 wire format"),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Records one applied instruction. `seq` is the global stamp taken
+    /// inside the instruction's critical section; the per-thread step index
+    /// is implicit (this log's length so far).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` or `loc` exceed `u32::MAX`. Capture is bounded by
+    /// per-thread step budgets orders of magnitude below that, so this is
+    /// unreachable in practice — and decoding stays total regardless
+    /// ([`TraceError`] covers every malformed byte string).
+    pub fn record(&mut self, seq: u64, kind: OpKind, loc: usize) {
+        let step = u32::try_from(self.frames.len()).expect("step fits the u32 wire format");
+        self.frames.push(TraceFrame {
+            seq: u32::try_from(seq).expect("seq fits the u32 wire format"),
+            pid: self.pid,
+            kind,
+            loc: u32::try_from(loc).expect("loc fits the u32 wire format"),
+            step,
+        });
+    }
+
+    /// Frames recorded so far.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Merges per-thread logs into one validated [`CompactTrace`].
+///
+/// Sorting by the globally-unique sequence stamp recovers the linearization;
+/// [`CompactTrace::from_frames`] then re-checks every invariant replay
+/// relies on (gapless sequence numbers, pids in range, per-thread program
+/// order), so a capture bug surfaces here as a typed error instead of a
+/// baffling replay divergence downstream.
+///
+/// # Errors
+///
+/// Any [`TraceError`] from trace validation — impossible for logs produced
+/// by [`SharedMemory::apply_logged`](crate::SharedMemory::apply_logged), but
+/// checked rather than trusted.
+pub fn merge_logs(
+    n: usize,
+    logs: impl IntoIterator<Item = ThreadLog>,
+) -> Result<CompactTrace, TraceError> {
+    let mut frames: Vec<TraceFrame> = logs.into_iter().flat_map(|log| log.frames).collect();
+    frames.sort_unstable_by_key(|f| f.seq);
+    CompactTrace::from_frames(n, frames)
+}
+
+/// The result of a capture-enabled threaded run
+/// ([`run_threaded_traced`](crate::run_threaded_traced)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOutcome {
+    /// Decisions and space usage, in the same shape as the simulator's.
+    pub report: ConsensusReport,
+    /// The merged, validated capture; `trace.schedule()` replayed through
+    /// `cbh_sim::replay_schedule` must reproduce `report` exactly.
+    pub trace: CompactTrace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_recovers_the_interleaving_from_private_logs() {
+        let mut a = ThreadLog::new(0);
+        let mut b = ThreadLog::new(1);
+        a.record(0, OpKind::Single, 0);
+        b.record(1, OpKind::Single, 0);
+        a.record(2, OpKind::MultiAssign, 3);
+        let trace = merge_logs(2, [b, a]).unwrap();
+        assert_eq!(trace.schedule().as_slice(), &[0, 1, 0]);
+        assert_eq!(trace.frames()[2].kind, OpKind::MultiAssign);
+        assert_eq!(trace.frames()[2].step, 1, "per-thread step index");
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_logs() {
+        let mut a = ThreadLog::new(0);
+        a.record(1, OpKind::Single, 0); // stamp 0 missing: not a linearization
+        assert_eq!(
+            merge_logs(1, [a]),
+            Err(TraceError::NonContiguousSeq { at: 0, seq: 1 })
+        );
+    }
+}

@@ -9,6 +9,9 @@
 //! - [`run_threaded`] executes any [`Protocol`](cbh_model::Protocol) state
 //!   machine on real threads, with randomized backoff so obstruction-free
 //!   protocols terminate in practice;
+//! - [`run_threaded_traced`] additionally captures the physical schedule in
+//!   a low-perturbation per-thread event log ([`compact_log`]), merged into
+//!   a linearization the deterministic model replays bit-for-bit;
 //! - [`objects`] offers the paper's derived objects as ordinary, directly
 //!   usable concurrent types: max-registers, `ℓ`-buffers, history objects
 //!   (Lemma 6.1), single-writer register arrays (Lemma 6.2) and `m`-component
@@ -28,8 +31,12 @@
 //! assert!(outcome.report.unanimous().is_some());
 //! ```
 
+pub mod compact_log;
 pub mod memory;
 pub mod objects;
 pub mod universal;
 
-pub use memory::{run_threaded, run_threaded_bounded, SharedMemory, ThreadOutcome};
+pub use compact_log::{merge_logs, ThreadLog, TraceOutcome};
+pub use memory::{
+    run_threaded, run_threaded_bounded, run_threaded_traced, SharedMemory, ThreadOutcome,
+};

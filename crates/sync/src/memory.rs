@@ -1,9 +1,13 @@
 //! Real-thread execution of protocol state machines.
 
-use cbh_model::{Action, CellState, MemorySpec, ModelError, Op, Process, Protocol, Value};
+use crate::compact_log::{merge_logs, ThreadLog, TraceOutcome};
+use cbh_model::trace::{CompactTrace, OpKind};
+use cbh_model::{
+    Action, CellState, Instruction, MemorySpec, ModelError, Op, Process, Protocol, Value,
+};
 use cbh_sim::ConsensusReport;
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A thread-safe shared memory implementing the model's atomic instructions.
@@ -13,12 +17,22 @@ use std::sync::Arc;
 /// read-modify-write instructions. Multiple assignment locks its target
 /// locations in ascending order (two-phase), so it is atomic and
 /// deadlock-free.
+///
+/// Every *successful* application is stamped with a globally-unique
+/// sequence number drawn inside the critical section, so capture-enabled
+/// runs ([`run_threaded_traced`]) can merge per-thread logs into a
+/// linearization of the physical schedule (see [`crate::compact_log`]).
 pub struct SharedMemory {
     spec: MemorySpec,
     cells: RwLock<Vec<Arc<Mutex<CellState>>>>,
     growable: bool,
+    /// What a location past the initial allocation starts as — taken from
+    /// the spec so growth agrees with [`cbh_model::Memory`] exactly, default
+    /// values and buffer capacities included.
+    default_cell: CellState,
     touched: AtomicUsize,
     steps: AtomicU64,
+    seq: AtomicU64,
 }
 
 impl SharedMemory {
@@ -33,8 +47,10 @@ impl SharedMemory {
             spec: spec.clone(),
             cells: RwLock::new(cells),
             growable: spec.bounded_len().is_none(),
+            default_cell: spec.grown_cell(),
             touched: AtomicUsize::new(0),
             steps: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
         }
     }
 
@@ -43,7 +59,7 @@ impl SharedMemory {
         self.touched.load(Ordering::Relaxed)
     }
 
-    /// Total instructions applied.
+    /// Total instructions successfully applied.
     pub fn steps(&self) -> u64 {
         self.steps.load(Ordering::Relaxed)
     }
@@ -63,25 +79,13 @@ impl SharedMemory {
         }
         let mut cells = self.cells.write();
         while cells.len() <= loc {
-            let i = cells.len();
-            let fresh = cbh_model::Memory::new(
-                &MemorySpec::unbounded(self.spec.iset()).with_default(Value::zero()),
-            );
-            let _ = fresh; // template only; build the default cell directly
-            let cell = if let Some(cap) = self.spec.iset().buffer_capacity() {
-                CellState::buffer(cap)
-            } else {
-                CellState::word(Value::zero())
-            };
-            let _ = i;
-            cells.push(Arc::new(Mutex::new(cell)));
+            cells.push(Arc::new(Mutex::new(self.default_cell.clone())));
         }
         Ok(Arc::clone(&cells[loc]))
     }
 
-    fn note(&self, loc: usize) {
+    fn touch(&self, loc: usize) {
         self.touched.fetch_max(loc + 1, Ordering::Relaxed);
-        self.steps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Applies one atomic step.
@@ -90,19 +94,60 @@ impl SharedMemory {
     ///
     /// Same error conditions as [`cbh_model::Memory::apply`].
     pub fn apply(&self, op: &Op) -> Result<Value, ModelError> {
+        self.apply_inner(op, None)
+    }
+
+    /// [`SharedMemory::apply`] with capture: a successful application also
+    /// appends one frame to `log`, stamped inside the critical section.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`SharedMemory::apply`]; a failed step
+    /// records nothing.
+    pub fn apply_logged(&self, op: &Op, log: &mut ThreadLog) -> Result<Value, ModelError> {
+        self.apply_inner(op, Some(log))
+    }
+
+    fn apply_inner(&self, op: &Op, log: Option<&mut ThreadLog>) -> Result<Value, ModelError> {
         match op {
             Op::Single { loc, instr } => {
                 self.spec.iset().check(instr)?;
                 let cell = self.cell(*loc)?;
-                self.note(*loc);
                 let mut guard = cell.lock();
-                guard.apply(instr)
+                let result = guard.apply(instr)?;
+                // Stamp inside the critical section: per-location sequence
+                // order equals application order, which is what makes the
+                // merged log a linearization.
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                if let Some(log) = log {
+                    log.record(seq, OpKind::Single, *loc);
+                }
+                drop(guard);
+                // Only successful applications count: a rejected instruction
+                // is not a step of the run and must not inflate the space
+                // measure (the model's report semantics).
+                self.touch(*loc);
+                self.steps.fetch_add(1, Ordering::Relaxed);
+                Ok(result)
             }
             Op::MultiAssign(writes) => {
                 for (i, (loc, _)) in writes.iter().enumerate() {
                     if writes[..i].iter().any(|(l, _)| l == loc) {
                         return Err(ModelError::DuplicateMultiAssignTarget { loc: *loc });
                     }
+                }
+                // Validate every target before mutating anything, in
+                // declaration order, exactly as `cbh_model::Memory::apply`
+                // does: a multiple assignment is only as uniform as the
+                // write instruction it expands to.
+                for (loc, v) in writes.iter() {
+                    let probe = if self.spec.iset().buffer_capacity().is_some() {
+                        Instruction::BufferWrite(v.clone())
+                    } else {
+                        Instruction::Write(v.clone())
+                    };
+                    self.spec.iset().check(&probe)?;
+                    self.cell(*loc)?;
                 }
                 let mut sorted: Vec<(usize, &Value)> =
                     writes.iter().map(|(l, v)| (*l, v)).collect();
@@ -116,9 +161,22 @@ impl SharedMemory {
                 for ((_, v), guard) in cells.iter().zip(guards.iter_mut()) {
                     guard.multi_assign_write((*v).clone());
                 }
-                for (l, _) in &sorted {
-                    self.note(*l);
+                // One stamp for the whole assignment — it is one atomic step.
+                // The frame's location is the first declared target (0 when
+                // the write list is empty).
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                if let Some(log) = log {
+                    log.record(
+                        seq,
+                        OpKind::MultiAssign,
+                        writes.first().map_or(0, |(l, _)| *l),
+                    );
                 }
+                drop(guards);
+                for (l, _) in &sorted {
+                    self.touch(*l);
+                }
+                self.steps.fetch_add(1, Ordering::Relaxed);
                 Ok(Value::Bot)
             }
         }
@@ -141,8 +199,8 @@ pub struct ThreadOutcome {
 ///
 /// # Errors
 ///
-/// Returns the first [`ModelError`] any thread hits (the error aborts that
-/// thread; others finish or exhaust their step caps).
+/// Returns the first [`ModelError`] any thread hits (the error halts the
+/// whole run via a shared flag; siblings stop at their next step).
 ///
 /// # Panics
 ///
@@ -181,57 +239,124 @@ where
     P: Protocol,
     P::Proc: Send,
 {
+    let (report, _) = run_threads(protocol, inputs, max_steps, false)?;
+    Ok(ThreadOutcome { report })
+}
+
+/// [`run_threaded_bounded`] with trace capture: every thread keeps a private
+/// [`ThreadLog`] of its successful applications, merged afterwards into a
+/// [`CompactTrace`] linearization of the physical schedule.
+///
+/// The contract the conformance fuzzer enforces on every scenario:
+/// `cbh_sim::replay_schedule(protocol, inputs, &outcome.trace.schedule())`
+/// reproduces `outcome.report` — decisions, `steps`, `locations_allocated`
+/// and `locations_touched` — bit for bit.
+///
+/// # Errors
+///
+/// Returns the first [`ModelError`] any thread hits (no trace is produced
+/// for an erroring run).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != protocol.n()`.
+pub fn run_threaded_traced<P>(
+    protocol: &P,
+    inputs: &[u64],
+    max_steps: u64,
+) -> Result<TraceOutcome, ModelError>
+where
+    P: Protocol,
+    P::Proc: Send,
+{
+    let (report, trace) = run_threads(protocol, inputs, max_steps, true)?;
+    Ok(TraceOutcome {
+        report,
+        trace: trace.expect("traced run produces a trace"),
+    })
+}
+
+/// Shared engine behind the `run_threaded*` entry points.
+fn run_threads<P>(
+    protocol: &P,
+    inputs: &[u64],
+    max_steps: u64,
+    traced: bool,
+) -> Result<(ConsensusReport, Option<CompactTrace>), ModelError>
+where
+    P: Protocol,
+    P::Proc: Send,
+{
     assert_eq!(inputs.len(), protocol.n(), "one input per process");
     let memory = SharedMemory::new(&protocol.memory_spec());
     let decisions: Vec<Mutex<Option<u64>>> = (0..protocol.n()).map(|_| Mutex::new(None)).collect();
     let error: Mutex<Option<ModelError>> = Mutex::new(None);
+    let halt = AtomicBool::new(false);
 
-    std::thread::scope(|scope| {
-        for (pid, &input) in inputs.iter().enumerate() {
-            let mut proc = protocol.spawn(pid, input);
-            let memory = &memory;
-            let decisions = &decisions;
-            let error = &error;
-            scope.spawn(move || {
-                let mut since_backoff: u32 = 0;
-                let mut window_us: u64 = 1;
-                let mut taken: u64 = 0;
-                loop {
-                    match proc.action() {
-                        Action::Decide(v) => {
-                            *decisions[pid].lock() = Some(v);
-                            return;
+    let logs: Vec<Option<ThreadLog>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(pid, &input)| {
+                let mut proc = protocol.spawn(pid, input);
+                let memory = &memory;
+                let decisions = &decisions;
+                let error = &error;
+                let halt = &halt;
+                scope.spawn(move || {
+                    let mut log = traced.then(|| ThreadLog::new(pid));
+                    let mut since_backoff: u32 = 0;
+                    let mut window_us: u64 = 1;
+                    let mut taken: u64 = 0;
+                    loop {
+                        // A sibling's ModelError poisons the whole run:
+                        // stop at the next step instead of burning the
+                        // remaining budget on a result nobody will read.
+                        if halt.load(Ordering::Relaxed) {
+                            return log;
                         }
-                        Action::Invoke(_) if taken >= max_steps => return,
-                        Action::Invoke(op) => match memory.apply(&op) {
-                            Ok(result) => {
-                                taken += 1;
-                                proc.absorb(result);
+                        match proc.action() {
+                            Action::Decide(v) => {
+                                *decisions[pid].lock() = Some(v);
+                                return log;
                             }
-                            Err(e) => {
-                                let mut slot = error.lock();
-                                if slot.is_none() {
-                                    *slot = Some(e);
+                            Action::Invoke(_) if taken >= max_steps => return log,
+                            Action::Invoke(op) => match memory.apply_inner(&op, log.as_mut()) {
+                                Ok(result) => {
+                                    taken += 1;
+                                    proc.absorb(result);
                                 }
-                                return;
-                            }
-                        },
+                                Err(e) => {
+                                    let mut slot = error.lock();
+                                    if slot.is_none() {
+                                        *slot = Some(e);
+                                    }
+                                    halt.store(true, Ordering::Relaxed);
+                                    return log;
+                                }
+                            },
+                        }
+                        since_backoff += 1;
+                        if since_backoff > 256 {
+                            // A long undecided stretch means heavy contention:
+                            // back off for a pseudo-random, growing interval so
+                            // somebody gets an effectively-solo window.
+                            since_backoff = 0;
+                            let jitter =
+                                (pid as u64 + 1).wrapping_mul(0x9E37_79B9) % window_us.max(1);
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                window_us + jitter,
+                            ));
+                            window_us = (window_us * 2).min(2_000);
+                        }
                     }
-                    since_backoff += 1;
-                    if since_backoff > 256 {
-                        // A long undecided stretch means heavy contention:
-                        // back off for a pseudo-random, growing interval so
-                        // somebody gets an effectively-solo window.
-                        since_backoff = 0;
-                        let jitter = (pid as u64 + 1).wrapping_mul(0x9E37_79B9) % window_us.max(1);
-                        std::thread::sleep(std::time::Duration::from_micros(
-                            window_us + jitter,
-                        ));
-                        window_us = (window_us * 2).min(2_000);
-                    }
-                }
-            });
-        }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     });
 
     if let Some(e) = error.into_inner() {
@@ -239,14 +364,21 @@ where
     }
     let decided: Vec<Option<u64>> = decisions.iter().map(|d| *d.lock()).collect();
     let locations_allocated = memory.cells.read().len();
-    Ok(ThreadOutcome {
-        report: ConsensusReport {
-            decisions: decided,
-            steps: memory.steps(),
-            locations_allocated,
-            locations_touched: memory.touched(),
-        },
-    })
+    let report = ConsensusReport {
+        decisions: decided,
+        steps: memory.steps(),
+        locations_allocated,
+        locations_touched: memory.touched(),
+    };
+    let trace = if traced {
+        Some(
+            merge_logs(protocol.n(), logs.into_iter().flatten())
+                .expect("logs stamped under the cell locks merge into a valid trace"),
+        )
+    } else {
+        None
+    };
+    Ok((report, trace))
 }
 
 #[cfg(test)]
@@ -260,6 +392,7 @@ mod tests {
     use cbh_core::tracks::track_consensus;
     use cbh_core::util::BitWrite;
     use cbh_model::{Instruction, InstructionSet};
+    use std::hash::{Hash, Hasher};
 
     #[test]
     fn shared_memory_applies_instructions_atomically() {
@@ -285,6 +418,33 @@ mod tests {
     fn shared_memory_rejects_uniformity_violations() {
         let mem = SharedMemory::new(&MemorySpec::bounded(InstructionSet::MaxRegister, 1));
         assert!(mem.apply(&Op::read(0)).is_err());
+        // A rejected instruction is not a step of the run: the counters the
+        // ConsensusReport is built from must stay untouched.
+        assert_eq!(mem.steps(), 0, "failed ops do not count as steps");
+        assert_eq!(mem.touched(), 0, "failed ops do not touch locations");
+    }
+
+    #[test]
+    fn out_of_bounds_ops_leave_the_counters_untouched() {
+        let mem = SharedMemory::new(&MemorySpec::bounded(InstructionSet::ReadWrite, 1));
+        assert!(mem.apply(&Op::read(5)).is_err());
+        assert_eq!((mem.steps(), mem.touched()), (0, 0));
+    }
+
+    #[test]
+    fn grown_cells_start_from_the_specs_default() {
+        // An unbounded memory with a non-zero default: location 5 has never
+        // been written, so reading it must observe the spec's default — in
+        // the threaded backend exactly as in the model.
+        let spec = MemorySpec::unbounded(InstructionSet::ReadWrite).with_default(Value::int(7));
+        let mem = SharedMemory::new(&spec);
+        assert_eq!(mem.apply(&Op::read(5)).unwrap(), Value::int(7));
+        let mut model = cbh_model::Memory::new(&spec);
+        assert_eq!(
+            model.apply(&Op::read(5)).unwrap(),
+            Value::int(7),
+            "threaded growth matches the model"
+        );
     }
 
     #[test]
@@ -308,6 +468,105 @@ mod tests {
         let a = mem.apply(&Op::read(0)).unwrap();
         let b = mem.apply(&Op::read(1)).unwrap();
         assert_eq!(a, b, "atomic multiple assignment never tears");
+    }
+
+    #[test]
+    fn multi_assign_counts_one_step_and_validates_the_iset() {
+        // One atomic multiple assignment is ONE step of the run (the
+        // simulator's Machine counts it that way), touching every target.
+        let mem = SharedMemory::new(&MemorySpec::bounded(InstructionSet::ReadWrite, 3));
+        mem.apply(&Op::multi_assign([(0, Value::int(1)), (2, Value::int(2))]))
+            .unwrap();
+        assert_eq!(mem.steps(), 1, "one step per op, not one per location");
+        assert_eq!(mem.touched(), 3);
+
+        // And it is only as uniform as the write it expands to: a set
+        // without write() must reject it with the model's exact error.
+        let spec = MemorySpec::bounded(InstructionSet::ReadTas, 2);
+        let mem = SharedMemory::new(&spec);
+        let op = Op::multi_assign([(0, Value::int(1))]);
+        let threaded_err = mem.apply(&op).unwrap_err();
+        let model_err = cbh_model::Memory::new(&spec).apply(&op).unwrap_err();
+        assert_eq!(threaded_err, model_err);
+        assert_eq!((mem.steps(), mem.touched()), (0, 0));
+    }
+
+    /// A protocol whose pid 0 violates uniformity on its first step while
+    /// every other process spins forever on reads, counting its spins in a
+    /// shared counter. Used to pin prompt halting on error.
+    #[derive(Clone, Debug)]
+    struct Spinner {
+        pid: usize,
+        spins: Arc<AtomicU64>,
+    }
+
+    // The spin counter is instrumentation, not semantic state.
+    impl PartialEq for Spinner {
+        fn eq(&self, other: &Self) -> bool {
+            self.pid == other.pid
+        }
+    }
+    impl Eq for Spinner {}
+    impl Hash for Spinner {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            self.pid.hash(state);
+        }
+    }
+
+    impl Process for Spinner {
+        fn action(&self) -> Action {
+            if self.pid == 0 {
+                // Not in ReadWrite: the first apply errors.
+                Action::Invoke(Op::single(0, Instruction::TestAndSet))
+            } else {
+                Action::Invoke(Op::read(0))
+            }
+        }
+        fn absorb(&mut self, _result: Value) {
+            self.spins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    struct SpinnerProtocol {
+        spins: Arc<AtomicU64>,
+    }
+
+    impl Protocol for SpinnerProtocol {
+        type Proc = Spinner;
+        fn name(&self) -> String {
+            "halt-spinner".into()
+        }
+        fn n(&self) -> usize {
+            3
+        }
+        fn domain(&self) -> u64 {
+            2
+        }
+        fn memory_spec(&self) -> MemorySpec {
+            MemorySpec::bounded(InstructionSet::ReadWrite, 1)
+        }
+        fn spawn(&self, pid: usize, _input: u64) -> Spinner {
+            Spinner {
+                pid,
+                spins: Arc::clone(&self.spins),
+            }
+        }
+    }
+
+    #[test]
+    fn a_model_error_halts_sibling_threads_promptly() {
+        let spins = Arc::new(AtomicU64::new(0));
+        let protocol = SpinnerProtocol {
+            spins: Arc::clone(&spins),
+        };
+        let result = run_threaded_bounded(&protocol, &[0, 0, 0], 200_000);
+        assert!(result.is_err(), "pid 0's uniformity violation aborts the run");
+        // Without the halt flag the two spinners would burn their entire
+        // budgets (400_000 spins total); with it they stop within the
+        // error's propagation latency — backoff sleeps bound the worst case
+        // well under half a budget.
+        let total = spins.load(Ordering::Relaxed);
+        assert!(total < 100_000, "siblings halted promptly (spins = {total})");
     }
 
     fn check_threaded<P>(protocol: P, inputs: &[u64])
@@ -335,6 +594,32 @@ mod tests {
         let outcome = run_threaded_bounded(&MaxRegConsensus::new(3), &[2, 0, 1], 100_000).unwrap();
         outcome.report.check(&[2, 0, 1]).unwrap();
         assert!(outcome.report.unanimous().is_some());
+    }
+
+    #[test]
+    fn captured_traces_replay_to_the_identical_report() {
+        let protocol = CasConsensus::new(4);
+        let inputs = [3, 1, 0, 2];
+        let outcome = run_threaded_traced(&protocol, &inputs, 200_000).unwrap();
+        assert_eq!(outcome.trace.n(), 4);
+        assert_eq!(outcome.trace.len() as u64, outcome.report.steps);
+        let replayed =
+            cbh_sim::replay_schedule(&protocol, &inputs, &outcome.trace.schedule()).unwrap();
+        assert_eq!(replayed, outcome.report, "replay is lockstep-identical");
+        // And the capture survives its wire format.
+        let bytes = outcome.trace.to_bytes();
+        assert_eq!(CompactTrace::from_bytes(&bytes).unwrap(), outcome.trace);
+    }
+
+    #[test]
+    fn traced_and_plain_runs_share_semantics() {
+        // Same protocol, same inputs: capture must not change what the run
+        // computes (decisions may differ — schedules are physical — but both
+        // must pass the consensus checks).
+        let inputs = [5, 0, 3, 3, 1, 2];
+        let traced = run_threaded_traced(&MaxRegConsensus::new(6), &inputs, 200_000).unwrap();
+        traced.report.check(&inputs).unwrap();
+        assert!(traced.report.unanimous().is_some());
     }
 
     #[test]

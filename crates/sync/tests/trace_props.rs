@@ -1,0 +1,123 @@
+//! Property tests for trace capture & replay.
+//!
+//! Two guarantees, fuzzed over the whole Table-1 registry:
+//!
+//! 1. **Lockstep replay** — a capture-enabled threaded run of any registry
+//!    row on random inputs yields a trace whose replay through
+//!    `cbh_sim::replay_schedule` reproduces the physical run's
+//!    [`ConsensusReport`] bit for bit (and the capture survives its wire
+//!    format unchanged).
+//! 2. **Total decode** — arbitrarily corrupted or truncated trace bytes
+//!    decode to a typed [`TraceError`], never a panic: capture files are
+//!    data, not trusted input.
+
+use cbh_core::registry::{all_rows, visit_row, RowSpec, RowVisitor};
+use cbh_model::trace::{CompactTrace, OpKind, TraceFrame};
+use cbh_model::Protocol;
+use cbh_sync::run_threaded_traced;
+use proptest::prelude::*;
+
+/// splitmix64-style input derivation: deterministic in (seed, pid).
+fn derive_input(seed: u64, pid: usize, domain: u64) -> u64 {
+    let mut x = seed ^ (pid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 29;
+    x % domain.max(1)
+}
+
+struct LockstepCheck {
+    seed: u64,
+}
+
+impl RowVisitor for LockstepCheck {
+    type Output = ();
+
+    fn visit<P>(&mut self, spec: &RowSpec, protocol: P)
+    where
+        P: Protocol,
+        P::Proc: Send + Sync,
+    {
+        let inputs: Vec<u64> = (0..protocol.n())
+            .map(|pid| derive_input(self.seed, pid, protocol.domain()))
+            .collect();
+        let outcome = run_threaded_traced(&protocol, &inputs, 200_000)
+            .unwrap_or_else(|e| panic!("row {} errored: {e}", spec.id));
+        assert_eq!(
+            outcome.trace.len() as u64,
+            outcome.report.steps,
+            "row {}: one frame per applied instruction",
+            spec.id
+        );
+        let replayed = cbh_sim::replay_schedule(&protocol, &inputs, &outcome.trace.schedule())
+            .unwrap_or_else(|e| panic!("row {}: captured trace fails to replay: {e}", spec.id));
+        assert_eq!(
+            replayed, outcome.report,
+            "row {}: replay of the captured linearization must be lockstep-identical",
+            spec.id
+        );
+        let decoded = CompactTrace::from_bytes(&outcome.trace.to_bytes())
+            .unwrap_or_else(|e| panic!("row {}: wire round-trip failed: {e}", spec.id));
+        assert_eq!(decoded, outcome.trace, "row {}: wire identity", spec.id);
+    }
+}
+
+proptest! {
+    #[test]
+    fn captured_traces_replay_lockstep_on_every_row(
+        row_pick in 0usize..64,
+        extra_n in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let rows = all_rows();
+        let spec = &rows[row_pick % rows.len()];
+        let n = spec.min_n + extra_n;
+        visit_row(spec.id, n, &mut LockstepCheck { seed })
+            .expect("registry row exists");
+    }
+
+    #[test]
+    fn corrupt_trace_bytes_decode_to_typed_errors(
+        pids in proptest::collection::vec(0u32..4, 0..48),
+        locs in proptest::collection::vec(0u32..8, 48),
+        kinds in proptest::collection::vec(0u32..2, 48),
+        cut in any::<u16>(),
+        flip_at in any::<u16>(),
+        flip_bits in 1u8..=255,
+    ) {
+        // Assemble a valid trace from a random interleaving...
+        let mut per_pid = [0u32; 4];
+        let frames: Vec<TraceFrame> = pids
+            .iter()
+            .enumerate()
+            .map(|(i, &pid)| {
+                let step = per_pid[pid as usize];
+                per_pid[pid as usize] += 1;
+                TraceFrame {
+                    seq: i as u32,
+                    pid,
+                    kind: if kinds[i] == 0 { OpKind::Single } else { OpKind::MultiAssign },
+                    loc: locs[i],
+                    step,
+                }
+            })
+            .collect();
+        let trace = CompactTrace::from_frames(4, frames).expect("constructed valid");
+        let bytes = trace.to_bytes();
+
+        // ...then attack it: truncate anywhere, or flip bits anywhere.
+        let truncated = &bytes[..(cut as usize) % (bytes.len() + 1)];
+        if truncated.len() < bytes.len() {
+            prop_assert!(
+                CompactTrace::from_bytes(truncated).is_err(),
+                "a strict prefix can never be a valid trace"
+            );
+        }
+        let mut flipped = bytes.clone();
+        let at = (flip_at as usize) % flipped.len();
+        flipped[at] ^= flip_bits;
+        // Flips may or may not land on validated fields; the only contract
+        // is totality — Ok or a typed error, never a panic.
+        let _ = CompactTrace::from_bytes(&flipped);
+    }
+}

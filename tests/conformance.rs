@@ -28,19 +28,28 @@
 //! - `CONFORMANCE_SHARDS` — base shard count for the distributed backend
 //!   (default 0 = off; CI's column pins 2): every scenario additionally runs
 //!   `explore_sharded` at this count *and* its double, diffed bit for bit
-//!   against the sequential engine.
+//!   against the sequential engine;
+//! - `CONFORMANCE_TRACE` — `1` adds the trace capture & replay backend
+//!   (CI's trace column): every scenario runs on real threads with the
+//!   compact event log enabled, and the captured linearization replayed
+//!   through the deterministic model must reproduce the physical run's
+//!   report bit for bit, with divergences ddmin-shrunk.
 //!
 //! Every run is a pure function of these.
 
 use proptest::prelude::*;
 use space_hierarchy::conformance::{
-    faulty::fault_diverges, run_suite, ConformanceConfig, Scenario, ScenarioGen,
+    faulty::fault_diverges,
+    run_suite,
+    trace::{trace_decision_divergence, trace_divergence},
+    ConformanceConfig, Scenario, ScenarioGen,
 };
 use space_hierarchy::model::{Protocol, Schedule};
 use space_hierarchy::protocols::maxreg::MaxRegConsensus;
 use space_hierarchy::protocols::registry::{self, RowSpec, RowVisitor};
 use space_hierarchy::protocols::swap::SwapConsensus;
 use space_hierarchy::sim::{replay_schedule, Machine, StepUndo};
+use space_hierarchy::sync::run_threaded_traced;
 use space_hierarchy::verify::checker::{
     explore, zobrist_fingerprint, zobrist_step, ExploreLimits, ExploreOutcome,
 };
@@ -70,6 +79,7 @@ fn suite_config() -> ConformanceConfig {
             .and_then(|v| v.parse::<usize>().ok()),
         resume: env_u64("CONFORMANCE_RESUME", 0) != 0,
         shards: env_u64("CONFORMANCE_SHARDS", 0) as usize,
+        trace: env_u64("CONFORMANCE_TRACE", 0) != 0,
         ..defaults
     }
 }
@@ -106,6 +116,9 @@ fn differential_suite_is_clean_and_covers_the_table() {
     }
     if cfg.resume {
         expected.push("explore-resume");
+    }
+    if cfg.trace {
+        expected.push("threaded-trace");
     }
     if cfg.shards > 0 {
         expected.push(space_hierarchy::conformance::shard_backend_name(cfg.shards));
@@ -237,6 +250,84 @@ fn injected_fault_is_caught_and_shrunk_to_minimal_reproducers() {
         };
         registry::visit_row(finding.scenario.row, finding.scenario.n, &mut verify)
             .expect("finding cites a registered row");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace capture & replay: lockstep on every row, tampering caught and shrunk
+// ---------------------------------------------------------------------------
+
+/// Runs one registry row with capture enabled and checks both directions of
+/// the trace oracle: a faithful capture replays in lockstep (no finding),
+/// and a forged decision vector is contradicted by the trace's own replay,
+/// with the divergence shrunk to a 1-minimal, wire-stable reproducer. Uses
+/// `trace_decision_divergence` — the *same* predicate the oracle shrank
+/// against — so the re-verification cannot drift from the shrinker.
+struct VerifyTraceCapture {
+    seed: u64,
+}
+
+impl RowVisitor for VerifyTraceCapture {
+    type Output = ();
+
+    fn visit<P>(&mut self, spec: &RowSpec, protocol: P)
+    where
+        P: Protocol,
+        P::Proc: Send + Sync,
+    {
+        let inputs: Vec<u64> = (0..protocol.n())
+            .map(|pid| (self.seed >> (8 * (pid % 8))) % protocol.domain())
+            .collect();
+        let outcome = run_threaded_traced(&protocol, &inputs, 200_000)
+            .unwrap_or_else(|e| panic!("row {}: threaded run errored: {e}", spec.id));
+        assert_eq!(
+            trace_divergence(&protocol, &inputs, &outcome.trace, &outcome.report),
+            None,
+            "row {}: a faithful capture must replay in lockstep",
+            spec.id
+        );
+        // Control experiment: forge the decisions the threads supposedly
+        // reached; the replay of the genuine trace must contradict it.
+        let Some(winner) = outcome.report.unanimous() else {
+            return; // budget-stopped run: nothing to forge against
+        };
+        let imposter = (winner + 1) % protocol.domain();
+        let mut forged = outcome.report.clone();
+        forged.decisions = vec![Some(imposter); protocol.n()];
+        let (detail, reproducer) =
+            trace_divergence(&protocol, &inputs, &outcome.trace, &forged)
+                .unwrap_or_else(|| panic!("row {}: forged decisions must diverge", spec.id));
+        assert!(detail.contains("diverges"), "{detail}");
+        let minimal = reproducer.expect("decision divergence carries a reproducer");
+        assert!(
+            trace_decision_divergence(&protocol, &inputs, &minimal, &forged.decisions),
+            "row {}: shrunken reproducer no longer diverges: {minimal}",
+            spec.id
+        );
+        // 1-minimal: removing any single step kills the divergence...
+        for i in 0..minimal.len() {
+            let mut candidate = minimal.to_vec();
+            candidate.remove(i);
+            assert!(
+                !trace_decision_divergence(&protocol, &inputs, &candidate, &forged.decisions),
+                "row {}: reproducer {minimal} is not 1-minimal (step {i} is removable)",
+                spec.id
+            );
+        }
+        // ...and the reproducer survives the wire format.
+        let parsed: Schedule = minimal.to_string().parse().unwrap();
+        assert_eq!(parsed, minimal);
+    }
+}
+
+#[test]
+fn captured_traces_replay_lockstep_and_tampering_is_caught() {
+    for (i, row) in registry::all_rows().into_iter().enumerate() {
+        let mut verify = VerifyTraceCapture {
+            seed: 0x5EED_CB41_u64.wrapping_mul(i as u64 + 1),
+        };
+        registry::visit_row(row.id, row.min_n + (i % 2), &mut verify)
+            .expect("registry row exists");
     }
 }
 
